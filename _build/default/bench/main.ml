@@ -1,0 +1,613 @@
+(* The benchmark harness: regenerates every figure and quantitative claim
+   of the paper (see DESIGN.md's per-experiment index), then measures the
+   tool chain itself with Bechamel microbenchmarks.
+
+   The paper's evaluation is a prototype walkthrough, so the "tables" here
+   are the reproduction targets DESIGN.md enumerates: F1-F11 (figures) and
+   C1-C11 (quantitative claims).  Simulated-machine metrics (cycles,
+   MFLOPS, utilization) come from the NSC simulator; host-time throughput
+   of the editor/checker/codegen comes from Bechamel. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_sim
+open Nsc_apps
+
+let kb = Knowledge.default
+let params = Knowledge.params kb
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s  %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* F1 + C1: the machine and its datapath                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_datapath () =
+  section "F1/C1" "machine knowledge base (paper figure 1 and section 2)";
+  row "%s\n" (Knowledge.summary kb);
+  row "functional units total      : %d (paper: 32)\n" (Params.n_functional_units params);
+  row "node memory                 : %d MB (paper: 2 Gbytes)\n"
+    (Params.node_memory_bytes params / (1024 * 1024));
+  row "peak per node               : %.0f MFLOPS (paper: 640)\n" (Params.peak_mflops params);
+  row "64-node machine             : %.1f GFLOPS peak (paper: 40), %d GB memory (paper: 128)\n"
+    (Params.peak_gflops_machine params)
+    (Params.node_memory_bytes params / (1024 * 1024 * 1024) * 64)
+
+(* ------------------------------------------------------------------ *)
+(* F2/F11 + C10: the Jacobi example, diagrams and convergence          *)
+(* ------------------------------------------------------------------ *)
+
+let run_jacobi n =
+  let prob = Poisson.manufactured n in
+  let tol = 1e-6 and max_iters = 4000 in
+  let u_host, host_iters, _ = Poisson.host_solve prob ~tol ~max_iters in
+  match Jacobi.solve kb prob ~tol ~max_iters with
+  | Error e -> failwith e
+  | Ok o ->
+      let diff = Grid.max_diff prob.Poisson.grid o.Jacobi.u u_host in
+      (prob, host_iters, o, diff)
+
+let fig2_jacobi () =
+  section "F2/F11/C10" "point Jacobi for 3-D Poisson with residual check (eq. 1)";
+  let b = Jacobi.build kb (Grid.cube 9) ~tol:1e-6 ~max_iters:100 in
+  List.iter
+    (fun (pl : Pipeline.t) ->
+      row "instruction %d: %-28s %2d unit(s)  %2d wire(s)\n" pl.Pipeline.index
+        pl.Pipeline.label
+        (Pipeline.programmed_units pl)
+        (List.length pl.Pipeline.connections))
+    b.Jacobi.program.Program.pipelines;
+  row "\n%4s  %11s  %10s  %14s  %12s\n" "n" "host sweeps" "NSC sweeps" "max|nsc-host|"
+    "sust. MFLOPS";
+  List.iter
+    (fun n ->
+      let _, host_iters, o, diff = run_jacobi n in
+      let s =
+        Stats.summarize params ~cycles:o.Jacobi.stats.Sequencer.total_cycles
+          ~flops:o.Jacobi.stats.Sequencer.total_flops
+      in
+      row "%4d  %11d  %10d  %14.2e  %12.1f\n" n host_iters o.Jacobi.sweeps diff s.Stats.mflops)
+    [ 5; 7; 9 ]
+
+(* ------------------------------------------------------------------ *)
+(* C2: the planar memory organisation - copies versus contention       *)
+(* ------------------------------------------------------------------ *)
+
+let c2_contention () =
+  section "C2" "memory-plane layout ablation (copies vs. contention stalls)";
+  let prob = Poisson.manufactured 7 in
+  let measure name layout =
+    match Jacobi.solve kb ~layout prob ~tol:1e-5 ~max_iters:500 with
+    | Error e -> failwith e
+    | Ok o ->
+        let per_sweep =
+          float_of_int o.Jacobi.stats.Sequencer.total_cycles
+          /. float_of_int (max 1 o.Jacobi.sweeps)
+        in
+        let s =
+          Stats.summarize params ~cycles:o.Jacobi.stats.Sequencer.total_cycles
+            ~flops:o.Jacobi.stats.Sequencer.total_flops
+        in
+        row "%-22s  %6d u-planes  %9.0f cycles/sweep  %6.1f MFLOPS  %5.1f%% util\n" name
+          (List.length (Jacobi.u_planes layout))
+          per_sweep s.Stats.mflops (100.0 *. s.Stats.utilization)
+  in
+  measure "distributed (4 copies)" Jacobi.distributed;
+  measure "packed (2 copies)" Jacobi.packed;
+  row "shape: fewer copies -> plane port contention -> stalls every element\n"
+
+(* ------------------------------------------------------------------ *)
+(* C3: sustained node rate versus the 640 MFLOPS peak                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_lang src =
+  match Nsc_lang.Compile.compile kb src with
+  | Error e -> failwith e.Nsc_lang.Compile.message
+  | Ok c -> (
+      match Nsc_microcode.Codegen.compile kb c.Nsc_lang.Compile.program with
+      | Error _ -> failwith "codegen"
+      | Ok compiled -> (
+          let node = Node.create params in
+          match Sequencer.run node compiled with
+          | Ok o ->
+              (o.Sequencer.stats.Sequencer.total_flops,
+               o.Sequencer.stats.Sequencer.total_cycles)
+          | Error e -> failwith e))
+
+let c3_node_rate () =
+  section "C3" "sustained single-node MFLOPS vs. the 640 peak";
+  let saturation_src =
+    (* 8 stencil terms + a 7-add summing chain = 23 flops/element, packing
+       onto 8 doublets, 2 triplets and a singlet *)
+    let arrays = [ "a"; "b"; "c"; "d"; "e"; "f2"; "g"; "h" ] in
+    String.concat "\n"
+      (List.mapi (fun i a -> Printf.sprintf "array %s[4096] plane %d" a i) arrays
+      @ [ "array z[4096] plane 8" ]
+      @ [
+          "z = "
+          ^ String.concat " + "
+              (List.mapi
+                 (fun i a -> Printf.sprintf "(%s[-1] + %s[+1]) * 0.1%d" a a i)
+                 arrays);
+        ])
+  in
+  let bench name (flops, cycles) =
+    let s = Stats.summarize params ~cycles ~flops in
+    row "%-30s %9d flops %9d cycles  %7.1f MFLOPS  %5.1f%% of peak\n" name flops cycles
+      s.Stats.mflops (100.0 *. s.Stats.utilization)
+  in
+  bench "vecadd (1 flop/elem)"
+    (run_lang "array a[4096] plane 0\narray b[4096] plane 1\narray z[4096] plane 2\nz = a + b");
+  (let prob = Poisson.manufactured 9 in
+   match Jacobi.solve kb prob ~tol:1e-6 ~max_iters:300 with
+   | Ok o ->
+       bench "Jacobi solve loop (11 fl/el)"
+         (o.Jacobi.stats.Sequencer.total_flops, o.Jacobi.stats.Sequencer.total_cycles)
+   | Error e -> failwith e);
+  bench "saturation expression" (run_lang saturation_src);
+  row "shape: utilization rises with flops/element; fill, refresh copies and\n";
+  row "reconfiguration keep sustained rates well under peak, as expected\n"
+
+(* ------------------------------------------------------------------ *)
+(* C4: hypercube weak scaling toward the 40 GFLOPS machine             *)
+(* ------------------------------------------------------------------ *)
+
+let c4_scaling () =
+  section "C4" "hypercube weak scaling (slab-decomposed Jacobi)";
+  let series n iters =
+    row "per-node slab %dx%dx%d:\n" n n n;
+    row "%6s  %8s  %11s  %8s\n" "nodes" "GFLOPS" "efficiency" "comm %";
+    match Parallel.scaling params ~n ~iters ~dims:[ 0; 1; 2; 3; 4; 5; 6 ] with
+    | Error e -> failwith e
+    | Ok pts ->
+        List.iter
+          (fun (pt : Parallel.point) ->
+            row "%6d  %8.3f  %10.1f%%  %7.1f%%\n" pt.Parallel.nodes pt.Parallel.gflops
+              (100.0 *. pt.Parallel.efficiency)
+              (100.0 *. pt.Parallel.comm_fraction))
+          pts
+  in
+  series 9 2;
+  row "\n";
+  series 15 2;
+  row "shape: near-linear weak scaling; the communication share flattens\n";
+  row "(nearest-neighbour Gray-embedded exchange) and shrinks with slab size\n";
+  row "(surface-to-volume)\n"
+
+(* ------------------------------------------------------------------ *)
+(* C5: microcode scale                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let c5_microcode () =
+  section "C5" "microinstruction scale ('a few thousand bits ... dozens of fields')";
+  let layout = Nsc_microcode.Fields.make params in
+  row "bits per instruction   : %d\n" layout.Nsc_microcode.Fields.total_bits;
+  row "field instances        : %d\n" (Nsc_microcode.Fields.field_count layout);
+  row "distinct field kinds   : %d\n" (Nsc_microcode.Fields.kind_count layout);
+  let b = Jacobi.build kb (Grid.cube 9) ~tol:1e-6 ~max_iters:10 in
+  match Nsc_microcode.Codegen.compile kb b.Jacobi.program with
+  | Ok c ->
+      row "Jacobi program         : %d instructions = %d bits of microcode\n"
+        (List.length c.Nsc_microcode.Codegen.instructions)
+        (Nsc_microcode.Codegen.code_bits c)
+  | Error _ -> failwith "codegen"
+
+(* ------------------------------------------------------------------ *)
+(* C6: authoring-effort comparison across the three routes             *)
+(* ------------------------------------------------------------------ *)
+
+let c6_authoring () =
+  section "C6" "authoring effort: raw microcode vs. visual editor vs. compiler";
+  let lang_src =
+    "array u[64] plane 0\narray g[64] plane 1\narray mask[64] plane 2\narray unew[64] \
+     plane 3\nunew = mask * ((u[-1] + u[+1] - g) * 0.5)"
+  in
+  let c =
+    match Nsc_lang.Compile.compile kb lang_src with
+    | Ok c -> c
+    | Error e -> failwith e.Nsc_lang.Compile.message
+  in
+  let compiled =
+    match Nsc_microcode.Codegen.compile kb c.Nsc_lang.Compile.program with
+    | Ok c -> c
+    | Error _ -> failwith "codegen"
+  in
+  let instr = List.hd compiled.Nsc_microcode.Codegen.instructions in
+  let live_bits = Nsc_microcode.Word.popcount instr.Nsc_microcode.Encode.word in
+  let layout = compiled.Nsc_microcode.Codegen.layout in
+  row "raw microcode  : %5d bits to author across %d fields (%d live bits)\n"
+    layout.Nsc_microcode.Fields.total_bits
+    (Nsc_microcode.Fields.field_count layout)
+    live_bits;
+  let pl = List.hd c.Nsc_lang.Compile.program.Program.pipelines in
+  let gestures =
+    (3 * List.length pl.Pipeline.icons)
+    + (4 * List.length pl.Pipeline.connections)
+    + (2 * Pipeline.programmed_units pl)
+  in
+  row "visual editor  : %5d mouse/menu events (%d icons, %d wires, %d units)\n" gestures
+    (List.length pl.Pipeline.icons)
+    (List.length pl.Pipeline.connections)
+    (Pipeline.programmed_units pl);
+  row "compiler       : %5d characters of source (%d lines)\n" (String.length lang_src)
+    (List.length (String.split_on_char '\n' lang_src));
+  row "shape: each level drops the specification burden by about an order of\n";
+  row "magnitude - hand microcoding is 'clearly not practical'\n"
+
+(* ------------------------------------------------------------------ *)
+(* C7: the checker catches every seeded violation                      *)
+(* ------------------------------------------------------------------ *)
+
+let c7_checker () =
+  section "C7" "checker coverage: seeded violations per rule";
+  let catch name build rule =
+    let pl = build () in
+    let ds = Nsc_checker.Checker.check_pipeline kb ~level:`Complete pl in
+    let hit =
+      List.exists
+        (fun d -> Nsc_checker.Diagnostic.equal_rule d.Nsc_checker.Diagnostic.rule rule)
+        ds
+    in
+    row "  %-30s %s\n" name (if hit then "caught" else "MISSED")
+  in
+  let place kind =
+    let pl = Pipeline.empty 1 in
+    Build.fail_on_error (Pipeline.place_als params pl ~kind ~pos:(Geometry.point 10 2) ())
+  in
+  catch "integer op on a singlet"
+    (fun () ->
+      let icon, pl = place Als.Singlet in
+      Pipeline.set_config pl ~id:icon ~slot:0
+        (Fu_config.make ~a:(Fu_config.From_constant 1.0) ~b:(Fu_config.From_constant 2.0)
+           Opcode.Iadd))
+    Nsc_checker.Diagnostic.Capability;
+  catch "second writer to one plane"
+    (fun () ->
+      let i0, pl = place Als.Singlet in
+      let i1, pl =
+        Build.fail_on_error
+          (Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 40 2) ())
+      in
+      let out pl icon off =
+        snd
+          (Pipeline.add_connection pl
+             ~src:(Connection.Pad { icon; pad = Icon.Out_pad 0 })
+             ~dst:(Connection.Direct_memory 5)
+             ~spec:(Dma_spec.make ~offset:off (Dma_spec.To_plane 5)) ())
+      in
+      out (out pl i0 0) i1 512)
+    Nsc_checker.Diagnostic.Plane_write_exclusive;
+  catch "misaligned operand streams"
+    (fun () ->
+      let icon, pl = place Als.Doublet in
+      let pl =
+        snd
+          (Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+             ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+             ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ())
+      in
+      let pl =
+        snd
+          (Pipeline.add_connection pl ~src:(Connection.Direct_memory 1)
+             ~dst:(Connection.Pad { icon; pad = Icon.In_pad (1, Resource.B) })
+             ~spec:(Dma_spec.make (Dma_spec.To_plane 1)) ())
+      in
+      let pl =
+        Pipeline.set_config pl ~id:icon ~slot:0
+          (Fu_config.make ~a:Fu_config.From_switch ~b:(Fu_config.From_constant 1.0)
+             Opcode.Fmul)
+      in
+      Pipeline.set_config pl ~id:icon ~slot:1
+        (Fu_config.make ~a:Fu_config.From_chain ~b:Fu_config.From_switch Opcode.Fadd))
+    Nsc_checker.Diagnostic.Timing;
+  catch "in-place plane update"
+    (fun () ->
+      let icon, pl = place Als.Singlet in
+      let pl =
+        snd
+          (Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+             ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+             ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ())
+      in
+      snd
+        (Pipeline.add_connection pl
+           ~src:(Connection.Pad { icon; pad = Icon.Out_pad 0 })
+           ~dst:(Connection.Direct_memory 0)
+           ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()))
+    Nsc_checker.Diagnostic.Plane_hazard;
+  catch "combinational switch loop"
+    (fun () ->
+      let i0, pl = place Als.Singlet in
+      let i1, pl =
+        Build.fail_on_error
+          (Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 40 2) ())
+      in
+      let pl = Build.pad_to_pad pl ~from_icon:i0 ~from_pad:(Icon.Out_pad 0) ~to_icon:i1 ~to_pad:(Icon.In_pad (0, Resource.A)) in
+      let pl = Build.pad_to_pad pl ~from_icon:i1 ~from_pad:(Icon.Out_pad 0) ~to_icon:i0 ~to_pad:(Icon.In_pad (0, Resource.A)) in
+      let pl = Pipeline.set_config pl ~id:i0 ~slot:0 (Fu_config.make ~a:Fu_config.From_switch Opcode.Fabs) in
+      Pipeline.set_config pl ~id:i1 ~slot:0 (Fu_config.make ~a:Fu_config.From_switch Opcode.Fabs))
+    Nsc_checker.Diagnostic.Switch_cycle;
+  catch "DMA engines exhausted"
+    (fun () ->
+      let icon, pl = place Als.Triplet in
+      let i1, pl =
+        Build.fail_on_error
+          (Pipeline.place_als params pl ~kind:Als.Triplet ~pos:(Geometry.point 40 2) ())
+      in
+      let wire pl icon pad off =
+        snd
+          (Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+             ~dst:(Connection.Pad { icon; pad })
+             ~spec:(Dma_spec.make ~offset:off (Dma_spec.To_plane 0)) ())
+      in
+      let pl = wire pl icon (Icon.In_pad (0, Resource.A)) 0 in
+      let pl = wire pl icon (Icon.In_pad (0, Resource.B)) 1 in
+      let pl = wire pl icon (Icon.In_pad (1, Resource.B)) 2 in
+      let pl = wire pl icon (Icon.In_pad (2, Resource.B)) 3 in
+      wire pl i1 (Icon.In_pad (0, Resource.A)) 4)
+    Nsc_checker.Diagnostic.Dma_range
+
+(* ------------------------------------------------------------------ *)
+(* C8: the visual debugger                                             *)
+(* ------------------------------------------------------------------ *)
+
+let c8_debugger () =
+  section "C8" "visual debugger: annotated values through the Jacobi pipeline";
+  let prob = Poisson.manufactured 5 in
+  let b = Jacobi.build kb prob.Poisson.grid ~tol:1e-3 ~max_iters:2 in
+  match Nsc_microcode.Codegen.compile kb b.Jacobi.program with
+  | Error _ -> failwith "codegen"
+  | Ok compiled -> (
+      let node = Node.create params in
+      Jacobi.load node b prob;
+      match Nsc_debug.Stepper.run node ~limit:2 compiled b.Jacobi.program with
+      | Error e -> failwith e
+      | Ok run ->
+          let f = List.nth run.Nsc_debug.Stepper.frames 1 in
+          let centre = Grid.index prob.Poisson.grid ~i:2 ~j:2 ~k:2 - Grid.pad prob.Poisson.grid in
+          let values = Nsc_debug.Stepper.values_at f ~element:centre in
+          row "frame 1 (%s) at the grid centre element:\n" f.Nsc_debug.Stepper.label;
+          List.iter
+            (fun (fu, v) -> row "  %-10s = %.6g\n" (Resource.fu_to_string fu) v)
+            values;
+          row "anomalies found: %d\n" (List.length (Nsc_debug.Stepper.anomalies f)))
+
+(* ------------------------------------------------------------------ *)
+(* C9: the simpler architectural subset                                *)
+(* ------------------------------------------------------------------ *)
+
+let c9_subset () =
+  section "C9" "programmability vs. performance: full machine vs. subset model";
+  let src =
+    "array u[256] plane 0\narray g[256] plane 1\narray mask[256] plane 2\narray unew[256] \
+     plane 3\nrepeat 20 { unew = mask * ((u[-1] + u[+1] - g) * 0.5)\nu = unew + 0.0 }"
+  in
+  let measure name kb' =
+    match Nsc_lang.Compile.compile kb' src with
+    | Error e -> row "%-16s compile error: %s\n" name e.Nsc_lang.Compile.message
+    | Ok c -> (
+        match Nsc_microcode.Codegen.compile kb' c.Nsc_lang.Compile.program with
+        | Error _ -> row "%-16s codegen failed\n" name
+        | Ok compiled -> (
+            let p' = Knowledge.params kb' in
+            let node = Node.create p' in
+            match Sequencer.run node compiled with
+            | Ok o ->
+                let st = o.Sequencer.stats in
+                let layout = Nsc_microcode.Fields.make p' in
+                row
+                  "%-16s %6d cycles  %6d flops  %6.1f MFLOPS (%4.1f%% of its %4.0f peak)  %5d-bit instr\n"
+                  name st.Sequencer.total_cycles st.Sequencer.total_flops
+                  (Stats.mflops p' ~cycles:st.Sequencer.total_cycles
+                     ~flops:st.Sequencer.total_flops)
+                  (100.0
+                  *. Stats.utilization p' ~cycles:st.Sequencer.total_cycles
+                       ~flops:st.Sequencer.total_flops)
+                  (Params.peak_mflops p')
+                  layout.Nsc_microcode.Fields.total_bits
+            | Error e -> row "%-16s run error: %s\n" name e))
+  in
+  measure "full machine" Knowledge.default;
+  measure "subset model" Knowledge.subset;
+  row "shape: the subset is easier to target (smaller instruction, fewer\n";
+  row "asymmetries) at a lower absolute peak - the paper's stated tradeoff\n"
+
+(* ------------------------------------------------------------------ *)
+(* C11: multigrid versus Jacobi                                        *)
+(* ------------------------------------------------------------------ *)
+
+let c11_multigrid () =
+  section "C11" "multigrid vs. plain relaxation (paper reference [6])";
+  let prob = Multigrid.manufactured 65 in
+  let target = 1.0 in
+  let rec mg_cycles k =
+    if k > 30 then None
+    else
+      let u = Multigrid.host_solve prob ~cycles:k ~nu1:2 ~nu2:2 ~nu_coarse:40 in
+      if Multigrid.host_residual_norm prob u <= target then Some k else mg_cycles (k + 1)
+  in
+  let rec smooth_sweeps k =
+    if k > 8192 then None
+    else
+      let u = Multigrid.host_solve prob ~cycles:1 ~nu1:k ~nu2:0 ~nu_coarse:0 in
+      if Multigrid.host_residual_norm prob u <= target then Some k
+      else smooth_sweeps (k * 2)
+  in
+  (match (mg_cycles 1, smooth_sweeps 8) with
+  | Some mgc, Some js ->
+      row "to reach residual <= %.1f on a 65-point line:\n" target;
+      row "  two-grid cycles        : %d (each: 4 fine sweeps + 40 half-cost coarse)\n" mgc;
+      row "  fine-sweep equivalents : ~%d\n" (mgc * (4 + (40 / 2)));
+      row "  plain weighted Jacobi  : between %d and %d sweeps\n" (js / 2) js
+  | _ -> row "targets not reached within bounds\n");
+  match Multigrid.solve kb prob ~cycles:1 ~nu1:2 ~nu2:2 ~nu_coarse:40 with
+  | Ok o ->
+      row "NSC cost of one V-cycle: %d instructions, %d cycles\n"
+        o.Multigrid.stats.Sequencer.instructions_executed
+        o.Multigrid.stats.Sequencer.total_cycles
+  | Error e -> failwith e
+
+(* ------------------------------------------------------------------ *)
+(* A1/A2: ablations over the design choices DESIGN.md calls out        *)
+(* ------------------------------------------------------------------ *)
+
+let a1_reconfig () =
+  section "A1" "ablation: sequencer reconfiguration cost";
+  let prob = Poisson.manufactured 7 in
+  row "%10s  %14s  %12s\n" "cycles/cfg" "cycles/sweep" "sust. MFLOPS";
+  List.iter
+    (fun rc ->
+      let p' = { params with Params.reconfig_cycles = rc } in
+      let kb' = Knowledge.make_exn p' in
+      match Jacobi.solve kb' prob ~tol:1e-5 ~max_iters:300 with
+      | Ok o ->
+          let st = o.Jacobi.stats in
+          row "%10d  %14.0f  %12.1f\n" rc
+            (float_of_int st.Sequencer.total_cycles /. float_of_int (max 1 o.Jacobi.sweeps))
+            (Stats.mflops p' ~cycles:st.Sequencer.total_cycles
+               ~flops:st.Sequencer.total_flops)
+      | Error e -> failwith e)
+    [ 0; 16; 64; 256; 1024 ];
+  row "shape: reconfiguration is amortised over the vector length; it only\n";
+  row "bites when switching costs approach the sweep length itself\n"
+
+let a2_sor () =
+  section "A2" "ablation: red-black relaxation factor (SOR)";
+  let prob = Poisson.manufactured 9 in
+  row "%8s  %10s  %14s\n" "omega" "iterations" "final change";
+  List.iter
+    (fun omega ->
+      match Redblack.solve kb ~omega prob ~tol:1e-6 ~max_iters:3000 with
+      | Ok o -> row "%8.2f  %10d  %14.3e\n" omega o.Redblack.iterations o.Redblack.final_change
+      | Error e -> failwith e)
+    [ 1.0; 1.25; 1.5; 1.7; 1.9 ];
+  row "shape: the classic SOR sweet spot (omega ~ 2/(1+sin pi*h)) minimises\n";
+  row "iterations; the relaxation factor costs nothing on the NSC - it rides\n";
+  row "in the colour-mask plane\n"
+
+(* ------------------------------------------------------------------ *)
+(* Tool-chain microbenchmarks (Bechamel)                               *)
+(* ------------------------------------------------------------------ *)
+
+let vecadd_program () =
+  let prog = Program.empty "vecadd" in
+  let prog =
+    List.fold_left
+      (fun prog (name, plane) ->
+        Result.get_ok (Program.declare prog { Program.name; plane; base = 0; length = 4096 }))
+      prog
+      [ ("x", 0); ("y", 1); ("z", 2) ]
+  in
+  let prog, _ = Program.append_pipeline prog in
+  let pl = Option.get (Program.find_pipeline prog 1) in
+  let pl = Pipeline.with_vector_length pl 4096 in
+  let icon, pl =
+    Build.fail_on_error
+      (Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 30 8) ())
+  in
+  let pl = Build.mem_to_pad pl ~plane:0 ~var:"x" ~offset:0 ~icon ~pad:(Icon.In_pad (0, Resource.A)) () in
+  let pl = Build.mem_to_pad pl ~plane:1 ~var:"y" ~offset:0 ~icon ~pad:(Icon.In_pad (0, Resource.B)) () in
+  let pl = Build.pad_to_mem pl ~icon ~pad:(Icon.Out_pad 0) ~plane:2 ~var:"z" ~offset:0 () in
+  let pl =
+    Pipeline.set_config pl ~id:icon ~slot:0
+      (Fu_config.make ~a:Fu_config.From_switch ~b:Fu_config.From_switch Opcode.Fadd)
+  in
+  Program.update_pipeline prog pl
+
+let toolchain_benchmarks () =
+  section "TOOL" "host-side tool-chain throughput (Bechamel, ns per operation)";
+  let open Bechamel in
+  let prog = vecadd_program () in
+  let vec_pl = Option.get (Program.find_pipeline prog 1) in
+  let jacobi_build = Jacobi.build kb (Grid.cube 9) ~tol:1e-6 ~max_iters:10 in
+  let jacobi_sweep = Option.get (Program.find_pipeline jacobi_build.Jacobi.program 2) in
+  let lookup = Program.variable_base jacobi_build.Jacobi.program in
+  let layout = Nsc_microcode.Fields.make params in
+  let sweep_sem, _ = Semantic.of_pipeline params ~lookup jacobi_sweep in
+  let sweep_instr =
+    match Nsc_microcode.Encode.encode layout sweep_sem with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  let lang_src =
+    "array u[64] plane 0\narray g[64] plane 1\narray mask[64] plane 2\narray unew[64] \
+     plane 3\nunew = mask * ((u[-1] + u[+1] - g) * 0.5)"
+  in
+  let node = Node.create params in
+  Node.load_array node ~plane:0 ~base:0 (Array.make 4096 1.5);
+  Node.load_array node ~plane:1 ~base:0 (Array.make 4096 2.5);
+  let vec_sem, _ = Semantic.of_pipeline params ~lookup:(Program.variable_base prog) vec_pl in
+  let jacobi_text = Serialize.to_string jacobi_build.Jacobi.program in
+  let editor_state =
+    Nsc_editor.State.of_program kb jacobi_build.Jacobi.program
+  in
+  let pad_pos =
+    Nsc_editor.Layout.of_drawing (Geometry.point 1 1)
+  in
+  let tests =
+    [
+      Test.make ~name:"checker interactive (vecadd)"
+        (Staged.stage (fun () ->
+             ignore (Nsc_checker.Checker.check_pipeline kb ~level:`Interactive vec_pl)));
+      Test.make ~name:"checker complete (Jacobi sweep)"
+        (Staged.stage (fun () ->
+             ignore
+               (Nsc_checker.Checker.check_pipeline kb ~lookup ~level:`Complete jacobi_sweep)));
+      Test.make ~name:"semantic projection (Jacobi sweep)"
+        (Staged.stage (fun () -> ignore (Semantic.of_pipeline params ~lookup jacobi_sweep)));
+      Test.make ~name:"timing analysis (Jacobi sweep)"
+        (Staged.stage (fun () -> ignore (Nsc_checker.Timing.analyse params sweep_sem)));
+      Test.make ~name:"microcode encode (Jacobi sweep)"
+        (Staged.stage (fun () -> ignore (Nsc_microcode.Encode.encode layout sweep_sem)));
+      Test.make ~name:"microcode decode (Jacobi sweep)"
+        (Staged.stage (fun () ->
+             ignore
+               (Nsc_microcode.Decode.decode layout sweep_instr.Nsc_microcode.Encode.word)));
+      Test.make ~name:"language compile (1-D Jacobi stmt)"
+        (Staged.stage (fun () -> ignore (Nsc_lang.Compile.compile kb lang_src)));
+      Test.make ~name:"serialize+parse (Jacobi program)"
+        (Staged.stage (fun () -> ignore (Serialize.of_string params jacobi_text)));
+      Test.make ~name:"editor event (mouse move)"
+        (Staged.stage (fun () ->
+             ignore (Nsc_editor.Editor.handle editor_state (Nsc_editor.Event.Mouse_move pad_pos))));
+      Test.make ~name:"engine run (4096-elem vecadd)"
+        (Staged.stage (fun () -> ignore (Engine.run node vec_sem)));
+      Test.make ~name:"window render (ASCII)"
+        (Staged.stage (fun () -> ignore (Nsc_editor.Render_ascii.render editor_state)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"toolchain" tests) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> row "  %-44s %14.0f ns/op\n" name est
+      | Some _ | None -> row "  %-44s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  fig1_datapath ();
+  fig2_jacobi ();
+  c2_contention ();
+  c3_node_rate ();
+  c4_scaling ();
+  c5_microcode ();
+  c6_authoring ();
+  c7_checker ();
+  c8_debugger ();
+  c9_subset ();
+  c11_multigrid ();
+  a1_reconfig ();
+  a2_sor ();
+  toolchain_benchmarks ();
+  Printf.printf "\nall experiments completed in %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,430 @@
+(* nscvp — the Navier-Stokes Computer visual-programming tool chain.
+
+   Subcommands cover the full flow of the paper's Figure 3:
+     info          machine knowledge-base summary
+     check         validate a saved visual program
+     codegen       generate microcode (listing and/or hex)
+     disasm        disassemble a hex microcode file
+     run           execute a program on the simulated node
+     render        ASCII/SVG renderings of diagrams and the datapath
+     replay        replay an editor session script
+     compile       compile textual pipeline-language source to a program
+     debug         run with tracing and print annotated diagram frames *)
+
+open Nsc_arch
+open Nsc_diagram
+open Cmdliner
+
+let kb_of_subset subset = if subset then Knowledge.subset else Knowledge.default
+
+let subset_flag =
+  Arg.(value & flag & info [ "subset" ] ~doc:"Use the restricted (subset) machine model.")
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Saved visual program.")
+
+let load_program kb path =
+  match Serialize.load (Knowledge.params kb) ~path with
+  | Ok prog -> prog
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 2
+
+let print_diagnostics ds =
+  List.iter (fun d -> print_endline ("  " ^ Nsc_checker.Diagnostic.to_string d)) ds
+
+(* -- info ------------------------------------------------------------- *)
+
+let info_cmd =
+  let run subset =
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    print_endline (Knowledge.summary kb);
+    Printf.printf "hypercube: up to %d nodes (%.1f GFLOPS, %d GB total memory)\n"
+      (1 lsl p.Params.hypercube_dim)
+      (Params.peak_gflops_machine p)
+      (Params.node_memory_bytes p * (1 lsl p.Params.hypercube_dim) / (1024 * 1024 * 1024));
+    let layout = Nsc_microcode.Fields.make p in
+    Printf.printf "microinstruction: %d bits, %d fields (%d kinds)\n"
+      layout.Nsc_microcode.Fields.total_bits
+      (Nsc_microcode.Fields.field_count layout)
+      (Nsc_microcode.Fields.kind_count layout)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe the machine knowledge base.")
+    Term.(const run $ subset_flag)
+
+(* -- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let run subset path =
+    let kb = kb_of_subset subset in
+    let prog = load_program kb path in
+    let ds = Nsc_checker.Checker.check_program kb prog in
+    if ds = [] then print_endline "no findings: the program is valid"
+    else begin
+      Printf.printf "%d finding(s):\n" (List.length ds);
+      print_diagnostics ds
+    end;
+    if Nsc_checker.Diagnostic.has_errors ds then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Run the thorough checker pass over a program.")
+    Term.(const run $ subset_flag $ program_arg)
+
+(* -- codegen / disasm -------------------------------------------------- *)
+
+let compile_or_die kb prog =
+  match Nsc_microcode.Codegen.compile kb prog with
+  | Ok c -> c
+  | Error ds ->
+      prerr_endline "code generation blocked:";
+      List.iter (fun d -> prerr_endline ("  " ^ Nsc_checker.Diagnostic.to_string d)) ds;
+      exit 1
+
+let write_hex (c : Nsc_microcode.Codegen.compiled) path =
+  let oc = open_out path in
+  Printf.fprintf oc "NSCMC %d\n" c.Nsc_microcode.Codegen.layout.Nsc_microcode.Fields.total_bits;
+  List.iter
+    (fun (i : Nsc_microcode.Encode.instruction) ->
+      Printf.fprintf oc "instr %d\n%s\n" i.Nsc_microcode.Encode.index
+        (Nsc_microcode.Word.to_hex i.Nsc_microcode.Encode.word))
+    c.Nsc_microcode.Codegen.instructions;
+  close_out oc
+
+let codegen_cmd =
+  let hex_out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write hex microcode.")
+  in
+  let show_hex = Arg.(value & flag & info [ "hex" ] ~doc:"Include hex dumps in the listing.") in
+  let run subset path hex_path show_hex =
+    let kb = kb_of_subset subset in
+    let c = compile_or_die kb (load_program kb path) in
+    print_string (Nsc_microcode.Listing.compiled_to_string ~hex:show_hex c);
+    match hex_path with
+    | Some out ->
+        write_hex c out;
+        Printf.printf "wrote %s (%d bits of microcode)\n" out (Nsc_microcode.Codegen.code_bits c)
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Generate microcode and print the listing.")
+    Term.(const run $ subset_flag $ program_arg $ hex_out $ show_hex)
+
+let disasm_cmd =
+  let hex_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HEX" ~doc:"Hex microcode file.")
+  in
+  let run subset path =
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    let layout = Nsc_microcode.Fields.make p in
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    let lines = List.rev !lines in
+    (match lines with
+    | header :: _ when String.length header >= 5 && String.sub header 0 5 = "NSCMC" -> ()
+    | _ ->
+        prerr_endline "error: not an NSCMC hex file";
+        exit 2);
+    (* gather hex bytes per instruction *)
+    let word_bytes = (layout.Nsc_microcode.Fields.total_bits + 7) / 8 in
+    let current = Buffer.create 1024 in
+    let flush_instr () =
+      if Buffer.length current > 0 then begin
+        let hex = Buffer.contents current in
+        let w = Nsc_microcode.Word.create layout.Nsc_microcode.Fields.total_bits in
+        let n = min word_bytes (String.length hex / 2) in
+        for i = 0 to n - 1 do
+          let byte = int_of_string ("0x" ^ String.sub hex (2 * i) 2) in
+          for b = 0 to 7 do
+            if (i * 8) + b < layout.Nsc_microcode.Fields.total_bits then
+              Nsc_microcode.Word.set_bit w ((i * 8) + b) ((byte lsr b) land 1 = 1)
+          done
+        done;
+        (match Nsc_microcode.Decode.decode layout w with
+        | Ok sem -> print_string (Nsc_microcode.Listing.semantic_to_string sem)
+        | Error e -> Printf.printf "  (undecodable: %s)\n" e);
+        Buffer.clear current
+      end
+    in
+    List.iteri
+      (fun i line ->
+        if i = 0 then ()
+        else if String.length line >= 5 && String.sub line 0 5 = "instr" then flush_instr ()
+        else
+          String.iter
+            (fun ch -> if ch <> ' ' && ch <> '\n' then Buffer.add_char current ch)
+            line)
+      lines;
+    flush_instr ()
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble hex microcode back to its pseudo-code.")
+    Term.(const run $ subset_flag $ hex_arg)
+
+(* -- run ---------------------------------------------------------------- *)
+
+let parse_load s =
+  (* plane:base:file *)
+  match String.split_on_char ':' s with
+  | [ plane; base; file ] -> (
+      match (int_of_string_opt plane, int_of_string_opt base) with
+      | Some plane, Some base -> Some (plane, base, file)
+      | _ -> None)
+  | _ -> None
+
+let parse_dump s =
+  match String.split_on_char ':' s with
+  | [ plane; base; len ] -> (
+      match (int_of_string_opt plane, int_of_string_opt base, int_of_string_opt len) with
+      | Some plane, Some base, Some len -> Some (plane, base, len)
+      | _ -> None)
+  | _ -> None
+
+let read_floats file =
+  let ic = open_in file in
+  let xs = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then
+         match float_of_string_opt line with
+         | Some v -> xs := v :: !xs
+         | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  Array.of_list (List.rev !xs)
+
+let run_cmd =
+  let loads =
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"PLANE:BASE:FILE"
+           ~doc:"Load floats (one per line) into a memory plane before the run.")
+  in
+  let dumps =
+    Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"PLANE:BASE:LEN"
+           ~doc:"Print a memory range after the run.")
+  in
+  let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the interrupt log.") in
+  let run subset path loads dumps events =
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    let c = compile_or_die kb (load_program kb path) in
+    let node = Nsc_sim.Node.create p in
+    List.iter
+      (fun s ->
+        match parse_load s with
+        | Some (plane, base, file) -> Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
+        | None ->
+            prerr_endline ("bad --load: " ^ s);
+            exit 2)
+      loads;
+    (match Nsc_sim.Sequencer.run node c with
+    | Error e ->
+        prerr_endline ("run error: " ^ e);
+        exit 1
+    | Ok o ->
+        let stats = o.Nsc_sim.Sequencer.stats in
+        Printf.printf "executed %d instruction(s)%s\n"
+          stats.Nsc_sim.Sequencer.instructions_executed
+          (if o.Nsc_sim.Sequencer.halted then " (halted)" else "");
+        let s =
+          Nsc_sim.Stats.summarize p ~cycles:stats.Nsc_sim.Sequencer.total_cycles
+            ~flops:stats.Nsc_sim.Sequencer.total_flops
+        in
+        Printf.printf "%s\n" (Nsc_sim.Stats.summary_to_string s);
+        if events then
+          List.iter
+            (fun e -> print_endline ("  " ^ Interrupt.event_to_string e))
+            stats.Nsc_sim.Sequencer.events);
+    List.iter
+      (fun s ->
+        match parse_dump s with
+        | Some (plane, base, len) ->
+            Printf.printf "plane %d [%d..%d):\n" plane base (base + len);
+            Array.iter
+              (fun v -> Printf.printf "  %.17g\n" v)
+              (Nsc_sim.Node.dump_array node ~plane ~base ~len)
+        | None ->
+            prerr_endline ("bad --dump: " ^ s);
+            exit 2)
+      dumps
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a program on the simulated node.")
+    Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events)
+
+(* -- render ------------------------------------------------------------- *)
+
+let render_cmd =
+  let what =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WHAT"
+           ~doc:"'datapath', 'icons', or a program file.")
+  in
+  let pipeline_n =
+    Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"N" ~doc:"Pipeline to render.")
+  in
+  let svg = Arg.(value & flag & info [ "svg" ] ~doc:"Emit SVG instead of ASCII.") in
+  let run subset what n svg =
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    match what with
+    | "datapath" ->
+        if svg then print_string (Nsc_editor.Render_svg.render_datapath p)
+        else begin
+          (* a compact ASCII datapath summary (the Figure 1 content) *)
+          Printf.printf "%s\n" (Knowledge.summary kb);
+          Printf.printf
+            "  hyperspace router <-> caches (%d) <-> FLONET switch <-> memory planes (%d)\n"
+            p.Params.n_caches p.Params.n_memory_planes;
+          Printf.printf "  FLONET <-> %d singlets | %d doublets | %d triplets | %d shift/delay\n"
+            p.Params.n_singlets p.Params.n_doublets p.Params.n_triplets p.Params.n_shift_delay
+        end
+    | "icons" ->
+        (* the Figure 4 gallery: one of each ALS icon form *)
+        let pl = Pipeline.empty 1 in
+        let add pl kind bypass x =
+          match Pipeline.place_als p pl ~kind ~bypass ~pos:(Geometry.point x 2) () with
+          | Ok (_, pl) -> pl
+          | Error e -> failwith e
+        in
+        let pl = add pl Als.Singlet Als.No_bypass 4 in
+        let pl = add pl Als.Doublet Als.No_bypass 20 in
+        let pl = add pl Als.Doublet Als.Keep_head 36 in
+        let pl = add pl Als.Triplet Als.No_bypass 52 in
+        if svg then print_string (Nsc_editor.Render_svg.render_pipeline p pl)
+        else print_string (Nsc_editor.Render_ascii.render_pipeline p pl)
+    | path -> (
+        let prog = load_program kb path in
+        match Program.find_pipeline prog n with
+        | None ->
+            prerr_endline "no such pipeline";
+            exit 2
+        | Some pl ->
+            if svg then print_string (Nsc_editor.Render_svg.render_pipeline p pl)
+            else print_string (Nsc_editor.Render_ascii.render_pipeline p pl))
+  in
+  Cmd.v (Cmd.info "render" ~doc:"Render diagrams, the icon gallery, or the datapath.")
+    Term.(const run $ subset_flag $ what $ pipeline_n $ svg)
+
+(* -- replay -------------------------------------------------------------- *)
+
+let replay_cmd =
+  let script_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT" ~doc:"Editor session script.")
+  in
+  let run subset path =
+    let kb = kb_of_subset subset in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let script = really_input_string ic n in
+    close_in ic;
+    let r = Nsc_editor.Session.replay (Nsc_editor.State.create kb) script in
+    List.iter
+      (fun (f : Nsc_editor.Session.frame) ->
+        Printf.printf "===== %s =====\n%s\n" f.Nsc_editor.Session.name
+          f.Nsc_editor.Session.render)
+      r.Nsc_editor.Session.frames;
+    Printf.printf "%d event(s) applied; final message: %s\n" r.Nsc_editor.Session.applied
+      (Nsc_editor.State.latest_message r.Nsc_editor.Session.final);
+    List.iter
+      (fun (lineno, m) -> Printf.printf "  line %d: %s\n" lineno m)
+      r.Nsc_editor.Session.errors
+  in
+  Cmd.v (Cmd.info "replay" ~doc:"Replay an editor session script.")
+    Term.(const run $ subset_flag $ script_arg)
+
+(* -- compile (textual language) ------------------------------------------ *)
+
+let compile_cmd =
+  let src_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"Pipeline-language source.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Save the visual program.")
+  in
+  let render = Arg.(value & flag & info [ "render" ] ~doc:"Render the generated diagrams (ASCII).") in
+  let run subset path out render =
+    let kb = kb_of_subset subset in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    match Nsc_lang.Compile.compile kb src with
+    | Error e ->
+        Printf.eprintf "compile error%s: %s\n"
+          (match e.Nsc_lang.Compile.at_statement with
+          | Some n -> Printf.sprintf " (statement %d)" n
+          | None -> "")
+          e.Nsc_lang.Compile.message;
+        exit 1
+    | Ok c ->
+        Printf.printf "compiled: %d pipeline instruction(s)\n"
+          (Program.pipeline_count c.Nsc_lang.Compile.program);
+        (* the paper's section-6 idea: the visual environment "as a back
+           end to a compiler, displaying the results of the compilation" *)
+        if render then
+          List.iter
+            (fun (pl : Pipeline.t) ->
+              Printf.printf "\n-- instruction %d: %s --\n%s" pl.Pipeline.index
+                pl.Pipeline.label
+                (Nsc_editor.Render_ascii.render_pipeline (Knowledge.params kb) pl))
+            c.Nsc_lang.Compile.program.Program.pipelines;
+        (match out with
+        | Some out ->
+            Serialize.save c.Nsc_lang.Compile.program ~path:out;
+            Printf.printf "wrote %s\n" out
+        | None -> ())
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile pipeline-language source to a visual program.")
+    Term.(const run $ subset_flag $ src_arg $ out $ render)
+
+(* -- debug ----------------------------------------------------------------- *)
+
+let debug_cmd =
+  let element =
+    Arg.(value & opt int 0 & info [ "element" ] ~docv:"E" ~doc:"Vector element to annotate.")
+  in
+  let loads =
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"PLANE:BASE:FILE"
+           ~doc:"Load floats before the run.")
+  in
+  let limit = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Frames to display.") in
+  let run subset path element loads limit =
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    let prog = load_program kb path in
+    let c = compile_or_die kb prog in
+    let node = Nsc_sim.Node.create p in
+    List.iter
+      (fun s ->
+        match parse_load s with
+        | Some (plane, base, file) -> Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
+        | None ->
+            prerr_endline ("bad --load: " ^ s);
+            exit 2)
+      loads;
+    match Nsc_debug.Stepper.run node ~limit c prog with
+    | Error e ->
+        prerr_endline ("run error: " ^ e);
+        exit 1
+    | Ok run ->
+        List.iter
+          (fun f ->
+            print_string (Nsc_debug.Stepper.render_frame p run f ~element);
+            print_newline ())
+          run.Nsc_debug.Stepper.frames
+  in
+  Cmd.v
+    (Cmd.info "debug" ~doc:"Execute with tracing; print annotated pipeline diagrams.")
+    Term.(const run $ subset_flag $ program_arg $ element $ loads $ limit)
+
+let () =
+  let doc = "A visual programming environment for the Navier-Stokes Computer." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "nscvp" ~doc)
+          [
+            info_cmd; check_cmd; codegen_cmd; disasm_cmd; run_cmd; render_cmd; replay_cmd;
+            compile_cmd; debug_cmd;
+          ]))

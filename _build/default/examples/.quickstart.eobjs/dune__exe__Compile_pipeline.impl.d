@@ -1,0 +1,1 @@
+examples/compile_pipeline.ml: Array Compile Float Knowledge List Nsc_arch Nsc_checker Nsc_diagram Nsc_lang Nsc_microcode Nsc_sim Printf String

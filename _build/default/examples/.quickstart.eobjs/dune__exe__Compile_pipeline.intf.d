@@ -1,0 +1,1 @@
+examples/compile_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/jacobi3d.ml: Array Checker Codegen Diagnostic Grid Jacobi Knowledge List Listing Nsc_apps Nsc_arch Nsc_checker Nsc_microcode Nsc_sim Poisson Printf Sequencer Stats Sys Unix

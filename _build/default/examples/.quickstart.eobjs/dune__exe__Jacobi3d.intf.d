@@ -1,0 +1,1 @@
+examples/jacobi3d.mli:

@@ -1,0 +1,1 @@
+examples/multigrid_cycle.ml: Array Knowledge List Multigrid Nsc_apps Nsc_arch Nsc_diagram Nsc_sim Printf Sys

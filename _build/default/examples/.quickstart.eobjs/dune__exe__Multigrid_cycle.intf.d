@@ -1,0 +1,1 @@
+examples/multigrid_cycle.mli:

@@ -1,0 +1,1 @@
+examples/multinode_scaling.ml: Array List Nsc_apps Nsc_arch Parallel Params Printf Sys

@@ -1,0 +1,1 @@
+examples/multinode_scaling.mli:

@@ -1,0 +1,62 @@
+(* Multigrid on the NSC (reference [6] of the paper): the two-grid
+   correction scheme as a twelve-instruction visual program, reconfiguring
+   the machine's pipelines phase by phase — smoothing, residual,
+   restriction, coarse relaxation, prolongation, correction.
+
+   Usage: multigrid_cycle [n] [cycles]  (n odd) *)
+
+open Nsc_arch
+open Nsc_apps
+
+let () =
+  let arg i d = try int_of_string Sys.argv.(i) with _ -> d in
+  let n = arg 1 65 and cycles = arg 2 6 in
+  let nu1 = 2 and nu2 = 2 and nu_coarse = 40 in
+  let kb = Knowledge.default in
+  let prob = Multigrid.manufactured n in
+  Printf.printf "problem: 1-D Poisson, %d points; two-grid V(%d,%d) with %d coarse sweeps\n\n"
+    n nu1 nu2 nu_coarse;
+
+  (* the visual program *)
+  let b = Multigrid.build kb prob.Multigrid.grid ~cycles ~nu1 ~nu2 ~nu_coarse in
+  Printf.printf "visual program: %d pipeline instructions (one configuration per phase):\n"
+    (Nsc_diagram.Program.pipeline_count b.Multigrid.program);
+  List.iter
+    (fun (pl : Nsc_diagram.Pipeline.t) ->
+      Printf.printf "  %2d. %-36s %d unit(s), %d wire(s)\n" pl.Nsc_diagram.Pipeline.index
+        pl.Nsc_diagram.Pipeline.label
+        (Nsc_diagram.Pipeline.programmed_units pl)
+        (List.length pl.Nsc_diagram.Pipeline.connections))
+    b.Multigrid.program.Nsc_diagram.Program.pipelines;
+
+  (* residual contraction, cycle by cycle, on host and NSC *)
+  Printf.printf "\n%8s  %14s  %14s\n" "cycles" "host residual" "NSC residual";
+  let r0 = Multigrid.host_residual_norm prob (Array.make (Multigrid.words1 prob.Multigrid.grid) 0.0) in
+  Printf.printf "%8d  %14.4e  %14.4e\n" 0 r0 r0;
+  for k = 1 to cycles do
+    let host = Multigrid.host_solve prob ~cycles:k ~nu1 ~nu2 ~nu_coarse in
+    match Multigrid.solve kb prob ~cycles:k ~nu1 ~nu2 ~nu_coarse with
+    | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+    | Ok o ->
+        Printf.printf "%8d  %14.4e  %14.4e\n" k
+          (Multigrid.host_residual_norm prob host)
+          (Multigrid.host_residual_norm prob o.Multigrid.u)
+  done;
+
+  (* machine cost of the full run *)
+  match Multigrid.solve kb prob ~cycles ~nu1 ~nu2 ~nu_coarse with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  | Ok o ->
+      let stats = o.Multigrid.stats in
+      let s =
+        Nsc_sim.Stats.summarize (Knowledge.params kb)
+          ~cycles:stats.Nsc_sim.Sequencer.total_cycles
+          ~flops:stats.Nsc_sim.Sequencer.total_flops
+      in
+      Printf.printf "\nNSC cost of %d cycle(s): %d instructions executed; %s\n" cycles
+        stats.Nsc_sim.Sequencer.instructions_executed
+        (Nsc_sim.Stats.summary_to_string s)

@@ -1,0 +1,56 @@
+(* Hypercube scaling: the paper's machine-level claims exercised.
+
+   "A 64-node NSC would have a total memory of 128 Gbytes and maximum
+   performance of 40 GFLOPS."  We run the slab-decomposed Jacobi iteration
+   over machines of 1..64 nodes (weak scaling: a fixed slab per node) and
+   report sustained GFLOPS, parallel efficiency, and the communication
+   share of machine time.
+
+   Usage: multinode_scaling [n-per-side] [iterations] [max-dim]  *)
+
+open Nsc_arch
+open Nsc_apps
+
+let () =
+  let arg i d = try int_of_string Sys.argv.(i) with _ -> d in
+  let n = arg 1 9 and iters = arg 2 3 and max_dim = arg 3 6 in
+  let p = Params.default in
+  Printf.printf "machine: %.0f MFLOPS peak per node; %d-node peak %.1f GFLOPS\n"
+    (Params.peak_mflops p)
+    (1 lsl max_dim)
+    (Params.peak_mflops p *. float_of_int (1 lsl max_dim) /. 1000.0);
+  Printf.printf "workload: per-node slab of %dx%dx%d, %d Jacobi iteration(s)\n\n" n n n
+    iters;
+  Printf.printf "%6s  %10s  %11s  %10s  %13s\n" "nodes" "GFLOPS" "efficiency"
+    "comm %" "cycles/iter";
+  match
+    Parallel.scaling p ~n ~iters ~dims:(List.init (max_dim + 1) (fun d -> d))
+  with
+  | Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+  | Ok points ->
+      List.iter
+        (fun (pt : Parallel.point) ->
+          Printf.printf "%6d  %10.3f  %10.1f%%  %9.1f%%  %13.0f\n" pt.Parallel.nodes
+            pt.Parallel.gflops
+            (100.0 *. pt.Parallel.efficiency)
+            (100.0 *. pt.Parallel.comm_fraction)
+            pt.Parallel.cycles_per_iter)
+        points;
+      (* a converging run with the hypercube all-reduce residual check *)
+      (match Parallel.solve p ~n ~tol:1e-4 ~max_iters:2000 ~dim:2 with
+      | Ok o ->
+          Printf.printf
+            "\nglobal convergence on 4 nodes: %d iterations to max change <= 1e-4 \
+             (all-reduced over the hypercube; %.1f%% of time in communication)\n"
+            o.Parallel.iterations
+            (100.0 *. o.Parallel.point.Parallel.comm_fraction)
+      | Error e -> prerr_endline ("solve error: " ^ e));
+      let last = List.nth points (List.length points - 1) in
+      Printf.printf
+        "\nat %d nodes the machine sustains %.2f GFLOPS (%.1f%% of its %.1f GFLOPS peak)\n"
+        last.Parallel.nodes last.Parallel.gflops
+        (100.0 *. last.Parallel.gflops
+        /. (Params.peak_mflops p *. float_of_int last.Parallel.nodes /. 1000.0))
+        (Params.peak_mflops p *. float_of_int last.Parallel.nodes /. 1000.0)

@@ -1,0 +1,107 @@
+(* Quickstart: the full tool chain on the smallest useful program.
+
+   We build a one-instruction visual program computing z[i] = x[i] + y[i]
+   for 64-element vectors, exactly as a user of the graphical editor would:
+   place an ALS icon, wire its operand pads to memory planes (filling in the
+   DMA popup for each), wire its output to a third plane, and program the
+   unit.  Then: check the diagram, generate microcode, disassemble it, and
+   execute it on the simulated node. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_checker
+open Nsc_microcode
+open Nsc_sim
+
+let () =
+  let kb = Knowledge.default in
+  let p = Knowledge.params kb in
+  Printf.printf "machine: %s\n\n" (Knowledge.summary kb);
+
+  (* -- declare variables: one per memory plane, as the planar organisation
+        demands for contention-free streaming ----------------------------- *)
+  let n = 64 in
+  let prog = Program.empty "vecadd" in
+  let declare prog (name, plane) =
+    match Program.declare prog { Program.name; plane; base = 0; length = n } with
+    | Ok prog -> prog
+    | Error e -> failwith e
+  in
+  let prog = List.fold_left declare prog [ ("x", 0); ("y", 1); ("z", 2) ] in
+
+  (* -- draw the pipeline diagram -------------------------------------- *)
+  let prog, _ = Program.append_pipeline ~label:"z = x + y" prog in
+  let pl = Option.get (Program.find_pipeline prog 1) in
+  let pl = Pipeline.with_vector_length pl n in
+  (* drag a singlet ALS into the drawing area *)
+  let icon, pl =
+    match Pipeline.place_als p pl ~kind:Als.Singlet ~pos:(Geometry.point 30 8) () with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  (* wire memory planes to the operand pads; each wire carries the DMA
+     popup-subwindow data *)
+  let _, pl =
+    Pipeline.add_connection pl
+      ~src:(Connection.Direct_memory 0)
+      ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+      ~spec:(Dma_spec.make ~variable:"x" (Dma_spec.To_plane 0))
+      ()
+  in
+  let _, pl =
+    Pipeline.add_connection pl
+      ~src:(Connection.Direct_memory 1)
+      ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.B) })
+      ~spec:(Dma_spec.make ~variable:"y" (Dma_spec.To_plane 1))
+      ()
+  in
+  let _, pl =
+    Pipeline.add_connection pl
+      ~src:(Connection.Pad { icon; pad = Icon.Out_pad 0 })
+      ~dst:(Connection.Direct_memory 2)
+      ~spec:(Dma_spec.make ~variable:"z" (Dma_spec.To_plane 2))
+      ()
+  in
+  (* program the functional unit through the popup menu *)
+  let pl =
+    Pipeline.set_config pl ~id:icon ~slot:0
+      (Fu_config.make ~a:Fu_config.From_switch ~b:Fu_config.From_switch Opcode.Fadd)
+  in
+  let prog = Program.update_pipeline prog pl in
+
+  (* -- check ----------------------------------------------------------- *)
+  let ds = Checker.check_program kb prog in
+  List.iter (fun d -> print_endline ("  " ^ Diagnostic.to_string d)) ds;
+  if Diagnostic.has_errors ds then failwith "checker rejected the program";
+  Printf.printf "checker: program is valid (%d advisory finding(s))\n\n" (List.length ds);
+
+  (* -- generate microcode ---------------------------------------------- *)
+  let compiled =
+    match Codegen.compile kb prog with
+    | Ok c -> c
+    | Error ds ->
+        List.iter (fun d -> prerr_endline (Diagnostic.to_string d)) ds;
+        failwith "code generation failed"
+  in
+  print_string (Listing.compiled_to_string compiled);
+  Printf.printf "\nmicrocode: %d bits/instruction in %d fields (%d distinct kinds)\n\n"
+    compiled.Codegen.layout.Fields.total_bits
+    (Fields.field_count compiled.Codegen.layout)
+    (Fields.kind_count compiled.Codegen.layout);
+
+  (* -- execute on the simulated node ----------------------------------- *)
+  let node = Node.create p in
+  let x = Array.init n (fun i -> float_of_int i) in
+  let y = Array.init n (fun i -> float_of_int (10 * i)) in
+  Node.load_array node ~plane:0 ~base:0 x;
+  Node.load_array node ~plane:1 ~base:0 y;
+  let outcome =
+    match Sequencer.run node compiled with Ok o -> o | Error e -> failwith e
+  in
+  let z = Node.dump_array node ~plane:2 ~base:0 ~len:n in
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> x.(i) +. y.(i) then ok := false) z;
+  Printf.printf "result: z[0..3] = %g %g %g %g ... %s\n" z.(0) z.(1) z.(2) z.(3)
+    (if !ok then "correct" else "WRONG");
+  let s = Stats.of_sequencer p outcome.Sequencer.stats in
+  Printf.printf "performance: %s\n" (Stats.summary_to_string s)

@@ -1,0 +1,1 @@
+lib/apps/builder.pp.ml: Nsc_diagram

@@ -1,0 +1,1 @@
+lib/apps/builder.pp.mli: Nsc_arch Nsc_diagram

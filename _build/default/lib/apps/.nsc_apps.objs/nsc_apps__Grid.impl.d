@@ -1,0 +1,1 @@
+lib/apps/grid.pp.ml: Array Float Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/apps/grid.pp.mli: Format

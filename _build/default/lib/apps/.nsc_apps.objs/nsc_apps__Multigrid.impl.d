@@ -1,0 +1,1 @@
+lib/apps/multigrid.pp.ml: Als Array Balance Builder Diagnostic Float Icon Knowledge List Nsc_arch Nsc_checker Nsc_diagram Nsc_microcode Nsc_sim Opcode Params Pipeline Program Resource String

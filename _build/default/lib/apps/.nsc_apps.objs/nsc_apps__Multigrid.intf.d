@@ -1,0 +1,1 @@
+lib/apps/multigrid.pp.mli: Nsc_arch Nsc_diagram Nsc_sim

@@ -1,0 +1,1 @@
+lib/apps/parallel.pp.ml: Array Float Grid Jacobi Knowledge List Multinode Node Nsc_arch Nsc_checker Nsc_diagram Nsc_microcode Nsc_sim Option Params Program Result Router Sequencer String

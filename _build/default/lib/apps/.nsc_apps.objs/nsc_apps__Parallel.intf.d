@@ -1,0 +1,1 @@
+lib/apps/parallel.pp.mli: Grid Jacobi Nsc_arch Nsc_sim

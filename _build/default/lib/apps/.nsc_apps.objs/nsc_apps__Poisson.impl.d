@@ -1,0 +1,1 @@
+lib/apps/poisson.pp.ml: Array Float Grid List Option

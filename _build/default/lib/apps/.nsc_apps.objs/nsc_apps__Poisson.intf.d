@@ -1,0 +1,1 @@
+lib/apps/poisson.pp.mli: Grid

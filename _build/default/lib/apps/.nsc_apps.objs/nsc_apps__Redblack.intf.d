@@ -1,0 +1,1 @@
+lib/apps/redblack.pp.mli: Grid Nsc_arch Nsc_diagram Nsc_sim Poisson

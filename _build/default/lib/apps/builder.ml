@@ -1,0 +1,4 @@
+(** Re-export of {!Nsc_diagram.Build} under the historical name used by
+    the application builders. *)
+
+include Nsc_diagram.Build

@@ -1,0 +1,49 @@
+(** Re-export of {!Nsc_diagram.Build} under the historical name used by
+    the application builders. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val fail_on_error : ('a, string) result -> 'a
+val mem_to_pad :
+  Nsc_diagram.Pipeline.t ->
+  plane:Nsc_arch.Resource.plane_id ->
+  var:string ->
+  offset:int ->
+  ?stride:int ->
+  icon:Nsc_diagram.Icon.id ->
+  pad:Nsc_diagram.Icon.pad -> unit -> Nsc_diagram.Pipeline.t
+val pad_to_mem :
+  Nsc_diagram.Pipeline.t ->
+  icon:Nsc_diagram.Icon.id ->
+  pad:Nsc_diagram.Icon.pad ->
+  plane:Nsc_arch.Resource.plane_id ->
+  var:string -> offset:int -> ?stride:int -> unit -> Nsc_diagram.Pipeline.t
+val pad_to_pad :
+  Nsc_diagram.Pipeline.t ->
+  from_icon:Nsc_diagram.Icon.id ->
+  from_pad:Nsc_diagram.Icon.pad ->
+  to_icon:Nsc_diagram.Icon.id ->
+  to_pad:Nsc_diagram.Icon.pad -> Nsc_diagram.Pipeline.t
+val als_of_icon :
+  Nsc_diagram.Pipeline.t -> Nsc_diagram.Icon.id -> Nsc_arch.Resource.als_id
+val declare_all :
+  Nsc_diagram.Program.t ->
+  (string * Nsc_arch.Resource.plane_id) list ->
+  length:int -> Nsc_diagram.Program.t
+val place :
+  Nsc_diagram.Pipeline.t ->
+  params:Nsc_arch.Params.t ->
+  kind:Nsc_arch.Als.kind ->
+  x:int -> y:int -> Nsc_diagram.Icon.id * Nsc_diagram.Pipeline.t
+val config :
+  Nsc_diagram.Pipeline.t ->
+  icon:Nsc_diagram.Icon.id ->
+  slot:int ->
+  ?a:Nsc_diagram.Fu_config.input_binding ->
+  ?b:Nsc_diagram.Fu_config.input_binding ->
+  Nsc_arch.Opcode.t -> Nsc_diagram.Pipeline.t
+val sw : Nsc_diagram.Fu_config.input_binding
+val chain : Nsc_diagram.Fu_config.input_binding
+val const : float -> Nsc_diagram.Fu_config.input_binding
+val feedback : int -> Nsc_diagram.Fu_config.input_binding

@@ -1,0 +1,82 @@
+(** Uniform 3-D grids in the padded linear layout NSC stencil pipelines use.
+
+    A grid of [nx * ny * nz] points (boundary included) is linearised as
+    [i + nx*j + nx*ny*k] and stored with [pad = nx*ny] zero words before and
+    after, so that every stencil neighbour offset (±1, ±nx, ±nx*ny) of
+    every point stays inside the allocation — the shifted DMA streams of a
+    sweep then never leave the declared variable. *)
+
+type t = {
+  nx : int;
+  ny : int;
+  nz : int;
+  h : float;  (** mesh spacing (uniform in all directions) *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Cubic grid of [n] points per side on the unit cube. *)
+let cube n =
+  if n < 3 then invalid_arg "Grid.cube: need at least 3 points per side";
+  { nx = n; ny = n; nz = n; h = 1.0 /. float_of_int (n - 1) }
+
+(** Slab of a cube split along z (for multi-node decomposition); spacing is
+    inherited from the full grid. *)
+let slab ~of_:(g : t) ~nz = { g with nz }
+
+let points g = g.nx * g.ny * g.nz
+
+(** Zero padding before and after the field data. *)
+let pad g = g.nx * g.ny
+
+(** Words a padded field occupies. *)
+let padded_words g = points g + (2 * pad g)
+
+(** Linear index of (i, j, k) within the padded field. *)
+let index g ~i ~j ~k =
+  if i < 0 || i >= g.nx || j < 0 || j >= g.ny || k < 0 || k >= g.nz then
+    invalid_arg "Grid.index: out of range";
+  pad g + i + (g.nx * j) + (g.nx * g.ny * k)
+
+(** Stencil neighbour offsets in the linear layout. *)
+let offsets g = (1, g.nx, g.nx * g.ny)
+
+let is_boundary g ~i ~j ~k =
+  i = 0 || i = g.nx - 1 || j = 0 || j = g.ny - 1 || k = 0 || k = g.nz - 1
+
+(** Iterate over all grid points. *)
+let iter g f =
+  for k = 0 to g.nz - 1 do
+    for j = 0 to g.ny - 1 do
+      for i = 0 to g.nx - 1 do
+        f ~i ~j ~k
+      done
+    done
+  done
+
+(** Freshly zeroed padded field. *)
+let field g = Array.make (padded_words g) 0.0
+
+(** Padded field initialised pointwise from a function of (i, j, k). *)
+let field_of g f =
+  let a = field g in
+  iter g (fun ~i ~j ~k -> a.(index g ~i ~j ~k) <- f ~i ~j ~k);
+  a
+
+(** Interior mask: 1.0 strictly inside, 0.0 on the boundary shell and in
+    the padding.  Multiplying an update by the mask freezes homogeneous
+    Dirichlet boundaries. *)
+let interior_mask g =
+  field_of g (fun ~i ~j ~k -> if is_boundary g ~i ~j ~k then 0.0 else 1.0)
+
+(** Point coordinates on the unit cube (z offset supports slabs). *)
+let coords ?(k0 = 0) g ~i ~j ~k =
+  (float_of_int i *. g.h, float_of_int j *. g.h, float_of_int (k + k0) *. g.h)
+
+(** Max-norm of the difference of two padded fields over grid points. *)
+let max_diff g a b =
+  let m = ref 0.0 in
+  iter g (fun ~i ~j ~k ->
+      let idx = index g ~i ~j ~k in
+      let d = Float.abs (a.(idx) -. b.(idx)) in
+      if d > !m then m := d);
+  !m

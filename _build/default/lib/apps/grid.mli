@@ -1,0 +1,39 @@
+(** Uniform 3-D grids in the padded linear layout NSC stencil pipelines use.
+
+    A grid of [nx * ny * nz] points (boundary included) is linearised as
+    [i + nx*j + nx*ny*k] and stored with [pad = nx*ny] zero words before and
+    after, so that every stencil neighbour offset (±1, ±nx, ±nx*ny) of
+    every point stays inside the allocation — the shifted DMA streams of a
+    sweep then never leave the declared variable. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type t = { nx : int; ny : int; nz : int; h : float; }
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+(** Cubic grid of [n] points per side on the unit cube. *)
+val cube : int -> t
+val slab : of_:t -> nz:int -> t
+val points : t -> int
+(** Zero padding before and after the field data (= nx·ny), sized so
+    every stencil neighbour offset stays inside the allocation. *)
+val pad : t -> int
+val padded_words : t -> int
+(** Linear index of (i, j, k) within the padded field. *)
+val index : t -> i:int -> j:int -> k:int -> int
+(** Stencil neighbour offsets (±1, ±nx, ±nx·ny) in the linear layout. *)
+val offsets : t -> int * int * int
+val is_boundary : t -> i:int -> j:int -> k:int -> bool
+val iter : t -> (i:int -> j:int -> k:int -> unit) -> unit
+val field : t -> float array
+(** Padded field initialised pointwise from (i, j, k). *)
+val field_of : t -> (i:int -> j:int -> k:int -> float) -> float array
+(** 1.0 strictly inside, 0.0 on the boundary shell and padding —
+    multiplying an update by it freezes homogeneous Dirichlet walls. *)
+val interior_mask : t -> float array
+val coords : ?k0:int -> t -> i:int -> j:int -> k:int -> float * float * float
+(** Max-norm difference of two padded fields over grid points. *)
+val max_diff : t -> float array -> float array -> float

@@ -1,0 +1,393 @@
+(** Multi-node Jacobi: slab decomposition over the hypercube.
+
+    The paper quotes the machine-level figures — 64 nodes, 40 GFLOPS — and
+    leaves multi-node programming to "techniques similar to those used in
+    Poker".  This module supplies the experiment: the global cube is cut
+    into z-slabs, one per node, embedded on the hypercube with a Gray code
+    so slab neighbours are single-hop neighbours; each iteration every node
+    runs its local sweep and refresh, then exchanges one face (n² words)
+    with each neighbour through the hyperspace router. *)
+
+open Nsc_arch
+open Nsc_sim
+
+type point = {
+  nodes : int;
+  gflops : float;
+  efficiency : float;   (** sustained fraction of linear scaling from 1 node *)
+  comm_fraction : float;(** share of machine cycles spent in exchanges *)
+  cycles_per_iter : float;
+}
+
+(* Local slab: n x n x (nz_local + 2 halo layers). *)
+let local_grid ~n ~nz_local = Grid.slab ~of_:(Grid.cube n) ~nz:(nz_local + 2)
+
+(* Mask for a slab: physical boundaries in x/y always; the k faces only at
+   the machine's ends — interior k faces are halos, frozen locally and
+   refreshed by exchange. *)
+let slab_mask grid ~first ~last =
+  Grid.field_of grid (fun ~i ~j ~k ->
+      let phys_x = i = 0 || i = grid.Grid.nx - 1 in
+      let phys_y = j = 0 || j = grid.Grid.ny - 1 in
+      let halo = k = 0 || k = grid.Grid.nz - 1 in
+      (* the machine's physical z walls live on the first and last slabs *)
+      let phys_z = (first && k = 1) || (last && k = grid.Grid.nz - 2) in
+      if phys_x || phys_y || halo || phys_z then 0.0 else 1.0)
+
+(* One face of the slab (all i, j at layer k), read from a u plane. *)
+let read_face node ~plane ~grid ~k =
+  let face = Array.make (grid.Grid.nx * grid.Grid.ny) 0.0 in
+  Grid.iter grid (fun ~i ~j ~k:kk ->
+      if kk = k then
+        face.((grid.Grid.nx * j) + i) <-
+          Node.read_plane node ~plane ~addr:(Grid.index grid ~i ~j ~k));
+  face
+
+(* Base address of layer k within the padded field. *)
+let layer_base grid ~k = Grid.index grid ~i:0 ~j:0 ~k
+
+(** Run [iters] Jacobi iterations of an n x n x (n·P) problem on a
+    [dim]-dimensional hypercube (P = 2^dim nodes), returning the scaling
+    measurements.  The per-node slab thickness is [n], so this is weak
+    scaling: the global problem grows with the machine. *)
+let run_machine (p : Params.t) ~n ~iters ~dim :
+    (point * Multinode.t * Jacobi.build * Grid.t, string) result =
+  let machine = Multinode.create ~dim p in
+  let nodes = Multinode.n_nodes machine in
+  let kb = Knowledge.make_exn p in
+  let grid = local_grid ~n ~nz_local:n in
+  let b = Jacobi.build kb grid ~tol:0.0 ~max_iters:1 in
+  match Nsc_microcode.Codegen.compile kb b.Jacobi.program with
+  | Error ds ->
+      Error
+        (String.concat "; "
+           (List.map Nsc_checker.Diagnostic.to_string (Nsc_checker.Diagnostic.errors ds)))
+  | Ok compiled ->
+      let open Nsc_diagram in
+      let c_setup =
+        { compiled with Nsc_microcode.Codegen.control = [ Program.Exec 1; Program.Halt ] }
+      in
+      let c_iter =
+        {
+          compiled with
+          Nsc_microcode.Codegen.control = [ Program.Exec 2; Program.Exec 3; Program.Halt ];
+        }
+      in
+      let u_planes = Jacobi.u_planes b.Jacobi.layout in
+      (* load per-node problem data: a smooth forcing that spans slabs *)
+      let pi = 4.0 *. atan 1.0 in
+      let global_nz = n * nodes in
+      let hz rank k = float_of_int ((rank * n) + k) /. float_of_int (global_nz - 1) in
+      Array.iteri
+        (fun node_id node ->
+          let rank = Router.node_to_chain ~dim node_id in
+          let f =
+            Grid.field_of grid (fun ~i ~j ~k ->
+                let x = float_of_int i *. grid.Grid.h
+                and y = float_of_int j *. grid.Grid.h
+                and z = hz rank (k - 1) in
+                -3.0 *. pi *. pi *. sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z))
+          in
+          Node.load_array node ~plane:b.Jacobi.layout.Jacobi.f ~base:0 f;
+          Node.load_array node ~plane:b.Jacobi.layout.Jacobi.mask ~base:0
+            (slab_mask grid ~first:(rank = 0) ~last:(rank = nodes - 1)))
+        machine.Multinode.nodes;
+      (* setup phase on every node *)
+      Multinode.compute_step machine (fun _ node ->
+          match Sequencer.run node c_setup with
+          | Ok o ->
+              (o.Sequencer.stats.Sequencer.total_cycles,
+               o.Sequencer.stats.Sequencer.total_flops)
+          | Error _ -> (0, 0));
+      let compute_cycles_start = machine.Multinode.cycles in
+      ignore compute_cycles_start;
+      Multinode.reset_counters machine;
+      (* iterate: sweep + refresh, then halo exchange *)
+      for _ = 1 to iters do
+        Multinode.compute_step machine (fun _ node ->
+            match Sequencer.run node c_iter with
+            | Ok o ->
+                (o.Sequencer.stats.Sequencer.total_cycles,
+                 o.Sequencer.stats.Sequencer.total_flops)
+            | Error _ -> (0, 0));
+        if nodes > 1 then begin
+          let face_words = grid.Grid.nx * grid.Grid.ny in
+          let messages =
+            List.concat_map
+              (fun rank ->
+                let node_id = Router.chain_to_node ~dim rank in
+                let node = Multinode.node machine node_id in
+                let plane = b.Jacobi.layout.Jacobi.center in
+                let up =
+                  if rank + 1 < nodes then begin
+                    let dst = Router.chain_to_node ~dim (rank + 1) in
+                    (* my last interior layer becomes their k=0 halo *)
+                    let payload = read_face node ~plane ~grid ~k:(grid.Grid.nz - 2) in
+                    [ ({ Multinode.src = node_id; dst; words = face_words },
+                       (payload, plane, layer_base grid ~k:0)) ]
+                  end
+                  else []
+                in
+                let down =
+                  if rank > 0 then begin
+                    let dst = Router.chain_to_node ~dim (rank - 1) in
+                    let payload = read_face node ~plane ~grid ~k:1 in
+                    [ ({ Multinode.src = node_id; dst; words = face_words },
+                       (payload, plane, layer_base grid ~k:(grid.Grid.nz - 1))) ]
+                  end
+                  else []
+                in
+                up @ down)
+              (List.init nodes (fun r -> r))
+          in
+          Multinode.exchange machine messages;
+          (* replicate the refreshed halo into the other u copies locally
+             (an on-node plane-to-plane copy, charged as one face write) *)
+          Array.iter
+            (fun node ->
+              List.iter
+                (fun k ->
+                  let face = read_face node ~plane:b.Jacobi.layout.Jacobi.center ~grid ~k in
+                  List.iter
+                    (fun plane ->
+                      if plane <> b.Jacobi.layout.Jacobi.center then
+                        Node.load_array node ~plane ~base:(layer_base grid ~k) face)
+                    u_planes)
+                [ 0; grid.Grid.nz - 1 ])
+            machine.Multinode.nodes
+        end
+      done;
+      let cycles = machine.Multinode.cycles in
+      let gflops = Multinode.gflops machine in
+      Ok
+        ( {
+            nodes;
+            gflops;
+            efficiency = 0.0 (* filled in by [scaling] relative to 1 node *);
+            comm_fraction =
+              (if cycles = 0 then 0.0
+               else float_of_int machine.Multinode.comm_cycles /. float_of_int cycles);
+            cycles_per_iter = float_of_int cycles /. float_of_int iters;
+          },
+          machine,
+          b,
+          grid )
+
+(** Run and return just the scaling point. *)
+let run (p : Params.t) ~n ~iters ~dim : (point, string) result =
+  Result.map (fun (pt, _, _, _) -> pt) (run_machine p ~n ~iters ~dim)
+
+(** Run and assemble the global field (interior z-layers of every node's
+    centred u copy, in rank order) — used to verify that the decomposed
+    iteration equals the single-machine iteration. *)
+let run_field (p : Params.t) ~n ~iters ~dim : (float array, string) result =
+  match run_machine p ~n ~iters ~dim with
+  | Error e -> Error e
+  | Ok (_, machine, b, grid) ->
+      let nodes = Multinode.n_nodes machine in
+      let layer_words = grid.Grid.nx * grid.Grid.ny in
+      let global = Array.make (layer_words * n * nodes) 0.0 in
+      List.iter
+        (fun rank ->
+          let node = Multinode.node machine (Router.chain_to_node ~dim rank) in
+          for k = 1 to n do
+            let face = read_face node ~plane:b.Jacobi.layout.Jacobi.center ~grid ~k in
+            Array.blit face 0 global (layer_words * ((rank * n) + k - 1)) layer_words
+          done)
+        (List.init nodes (fun r -> r));
+      Ok global
+
+(** Weak-scaling sweep over hypercube dimensions, with efficiency relative
+    to the single-node machine. *)
+let scaling (p : Params.t) ~n ~iters ~dims : (point list, string) result =
+  let rec go acc base = function
+    | [] -> Ok (List.rev acc)
+    | dim :: rest -> (
+        match run p ~n ~iters ~dim with
+        | Error e -> Error e
+        | Ok pt ->
+            let base = match base with None -> Some pt.gflops | s -> s in
+            let eff =
+              match base with
+              | Some g1 when g1 > 0.0 ->
+                  pt.gflops /. (g1 *. float_of_int pt.nodes)
+              | _ -> 0.0
+            in
+            go ({ pt with efficiency = eff } :: acc) base rest)
+  in
+  go [] None dims
+
+(* ------------------------------------------------------------------ *)
+(* global convergence: hypercube all-reduce + iterate-to-tolerance     *)
+(* ------------------------------------------------------------------ *)
+
+(** Tree all-reduce of one scalar per node (maximum), in [dim] stages of
+    single-word nearest-neighbour exchanges — the standard hypercube
+    recursive doubling.  Returns the global maximum and charges the
+    machine the router time of the longest stage chain. *)
+let allreduce_max (machine : Multinode.t) (values : float array) : float =
+  let dim = machine.Multinode.dim in
+  let v = Array.copy values in
+  let total_cycles = ref 0 in
+  for bit = 0 to dim - 1 do
+    (* every node exchanges one word with its partner across [bit]; the
+       stage costs one single-word transfer (all pairs in parallel) *)
+    let next = Array.copy v in
+    for id = 0 to Array.length v - 1 do
+      let partner = id lxor (1 lsl bit) in
+      next.(id) <- Float.max v.(id) v.(partner)
+    done;
+    Array.blit next 0 v 0 (Array.length v);
+    if dim > 0 then
+      total_cycles :=
+        !total_cycles
+        + Router.transfer_cycles machine.Multinode.params ~src:0 ~dst:(1 lsl bit)
+            ~words:1
+  done;
+  machine.Multinode.cycles <- machine.Multinode.cycles + !total_cycles;
+  machine.Multinode.comm_cycles <- machine.Multinode.comm_cycles + !total_cycles;
+  if Array.length v = 0 then 0.0 else v.(0)
+
+type solve_outcome = {
+  iterations : int;
+  final_residual : float;
+  point : point;
+}
+
+(** Iterate the slab-decomposed Jacobi to global convergence: every
+    iteration runs the local sweep and refresh on each node, exchanges
+    halos, all-reduces the per-node residual maxima over the hypercube,
+    and stops when the global maximum change falls to [tol]. *)
+let solve (p : Params.t) ~n ~tol ~max_iters ~dim : (solve_outcome, string) result =
+  let machine = Multinode.create ~dim p in
+  let nodes = Multinode.n_nodes machine in
+  let kb = Knowledge.make_exn p in
+  let grid = local_grid ~n ~nz_local:n in
+  let b = Jacobi.build kb grid ~tol:0.0 ~max_iters:1 in
+  match Nsc_microcode.Codegen.compile kb b.Jacobi.program with
+  | Error ds ->
+      Error
+        (String.concat "; "
+           (List.map Nsc_checker.Diagnostic.to_string (Nsc_checker.Diagnostic.errors ds)))
+  | Ok compiled ->
+      let open Nsc_diagram in
+      let c_setup =
+        { compiled with Nsc_microcode.Codegen.control = [ Program.Exec 1; Program.Halt ] }
+      in
+      let c_iter =
+        {
+          compiled with
+          Nsc_microcode.Codegen.control = [ Program.Exec 2; Program.Exec 3; Program.Halt ];
+        }
+      in
+      let u_planes = Jacobi.u_planes b.Jacobi.layout in
+      let pi = 4.0 *. atan 1.0 in
+      let global_nz = n * nodes in
+      let hz rank k = float_of_int ((rank * n) + k) /. float_of_int (global_nz - 1) in
+      Array.iteri
+        (fun node_id node ->
+          let rank = Router.node_to_chain ~dim node_id in
+          let f =
+            Grid.field_of grid (fun ~i ~j ~k ->
+                let x = float_of_int i *. grid.Grid.h
+                and y = float_of_int j *. grid.Grid.h
+                and z = hz rank (k - 1) in
+                -3.0 *. pi *. pi *. sin (pi *. x) *. sin (pi *. y) *. sin (pi *. z))
+          in
+          Node.load_array node ~plane:b.Jacobi.layout.Jacobi.f ~base:0 f;
+          Node.load_array node ~plane:b.Jacobi.layout.Jacobi.mask ~base:0
+            (slab_mask grid ~first:(rank = 0) ~last:(rank = nodes - 1)))
+        machine.Multinode.nodes;
+      Multinode.compute_step machine (fun _ node ->
+          match Sequencer.run node c_setup with
+          | Ok o ->
+              (o.Sequencer.stats.Sequencer.total_cycles,
+               o.Sequencer.stats.Sequencer.total_flops)
+          | Error _ -> (0, 0));
+      Multinode.reset_counters machine;
+      let halo_exchange () =
+        if nodes > 1 then begin
+          let face_words = grid.Grid.nx * grid.Grid.ny in
+          let messages =
+            List.concat_map
+              (fun rank ->
+                let node_id = Router.chain_to_node ~dim rank in
+                let node = Multinode.node machine node_id in
+                let plane = b.Jacobi.layout.Jacobi.center in
+                let up =
+                  if rank + 1 < nodes then
+                    let dst = Router.chain_to_node ~dim (rank + 1) in
+                    let payload = read_face node ~plane ~grid ~k:(grid.Grid.nz - 2) in
+                    [ ({ Multinode.src = node_id; dst; words = face_words },
+                       (payload, plane, layer_base grid ~k:0)) ]
+                  else []
+                in
+                let down =
+                  if rank > 0 then
+                    let dst = Router.chain_to_node ~dim (rank - 1) in
+                    let payload = read_face node ~plane ~grid ~k:1 in
+                    [ ({ Multinode.src = node_id; dst; words = face_words },
+                       (payload, plane, layer_base grid ~k:(grid.Grid.nz - 1))) ]
+                  else []
+                in
+                up @ down)
+              (List.init nodes (fun r -> r))
+          in
+          Multinode.exchange machine messages;
+          Array.iter
+            (fun node ->
+              List.iter
+                (fun k ->
+                  let face = read_face node ~plane:b.Jacobi.layout.Jacobi.center ~grid ~k in
+                  List.iter
+                    (fun plane ->
+                      if plane <> b.Jacobi.layout.Jacobi.center then
+                        Node.load_array node ~plane ~base:(layer_base grid ~k) face)
+                    u_planes)
+                [ 0; grid.Grid.nz - 1 ])
+            machine.Multinode.nodes
+        end
+      in
+      let residuals = Array.make nodes 0.0 in
+      let iterations = ref 0 in
+      let global = ref Float.infinity in
+      while !iterations < max_iters && !global > tol do
+        (* one local iteration per node, collecting the captured residual *)
+        let worst = ref 0 in
+        Array.iteri
+          (fun id node ->
+            match Sequencer.run node c_iter with
+            | Ok o ->
+                let st = o.Sequencer.stats in
+                if st.Sequencer.total_cycles > !worst then
+                  worst := st.Sequencer.total_cycles;
+                machine.Multinode.flops <-
+                  machine.Multinode.flops + st.Sequencer.total_flops;
+                residuals.(id) <-
+                  Option.value ~default:Float.infinity
+                    (List.assoc_opt b.Jacobi.residual_unit o.Sequencer.last_values)
+            | Error _ -> residuals.(id) <- Float.infinity)
+          machine.Multinode.nodes;
+        machine.Multinode.cycles <- machine.Multinode.cycles + !worst;
+        halo_exchange ();
+        global := allreduce_max machine residuals;
+        incr iterations
+      done;
+      let cycles = machine.Multinode.cycles in
+      Ok
+        {
+          iterations = !iterations;
+          final_residual = !global;
+          point =
+            {
+              nodes;
+              gflops = Multinode.gflops machine;
+              efficiency = 0.0;
+              comm_fraction =
+                (if cycles = 0 then 0.0
+                 else
+                   float_of_int machine.Multinode.comm_cycles /. float_of_int cycles);
+              cycles_per_iter =
+                float_of_int cycles /. float_of_int (max 1 !iterations);
+            };
+        }

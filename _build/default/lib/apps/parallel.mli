@@ -1,0 +1,61 @@
+(** Multi-node Jacobi: slab decomposition over the hypercube.
+
+    The paper quotes the machine-level figures — 64 nodes, 40 GFLOPS — and
+    leaves multi-node programming to "techniques similar to those used in
+    Poker".  This module supplies the experiment: the global cube is cut
+    into z-slabs, one per node, embedded on the hypercube with a Gray code
+    so slab neighbours are single-hop neighbours; each iteration every node
+    runs its local sweep and refresh, then exchanges one face (n² words)
+    with each neighbour through the hyperspace router. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type point = {
+  nodes : int;
+  gflops : float;
+  efficiency : float;
+  comm_fraction : float;
+  cycles_per_iter : float;
+}
+val local_grid : n:int -> nz_local:int -> Grid.t
+val slab_mask : Grid.t -> first:bool -> last:bool -> float array
+val read_face :
+  Nsc_sim.Node.t -> plane:int -> grid:Grid.t -> k:int -> float array
+val layer_base : Grid.t -> k:int -> int
+val run_machine :
+  Nsc_arch.Params.t ->
+  n:int ->
+  iters:int ->
+  dim:int ->
+  (point * Nsc_sim.Multinode.t * Jacobi.build * Grid.t,
+   string)
+  result
+(** Fixed-iteration weak-scaling run; returns the scaling point. *)
+val run :
+  Nsc_arch.Params.t ->
+  n:int -> iters:int -> dim:int -> (point, string) result
+(** Like {!run} but returns the assembled global field, for verifying
+    the decomposition against a single-machine iteration. *)
+val run_field :
+  Nsc_arch.Params.t ->
+  n:int -> iters:int -> dim:int -> (float array, string) result
+(** Weak-scaling sweep over hypercube dimensions, efficiency relative to
+    one node. *)
+val scaling :
+  Nsc_arch.Params.t ->
+  n:int -> iters:int -> dims:int list -> (point list, string) result
+(** Hypercube recursive-doubling all-reduce (maximum) of one scalar per
+    node; charges the machine the router time of the stage chain. *)
+val allreduce_max : Nsc_sim.Multinode.t -> float array -> float
+type solve_outcome = {
+  iterations : int;
+  final_residual : float;
+  point : point;
+}
+(** Iterate to global convergence: local sweeps, halo exchange, and an
+    all-reduced residual check per iteration. *)
+val solve :
+  Nsc_arch.Params.t ->
+  n:int ->
+  tol:float -> max_iters:int -> dim:int -> (solve_outcome, string) result

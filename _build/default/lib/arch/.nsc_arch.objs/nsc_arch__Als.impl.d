@@ -1,0 +1,1 @@
+lib/arch/als.pp.ml: List Params Ppx_deriving_runtime Resource

@@ -1,0 +1,1 @@
+lib/arch/als.pp.mli: Format Params Resource

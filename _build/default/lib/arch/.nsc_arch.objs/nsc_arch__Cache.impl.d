@@ -1,0 +1,1 @@
+lib/arch/cache.pp.ml: Array Params Ppx_deriving_runtime Printf Resource

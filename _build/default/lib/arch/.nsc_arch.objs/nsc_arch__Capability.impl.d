@@ -1,0 +1,1 @@
+lib/arch/capability.pp.ml: Fmt Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/arch/capability.pp.mli: Format

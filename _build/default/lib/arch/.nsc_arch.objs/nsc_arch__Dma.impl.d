@@ -1,0 +1,1 @@
+lib/arch/dma.pp.ml: List Memory Params Ppx_deriving_runtime Printf Resource

@@ -1,0 +1,1 @@
+lib/arch/dma.pp.mli: Format Params Resource

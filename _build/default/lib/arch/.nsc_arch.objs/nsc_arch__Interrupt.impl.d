@@ -1,0 +1,1 @@
+lib/arch/interrupt.pp.ml: Float Ppx_deriving_runtime Printf Resource

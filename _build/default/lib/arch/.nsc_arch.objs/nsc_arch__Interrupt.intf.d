@@ -1,0 +1,1 @@
+lib/arch/interrupt.pp.mli: Format Resource

@@ -1,0 +1,1 @@
+lib/arch/knowledge.pp.ml: List Opcode Option Params Printf Resource Switch

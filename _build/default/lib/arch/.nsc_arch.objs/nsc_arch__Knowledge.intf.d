@@ -1,0 +1,1 @@
+lib/arch/knowledge.pp.mli: Opcode Params Resource Switch

@@ -1,0 +1,1 @@
+lib/arch/memory.pp.ml: Array Hashtbl List Params Ppx_deriving_runtime Printf Resource

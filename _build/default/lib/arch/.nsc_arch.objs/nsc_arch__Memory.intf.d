@@ -1,0 +1,1 @@
+lib/arch/memory.pp.mli: Format Hashtbl Params Resource

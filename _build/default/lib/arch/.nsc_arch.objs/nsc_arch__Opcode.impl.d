@@ -1,0 +1,1 @@
+lib/arch/opcode.pp.ml: Capability Params Ppx_deriving_runtime String

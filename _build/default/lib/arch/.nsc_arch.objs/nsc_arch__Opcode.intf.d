@@ -1,0 +1,1 @@
+lib/arch/opcode.pp.mli: Capability Format Params String

@@ -1,0 +1,1 @@
+lib/arch/params.pp.ml: List Ppx_deriving_runtime

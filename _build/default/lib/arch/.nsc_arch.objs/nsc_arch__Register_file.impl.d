@@ -1,0 +1,1 @@
+lib/arch/register_file.pp.ml: Array List Params Ppx_deriving_runtime Printf

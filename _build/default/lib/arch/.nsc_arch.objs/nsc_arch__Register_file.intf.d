@@ -1,0 +1,1 @@
+lib/arch/register_file.pp.mli: Format Params

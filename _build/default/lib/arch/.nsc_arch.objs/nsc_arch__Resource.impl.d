@@ -1,0 +1,1 @@
+lib/arch/resource.pp.ml: Capability Fmt List Params Ppx_deriving_runtime Printf

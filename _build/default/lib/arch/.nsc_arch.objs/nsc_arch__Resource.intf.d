@@ -1,0 +1,1 @@
+lib/arch/resource.pp.mli: Capability Format Params

@@ -1,0 +1,1 @@
+lib/arch/router.pp.ml: List Params Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/arch/router.pp.mli: Format Params

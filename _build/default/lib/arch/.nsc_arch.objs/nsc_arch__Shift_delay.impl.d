@@ -1,0 +1,1 @@
+lib/arch/shift_delay.pp.ml: Params Ppx_deriving_runtime Printf Register_file Resource

@@ -1,0 +1,1 @@
+lib/arch/shift_delay.pp.mli: Format Params Register_file Resource

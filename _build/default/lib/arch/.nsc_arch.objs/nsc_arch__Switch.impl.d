@@ -1,0 +1,1 @@
+lib/arch/switch.pp.ml: List Params Ppx_deriving_runtime Printf Resource

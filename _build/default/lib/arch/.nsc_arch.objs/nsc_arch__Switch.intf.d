@@ -1,0 +1,1 @@
+lib/arch/switch.pp.mli: Format Params Resource

@@ -1,0 +1,63 @@
+(** Double-buffered data caches.
+
+    Each node carries 16 double-buffered caches used to stage vector data
+    between memory planes and pipelines.  Double buffering means one buffer
+    can be filled or drained by DMA while the other feeds a pipeline; a
+    buffer swap occurs between instructions. *)
+
+type buffer = Front | Back [@@deriving show { with_path = false }, eq]
+
+let other = function Front -> Back | Back -> Front
+
+(** Dynamic cache state: two word-addressed buffers plus the identity of the
+    buffer currently attached to the pipeline side. *)
+type t = {
+  id : Resource.cache_id;
+  words : int;
+  front : float array;
+  back : float array;
+  mutable pipeline_side : buffer;
+}
+
+let make (p : Params.t) id =
+  if id < 0 || id >= p.n_caches then invalid_arg "Cache.make: bad cache id";
+  {
+    id;
+    words = p.cache_words;
+    front = Array.make p.cache_words 0.0;
+    back = Array.make p.cache_words 0.0;
+    pipeline_side = Front;
+  }
+
+let buf t = function Front -> t.front | Back -> t.back
+
+let check_addr t addr =
+  if addr < 0 || addr >= t.words then
+    invalid_arg
+      (Printf.sprintf "Cache %d: address %d outside buffer of %d words" t.id addr t.words)
+
+(** Pipeline-side access (the buffer currently wired into the datapath). *)
+let read_pipeline t addr =
+  check_addr t addr;
+  (buf t t.pipeline_side).(addr)
+
+let write_pipeline t addr v =
+  check_addr t addr;
+  (buf t t.pipeline_side).(addr) <- v
+
+(** DMA-side access (the buffer being staged behind the pipeline's back). *)
+let read_dma t addr =
+  check_addr t addr;
+  (buf t (other t.pipeline_side)).(addr)
+
+let write_dma t addr v =
+  check_addr t addr;
+  (buf t (other t.pipeline_side)).(addr) <- v
+
+(** Swap buffers between instructions. *)
+let swap t = t.pipeline_side <- other t.pipeline_side
+
+let clear t =
+  Array.fill t.front 0 t.words 0.0;
+  Array.fill t.back 0 t.words 0.0;
+  t.pipeline_side <- Front

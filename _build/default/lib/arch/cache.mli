@@ -1,0 +1,33 @@
+(** Double-buffered data caches.
+
+    Each node carries 16 double-buffered caches used to stage vector data
+    between memory planes and pipelines.  Double buffering means one buffer
+    can be filled or drained by DMA while the other feeds a pipeline; a
+    buffer swap occurs between instructions. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type buffer = Front | Back
+val pp_buffer :
+  Format.formatter ->
+  buffer -> unit
+val show_buffer : buffer -> string
+val equal_buffer : buffer -> buffer -> bool
+val other : buffer -> buffer
+type t = {
+  id : Resource.cache_id;
+  words : int;
+  front : float array;
+  back : float array;
+  mutable pipeline_side : buffer;
+}
+val make : Params.t -> Resource.cache_id -> t
+val buf : t -> buffer -> float array
+val check_addr : t -> int -> unit
+val read_pipeline : t -> int -> float
+val write_pipeline : t -> int -> float -> unit
+val read_dma : t -> int -> float
+val write_dma : t -> int -> float -> unit
+val swap : t -> unit
+val clear : t -> unit

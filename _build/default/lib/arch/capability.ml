@@ -1,0 +1,22 @@
+(** Functional-unit capabilities.
+
+    Every functional unit in the NSC performs floating-point operations; only
+    designated units within an ALS carry the extra integer/logical circuitry
+    (drawn as "double box" units in the paper's Figure 4) or the min/max
+    circuitry.  These asymmetries are a prime source of programming errors
+    and are enforced by the checker. *)
+
+type t =
+  | Float        (** floating-point arithmetic — present in every unit *)
+  | Int_logical  (** integer and logical operations ("double box" units) *)
+  | Min_max      (** minimum/maximum computations *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let all = [ Float; Int_logical; Min_max ]
+
+let to_string = function
+  | Float -> "float"
+  | Int_logical -> "int/logical"
+  | Min_max -> "min/max"
+
+let pp_short ppf c = Fmt.string ppf (to_string c)

@@ -1,0 +1,20 @@
+(** Functional-unit capabilities.
+
+    Every functional unit in the NSC performs floating-point operations; only
+    designated units within an ALS carry the extra integer/logical circuitry
+    (drawn as "double box" units in the paper's Figure 4) or the min/max
+    circuitry.  These asymmetries are a prime source of programming errors
+    and are enforced by the checker. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type t = Float | Int_logical | Min_max
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val all : t list
+val to_string : t -> string
+val pp_short : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(** DMA controllers.
+
+    Independent DMA controllers associated with each memory plane and cache
+    "pump data through the pipelines".  One transfer descriptor corresponds
+    to the information the prototype collects in its popup subwindow for a
+    cache or memory connection: plane/cache number, starting address (or a
+    variable name resolved to one), stride, and element count. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type channel =
+    Plane of Resource.plane_id
+  | Cache_chan of Resource.cache_id
+val pp_channel :
+  Format.formatter ->
+  channel -> unit
+val show_channel : channel -> string
+val equal_channel : channel -> channel -> bool
+val compare_channel : channel -> channel -> int
+type direction = Read | Write
+val pp_direction :
+  Format.formatter ->
+  direction -> unit
+val show_direction : direction -> string
+val equal_direction : direction -> direction -> bool
+val compare_direction : direction -> direction -> int
+type transfer = {
+  channel : channel;
+  direction : direction;
+  base : int;
+  stride : int;
+  count : int;
+}
+val pp_transfer :
+  Format.formatter ->
+  transfer -> unit
+val show_transfer : transfer -> string
+val equal_transfer : transfer -> transfer -> bool
+val channel_to_string : channel -> string
+val transfer_to_string : transfer -> string
+val addresses : transfer -> vector_length:int -> int list
+val validate :
+  Params.t -> transfer -> vector_length:int -> string list

@@ -1,0 +1,79 @@
+(** The interrupt scheme.
+
+    "An elaborate interrupt scheme is used to signal pipeline completions,
+    evaluate conditional expressions, and trap exceptions."  The sequencer
+    never inspects data directly: conditional control flow is expressed as a
+    predicate over a scalar captured at a pipeline completion interrupt. *)
+
+(** Arithmetic exceptions a functional unit can trap. *)
+type exception_kind =
+  | Divide_by_zero
+  | Overflow
+  | Invalid_operand  (** NaN produced or consumed *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Relations available to condition-evaluation interrupts. *)
+type relation = Rlt | Rle | Req | Rne | Rge | Rgt
+[@@deriving show { with_path = false }, eq, ord]
+
+let relation_holds r x y =
+  match r with
+  | Rlt -> x < y
+  | Rle -> x <= y
+  | Req -> x = y
+  | Rne -> x <> y
+  | Rge -> x >= y
+  | Rgt -> x > y
+
+let relation_to_string = function
+  | Rlt -> "<" | Rle -> "<=" | Req -> "=" | Rne -> "<>" | Rge -> ">=" | Rgt -> ">"
+
+(** A condition the sequencer can branch on: compare the scalar captured
+    from a named functional unit's final output against a constant. *)
+type condition = {
+  unit_watched : Resource.fu_id; (** unit whose last output is captured *)
+  relation : relation;
+  threshold : float;
+}
+[@@deriving show { with_path = false }, eq]
+
+let condition_to_string c =
+  Printf.sprintf "last(%s) %s %g"
+    (Resource.fu_to_string c.unit_watched)
+    (relation_to_string c.relation)
+    c.threshold
+
+(** Interrupt records raised during execution, consumed by the sequencer and
+    surfaced to the visual debugger. *)
+type event =
+  | Pipeline_complete of { instruction : int; cycles : int }
+  | Condition_evaluated of { instruction : int; condition : condition; value : float; holds : bool }
+  | Exception_trapped of {
+      instruction : int;
+      unit_ : Resource.fu_id;
+      kind : exception_kind;
+      element : int;  (** vector-element index at which the fault occurred *)
+    }
+[@@deriving show { with_path = false }, eq]
+
+let event_to_string = function
+  | Pipeline_complete { instruction; cycles } ->
+      Printf.sprintf "pipeline %d complete after %d cycles" instruction cycles
+  | Condition_evaluated { instruction; condition; value; holds } ->
+      Printf.sprintf "instruction %d: %s evaluated with value %g -> %b" instruction
+        (condition_to_string condition)
+        value holds
+  | Exception_trapped { instruction; unit_; kind; element } ->
+      Printf.sprintf "instruction %d: %s trapped %s at element %d" instruction
+        (Resource.fu_to_string unit_)
+        (show_exception_kind kind) element
+
+(** Classify an arithmetic result for exception trapping. *)
+let classify ~(op_is_divide : bool) ~(divisor : float option) (result : float) :
+    exception_kind option =
+  match divisor with
+  | Some d when op_is_divide && d = 0.0 -> Some Divide_by_zero
+  | _ ->
+      if Float.is_nan result then Some Invalid_operand
+      else if Float.abs result = Float.infinity then Some Overflow
+      else None

@@ -1,0 +1,54 @@
+(** The interrupt scheme.
+
+    "An elaborate interrupt scheme is used to signal pipeline completions,
+    evaluate conditional expressions, and trap exceptions."  The sequencer
+    never inspects data directly: conditional control flow is expressed as a
+    predicate over a scalar captured at a pipeline completion interrupt. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type exception_kind = Divide_by_zero | Overflow | Invalid_operand
+val pp_exception_kind :
+  Format.formatter ->
+  exception_kind -> unit
+val show_exception_kind : exception_kind -> string
+val equal_exception_kind :
+  exception_kind -> exception_kind -> bool
+val compare_exception_kind :
+  exception_kind -> exception_kind -> int
+type relation = Rlt | Rle | Req | Rne | Rge | Rgt
+val pp_relation :
+  Format.formatter ->
+  relation -> unit
+val show_relation : relation -> string
+val equal_relation : relation -> relation -> bool
+val compare_relation : relation -> relation -> int
+val relation_holds : relation -> 'a -> 'a -> bool
+val relation_to_string : relation -> string
+type condition = {
+  unit_watched : Resource.fu_id;
+  relation : relation;
+  threshold : float;
+}
+val pp_condition :
+  Format.formatter ->
+  condition -> unit
+val show_condition : condition -> string
+val equal_condition : condition -> condition -> bool
+val condition_to_string : condition -> string
+type event =
+    Pipeline_complete of { instruction : int; cycles : int; }
+  | Condition_evaluated of { instruction : int; condition : condition;
+      value : float; holds : bool;
+    }
+  | Exception_trapped of { instruction : int;
+      unit_ : Resource.fu_id; kind : exception_kind; element : int;
+    }
+val pp_event :
+  Format.formatter -> event -> unit
+val show_event : event -> string
+val equal_event : event -> event -> bool
+val event_to_string : event -> string
+val classify :
+  op_is_divide:bool -> divisor:float option -> float -> exception_kind option

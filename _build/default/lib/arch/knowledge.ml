@@ -1,0 +1,91 @@
+(** The architecture knowledge base, as queried by the checker and editor.
+
+    The paper's checker "contains, in a knowledge base or other suitable
+    representation, detailed information about the architecture of the NSC,
+    so far as it is relevant to the programming process".  This module is
+    that representation: a bundle of machine parameters plus derived query
+    functions the editor uses to populate menus with only-legal choices and
+    the checker uses to validate diagrams. *)
+
+type t = { params : Params.t }
+
+let make params =
+  match Params.validate params with
+  | [] -> Ok { params }
+  | problems -> Error problems
+
+let make_exn params =
+  match make params with
+  | Ok kb -> kb
+  | Error (p :: _) -> invalid_arg ("Knowledge.make_exn: " ^ p)
+  | Error [] -> assert false
+
+let default = make_exn Params.default
+let subset = make_exn Params.subset_model
+let params kb = kb.params
+
+(** Opcodes a given functional unit may legally execute. *)
+let legal_opcodes kb fu =
+  List.filter
+    (fun op ->
+      Resource.fu_has_capability kb.params fu (Opcode.required_capability op))
+    Opcode.all
+
+(** Functional units able to execute a given opcode. *)
+let units_for_opcode kb op =
+  let cap = Opcode.required_capability op in
+  List.filter (fun fu -> Resource.fu_has_capability kb.params fu cap)
+    (Resource.all_fus kb.params)
+
+(** All sources the switch could offer a menu for (the editor filters these
+    further against the current routing table). *)
+let all_sources kb : Resource.source list =
+  let p = kb.params in
+  List.map (fun fu -> Resource.Src_fu fu) (Resource.all_fus p)
+  @ List.concat_map
+      (fun pl -> List.init p.plane_dma_slots (fun e -> Resource.Src_memory (pl, e)))
+      (List.init p.n_memory_planes (fun i -> i))
+  @ List.concat_map
+      (fun c -> List.init p.cache_dma_slots (fun e -> Resource.Src_cache (c, e)))
+      (List.init p.n_caches (fun i -> i))
+  @ List.init p.n_shift_delay (fun s -> Resource.Src_shift_delay s)
+
+(** All sinks the switch network exposes. *)
+let all_sinks kb : Resource.sink list =
+  let p = kb.params in
+  List.concat_map
+    (fun fu -> [ Resource.Snk_fu (fu, Resource.A); Resource.Snk_fu (fu, Resource.B) ])
+    (Resource.all_fus p)
+  @ List.concat_map
+      (fun pl -> List.init p.plane_dma_slots (fun e -> Resource.Snk_memory (pl, e)))
+      (List.init p.n_memory_planes (fun i -> i))
+  @ List.concat_map
+      (fun c -> List.init p.cache_dma_slots (fun e -> Resource.Snk_cache (c, e)))
+      (List.init p.n_caches (fun i -> i))
+  @ List.init p.n_shift_delay (fun s -> Resource.Snk_shift_delay s)
+
+(** Sources that may legally be offered for [snk] given routing table [table]:
+    the menu contents behind the paper's "menu pops up showing the available
+    choices".  Filters out everything {!Switch.check} would reject. *)
+let legal_sources_for kb table snk =
+  List.filter
+    (fun src -> Option.is_none (Switch.check table { Switch.src; snk }))
+    (all_sources kb)
+
+(** Memory planes with no writer yet under [table] — the planes the editor
+    may offer when the user routes a pipeline output to memory. *)
+let writable_planes kb table =
+  List.filter
+    (fun p -> Switch.plane_writers table p = [])
+    (List.init kb.params.n_memory_planes (fun p -> p))
+
+(** One-line summary of the machine, for banners and listings. *)
+let summary kb =
+  let p = kb.params in
+  Printf.sprintf
+    "NSC node: %d FUs (%d singlets, %d doublets, %d triplets), %d planes x %d MB, %d \
+     caches, %d shift/delay, %.0f MHz, peak %.0f MFLOPS"
+    (Params.n_functional_units p)
+    p.n_singlets p.n_doublets p.n_triplets p.n_memory_planes
+    (p.memory_plane_words * 8 / (1024 * 1024))
+    p.n_caches p.n_shift_delay p.clock_mhz (Params.peak_mflops p)

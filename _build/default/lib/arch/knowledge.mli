@@ -1,0 +1,59 @@
+(** The architecture knowledge base, as queried by the checker and editor.
+
+    The paper's checker "contains, in a knowledge base or other suitable
+    representation, detailed information about the architecture of the NSC,
+    so far as it is relevant to the programming process".  This module is
+    that representation: a bundle of machine parameters plus derived query
+    functions the editor uses to populate menus with only-legal choices and
+    the checker uses to validate diagrams.
+
+    A change to the machine design is accommodated "merely by updating the
+    knowledge base": construct a [t] from revised {!Params.t} and every
+    downstream layer — icons, checker rules, microcode layout, simulator —
+    follows. *)
+
+type t = { params : Params.t }
+
+(** Build a knowledge base, validating the parameters; [Error] lists the
+    inconsistencies found. *)
+val make : Params.t -> (t, string list) result
+
+(** Like {!make} but raises [Invalid_argument] on inconsistent parameters. *)
+val make_exn : Params.t -> t
+
+(** The default machine: the paper's figures (32 units, 640 MFLOPS, 2 GB). *)
+val default : t
+
+(** The restricted model of the paper's Section 6 programmability
+    discussion: no triplets, half the planes, shallower queues. *)
+val subset : t
+
+val params : t -> Params.t
+
+(** Opcodes a given functional unit may legally execute, per its
+    capability circuitry. *)
+val legal_opcodes : t -> Resource.fu_id -> Opcode.t list
+
+(** Functional units able to execute a given opcode. *)
+val units_for_opcode : t -> Opcode.t -> Resource.fu_id list
+
+(** Every switch source of the machine (functional-unit taps, plane and
+    cache DMA engines, shift/delay outputs). *)
+val all_sources : t -> Resource.source list
+
+(** Every switch sink of the machine. *)
+val all_sinks : t -> Resource.sink list
+
+(** Sources that may legally be offered for [snk] given routing table
+    [table]: the menu contents behind the paper's "menu pops up showing
+    the available choices".  Everything {!Switch.check} would reject is
+    filtered out. *)
+val legal_sources_for : t -> Switch.t -> Resource.sink -> Resource.source list
+
+(** Memory planes with no writer yet under the routing table — the planes
+    the editor may offer when the user routes a pipeline output to
+    memory. *)
+val writable_planes : t -> Switch.t -> Resource.plane_id list
+
+(** One-line machine summary for banners and listings. *)
+val summary : t -> string

@@ -1,0 +1,80 @@
+(** Memory planes.
+
+    A node's memory is organised into independent planes (16 x 128 MB by
+    default).  The planar organisation is the architectural feature the
+    paper singles out as hardest on compilers: during one instruction a
+    functional unit may stream from or to only a single plane, and multiple
+    units working in one plane contend for its ports.
+
+    Addresses are 64-bit-word indices within a plane. *)
+
+(** A half-open word range [lo, hi) within one plane. *)
+type extent = { plane : Resource.plane_id; lo : int; hi : int }
+[@@deriving show { with_path = false }, eq]
+
+let extent_words e = e.hi - e.lo
+
+let extents_overlap a b =
+  a.plane = b.plane && a.lo < b.hi && b.lo < a.hi
+
+(** Validate that an extent lies inside a plane. *)
+let validate_extent (p : Params.t) (e : extent) =
+  let problems = ref [] in
+  let need cond msg = if not cond then problems := msg :: !problems in
+  need (e.plane >= 0 && e.plane < p.n_memory_planes)
+    (Printf.sprintf "plane %d does not exist (machine has %d planes)" e.plane
+       p.n_memory_planes);
+  need (e.lo >= 0) "extent start must be non-negative";
+  need (e.lo <= e.hi) "extent must be non-descending";
+  need (e.hi <= p.memory_plane_words)
+    (Printf.sprintf "extent end %d exceeds plane size %d words" e.hi
+       p.memory_plane_words);
+  List.rev !problems
+
+(** Word range touched by a strided access of [count] elements starting at
+    [base] with step [stride] (stride may be negative). *)
+let strided_extent ~plane ~base ~stride ~count =
+  if count <= 0 then { plane; lo = base; hi = base }
+  else
+    let last = base + (stride * (count - 1)) in
+    { plane; lo = min base last; hi = max base last + 1 }
+
+(** Backing store for one plane: a paged sparse array so that 128 MB planes
+    cost only what is touched.  Reads of untouched words return 0.0. *)
+type store = {
+  words : int;
+  page_words : int;
+  pages : (int, float array) Hashtbl.t;
+}
+
+let make_store ?(page_words = 4096) words =
+  if words <= 0 then invalid_arg "Memory.make_store";
+  { words; page_words; pages = Hashtbl.create 64 }
+
+let check_addr st addr =
+  if addr < 0 || addr >= st.words then
+    invalid_arg (Printf.sprintf "Memory: address %d outside plane of %d words" addr st.words)
+
+let read st addr =
+  check_addr st addr;
+  match Hashtbl.find_opt st.pages (addr / st.page_words) with
+  | None -> 0.0
+  | Some page -> page.(addr mod st.page_words)
+
+let write st addr v =
+  check_addr st addr;
+  let key = addr / st.page_words in
+  let page =
+    match Hashtbl.find_opt st.pages key with
+    | Some page -> page
+    | None ->
+        let page = Array.make st.page_words 0.0 in
+        Hashtbl.add st.pages key page;
+        page
+  in
+  page.(addr mod st.page_words) <- v
+
+(** Number of distinct words ever written (for footprint reporting). *)
+let touched_pages st = Hashtbl.length st.pages
+
+let clear st = Hashtbl.reset st.pages

@@ -1,0 +1,36 @@
+(** Memory planes.
+
+    A node's memory is organised into independent planes (16 x 128 MB by
+    default).  The planar organisation is the architectural feature the
+    paper singles out as hardest on compilers: during one instruction a
+    functional unit may stream from or to only a single plane, and multiple
+    units working in one plane contend for its ports.
+
+    Addresses are 64-bit-word indices within a plane. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type extent = { plane : Resource.plane_id; lo : int; hi : int; }
+val pp_extent :
+  Format.formatter ->
+  extent -> unit
+val show_extent : extent -> string
+val equal_extent : extent -> extent -> bool
+val extent_words : extent -> int
+val extents_overlap : extent -> extent -> bool
+val validate_extent : Params.t -> extent -> string list
+val strided_extent :
+  plane:Resource.plane_id ->
+  base:int -> stride:int -> count:int -> extent
+type store = {
+  words : int;
+  page_words : int;
+  pages : (int, float array) Hashtbl.t;
+}
+val make_store : ?page_words:int -> int -> store
+val check_addr : store -> int -> unit
+val read : store -> int -> float
+val write : store -> int -> float -> unit
+val touched_pages : store -> int
+val clear : store -> unit

@@ -1,0 +1,111 @@
+(** Operations a functional unit can be programmed to perform.
+
+    Each opcode records the capability it demands, its operand arity, the
+    latency class used for pipeline-timing analysis, and whether executing it
+    counts as a floating-point operation for MFLOPS accounting. *)
+
+type cmp = Lt | Le | Eq | Ne | Ge | Gt [@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Pass             (** route the A operand through unchanged *)
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fneg
+  | Fabs
+  | Fcmp of cmp      (** floating compare producing 1.0 / 0.0 *)
+  | Iadd
+  | Isub
+  | Imul
+  | Iand
+  | Ior
+  | Ixor
+  | Ishl
+  | Ishr
+  | Max
+  | Min
+[@@deriving show { with_path = false }, eq, ord]
+
+let all =
+  [
+    Pass; Fadd; Fsub; Fmul; Fdiv; Fneg; Fabs;
+    Fcmp Lt; Fcmp Le; Fcmp Eq; Fcmp Ne; Fcmp Ge; Fcmp Gt;
+    Iadd; Isub; Imul; Iand; Ior; Ixor; Ishl; Ishr; Max; Min;
+  ]
+
+(** Capability a unit must possess to execute the opcode. *)
+let required_capability = function
+  | Pass | Fadd | Fsub | Fmul | Fdiv | Fneg | Fabs | Fcmp _ -> Capability.Float
+  | Iadd | Isub | Imul | Iand | Ior | Ixor | Ishl | Ishr -> Capability.Int_logical
+  | Max | Min -> Capability.Min_max
+
+(** Number of operands consumed (1 or 2). *)
+let arity = function
+  | Pass | Fneg | Fabs -> 1
+  | Fadd | Fsub | Fmul | Fdiv | Fcmp _ | Iadd | Isub | Imul | Iand | Ior
+  | Ixor | Ishl | Ishr | Max | Min ->
+      2
+
+(** Pipeline latency in cycles, drawn from the machine parameters. *)
+let latency (lat : Params.latencies) = function
+  | Pass -> lat.lat_pass
+  | Fadd | Fsub | Fneg | Fabs -> lat.lat_fadd
+  | Fmul -> lat.lat_fmul
+  | Fdiv -> lat.lat_fdiv
+  | Fcmp _ -> lat.lat_cmp
+  | Iadd | Isub | Imul | Iand | Ior | Ixor | Ishl | Ishr -> lat.lat_int
+  | Max | Min -> lat.lat_minmax
+
+(** Does the opcode count toward floating-point-operation totals? *)
+let is_flop = function
+  | Fadd | Fsub | Fmul | Fdiv | Fneg | Fabs | Fcmp _ | Max | Min -> true
+  | Pass | Iadd | Isub | Imul | Iand | Ior | Ixor | Ishl | Ishr -> false
+
+let cmp_to_string = function
+  | Lt -> "<" | Le -> "<=" | Eq -> "=" | Ne -> "<>" | Ge -> ">=" | Gt -> ">"
+
+(** Mnemonic used in listings, menus and microcode disassembly. *)
+let mnemonic = function
+  | Pass -> "pass"
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fneg -> "fneg"
+  | Fabs -> "fabs"
+  | Fcmp c -> "fcmp" ^ cmp_to_string c
+  | Iadd -> "iadd"
+  | Isub -> "isub"
+  | Imul -> "imul"
+  | Iand -> "iand"
+  | Ior -> "ior"
+  | Ixor -> "ixor"
+  | Ishl -> "ishl"
+  | Ishr -> "ishr"
+  | Max -> "max"
+  | Min -> "min"
+
+let of_mnemonic s =
+  let rec find = function
+    | [] -> None
+    | op :: rest -> if String.equal (mnemonic op) s then Some op else find rest
+  in
+  find all
+
+(** Encoding used in the microcode opcode field (stable across runs). *)
+let to_code op =
+  let rec index i = function
+    | [] -> invalid_arg "Opcode.to_code"
+    | o :: rest -> if equal o op then i else index (i + 1) rest
+  in
+  index 1 all (* 0 is reserved for "unit idle" *)
+
+let of_code = function
+  | 0 -> None
+  | n ->
+      let rec nth i = function
+        | [] -> None
+        | o :: rest -> if i = n then Some o else nth (i + 1) rest
+      in
+      nth 1 all

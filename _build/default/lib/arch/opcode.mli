@@ -1,0 +1,55 @@
+(** Operations a functional unit can be programmed to perform.
+
+    Each opcode records the capability it demands, its operand arity, the
+    latency class used for pipeline-timing analysis, and whether executing it
+    counts as a floating-point operation for MFLOPS accounting. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type cmp = Lt | Le | Eq | Ne | Ge | Gt
+val pp_cmp :
+  Format.formatter -> cmp -> unit
+val show_cmp : cmp -> string
+val equal_cmp : cmp -> cmp -> bool
+val compare_cmp : cmp -> cmp -> int
+type t =
+    Pass
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fneg
+  | Fabs
+  | Fcmp of cmp
+  | Iadd
+  | Isub
+  | Imul
+  | Iand
+  | Ior
+  | Ixor
+  | Ishl
+  | Ishr
+  | Max
+  | Min
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val all : t list
+(** Capability a unit must possess to execute the opcode. *)
+val required_capability : t -> Capability.t
+(** Number of operands consumed (1 or 2). *)
+val arity : t -> int
+(** Pipeline latency in cycles, drawn from the machine parameters. *)
+val latency : Params.latencies -> t -> int
+(** Does the opcode count toward floating-point-operation totals? *)
+val is_flop : t -> bool
+val cmp_to_string : cmp -> string
+(** Mnemonic used in listings, menus and microcode disassembly. *)
+val mnemonic : t -> string
+val of_mnemonic : String.t -> t option
+(** Encoding used in the microcode opcode field; 0 means "unit idle". *)
+val to_code : t -> int
+val of_code : int -> t option

@@ -1,0 +1,159 @@
+(** Machine parameters of a Navier-Stokes Computer node.
+
+    The values below form the "knowledge base" of machine facts the paper's
+    checker carries (Section 4): counts and sizes of every hardware resource,
+    functional-unit latencies, and switch-network limits.  Everything in the
+    rest of the system is parameterised over a [t], so a revised machine
+    design is accommodated "merely by updating the knowledge base".
+
+    Defaults reproduce the figures quoted in the paper: 32 functional units
+    per node arranged into singlets, doublets and triplets; 16 memory planes
+    of 128 Mbytes (2 Gbytes per node); 16 double-buffered data caches; two
+    shift/delay units; and a 20 MHz clock so that 32 units x 20 MHz x 1 flop
+    = 640 MFLOPS peak per node. *)
+
+type latencies = {
+  lat_pass : int;     (** identity / route-through *)
+  lat_fadd : int;     (** floating add/subtract/negate/abs *)
+  lat_fmul : int;     (** floating multiply *)
+  lat_fdiv : int;     (** floating divide *)
+  lat_int : int;      (** integer / logical operations *)
+  lat_minmax : int;   (** min/max circuitry *)
+  lat_cmp : int;      (** floating compare *)
+}
+[@@deriving show, eq]
+
+type t = {
+  n_singlets : int;         (** ALSs containing one functional unit *)
+  n_doublets : int;         (** ALSs containing two functional units *)
+  n_triplets : int;         (** ALSs containing three functional units *)
+  n_memory_planes : int;    (** independent memory planes per node *)
+  memory_plane_words : int; (** 64-bit words per memory plane *)
+  n_caches : int;           (** double-buffered data caches per node *)
+  cache_words : int;        (** 64-bit words per cache buffer *)
+  n_shift_delay : int;      (** shift/delay units per node *)
+  rf_registers : int;       (** registers in each per-unit register file *)
+  rf_max_delay : int;       (** deepest circular delay queue a register file
+                                can realise (paper: buffering "to adjust for
+                                pipeline timing delays") *)
+  plane_read_ports : int;   (** read-stream words a plane's port serves per
+                                cycle; more active read streams than this
+                                stalls the pipeline *)
+  plane_write_ports : int;  (** concurrent write streams per plane; the
+                                editor refuses a second writer outright *)
+  plane_dma_slots : int;    (** DMA stream engines per memory plane — the
+                                hard limit on streams a plane can source or
+                                sink in one instruction *)
+  cache_dma_slots : int;    (** DMA stream engines per cache *)
+  switch_fanout : int;      (** maximum sinks fed by one switch source *)
+  switch_capacity : int;    (** total simultaneous routes in the network *)
+  clock_mhz : float;        (** node clock, MHz *)
+  reconfig_cycles : int;    (** cycles the sequencer spends reprogramming the
+                                switches between pipeline instructions *)
+  latencies : latencies;
+  hypercube_dim : int;      (** log2 of the machine's node count *)
+  link_words_per_cycle : float; (** hyperspace-router link bandwidth *)
+  hop_latency : int;        (** cycles added per router hop *)
+}
+[@@deriving show, eq]
+
+let default_latencies =
+  {
+    lat_pass = 1;
+    lat_fadd = 6;
+    lat_fmul = 7;
+    lat_fdiv = 20;
+    lat_int = 2;
+    lat_minmax = 4;
+    lat_cmp = 4;
+  }
+
+let default =
+  {
+    n_singlets = 4;
+    n_doublets = 8;
+    n_triplets = 4;
+    n_memory_planes = 16;
+    memory_plane_words = 16 * 1024 * 1024 (* 128 MB of 64-bit words *);
+    n_caches = 16;
+    cache_words = 8 * 1024;
+    n_shift_delay = 2;
+    rf_registers = 128;
+    rf_max_delay = 96;
+    plane_read_ports = 2;
+    plane_write_ports = 1;
+    plane_dma_slots = 4;
+    cache_dma_slots = 2;
+    switch_fanout = 4;
+    switch_capacity = 128;
+    clock_mhz = 20.0;
+    reconfig_cycles = 16;
+    latencies = default_latencies;
+    hypercube_dim = 6;
+    link_words_per_cycle = 0.5;
+    hop_latency = 8;
+  }
+
+(** Total functional units in a node: the paper's "32 functional units". *)
+let n_functional_units p = p.n_singlets + (2 * p.n_doublets) + (3 * p.n_triplets)
+
+(** Total arithmetic-logic structures in a node. *)
+let n_als p = p.n_singlets + p.n_doublets + p.n_triplets
+
+(** Peak MFLOPS of one node: one flop per functional unit per cycle.  With
+    the default parameters this is the paper's 640 MFLOPS figure. *)
+let peak_mflops p = float_of_int (n_functional_units p) *. p.clock_mhz
+
+(** Peak GFLOPS of the full hypercube (the paper's 40 GFLOPS for 64 nodes). *)
+let peak_gflops_machine p =
+  peak_mflops p *. float_of_int (1 lsl p.hypercube_dim) /. 1000.0
+
+(** Node memory in bytes (the paper's 2 Gbytes). *)
+let node_memory_bytes p = p.n_memory_planes * p.memory_plane_words * 8
+
+(** A deliberately restricted machine model for the paper's Section 6
+    programmability-versus-performance discussion: no triplets, half the
+    memory planes, shallower delay queues.  Easier to map code onto, slower
+    in absolute terms. *)
+let subset_model =
+  {
+    default with
+    n_singlets = 8;
+    n_doublets = 6;
+    n_triplets = 0;
+    n_memory_planes = 8;
+    n_caches = 8;
+    rf_max_delay = 32;
+  }
+
+(** [validate p] checks internal consistency of a parameter record and
+    returns a list of human-readable problems (empty when sound). *)
+let validate p =
+  let problems = ref [] in
+  let need cond msg = if not cond then problems := msg :: !problems in
+  need (p.n_singlets >= 0 && p.n_doublets >= 0 && p.n_triplets >= 0)
+    "ALS counts must be non-negative";
+  need (n_als p > 0) "machine must contain at least one ALS";
+  need (p.n_memory_planes > 0) "machine must contain at least one memory plane";
+  need (p.memory_plane_words > 0) "memory planes must be non-empty";
+  need (p.n_caches >= 0) "cache count must be non-negative";
+  need (p.cache_words > 0) "caches must be non-empty";
+  need (p.n_shift_delay >= 0) "shift/delay count must be non-negative";
+  need (p.rf_registers > 0) "register files must be non-empty";
+  need
+    (p.rf_max_delay > 0 && p.rf_max_delay <= p.rf_registers)
+    "delay queues must fit inside the register file";
+  need (p.plane_read_ports > 0) "planes must expose at least one read port";
+  need (p.plane_write_ports > 0) "planes must expose at least one write port";
+  need
+    (p.plane_dma_slots >= p.plane_read_ports + p.plane_write_ports)
+    "planes need at least as many DMA engines as ports";
+  need (p.cache_dma_slots >= 1) "caches need at least one DMA engine";
+  need (p.switch_fanout > 0) "switch fanout must be positive";
+  need (p.switch_capacity > 0) "switch capacity must be positive";
+  need (p.clock_mhz > 0.0) "clock must be positive";
+  need (p.reconfig_cycles >= 0) "reconfiguration cost must be non-negative";
+  need (p.hypercube_dim >= 0) "hypercube dimension must be non-negative";
+  need (p.hop_latency >= 0) "hop latency must be non-negative";
+  need (p.link_words_per_cycle > 0.0) "link bandwidth must be positive";
+  List.rev !problems

@@ -1,0 +1,80 @@
+(** Machine parameters of a Navier-Stokes Computer node.
+
+    The values below form the "knowledge base" of machine facts the paper's
+    checker carries (Section 4): counts and sizes of every hardware resource,
+    functional-unit latencies, and switch-network limits.  Everything in the
+    rest of the system is parameterised over a [t], so a revised machine
+    design is accommodated "merely by updating the knowledge base".
+
+    Defaults reproduce the figures quoted in the paper: 32 functional units
+    per node arranged into singlets, doublets and triplets; 16 memory planes
+    of 128 Mbytes (2 Gbytes per node); 16 double-buffered data caches; two
+    shift/delay units; and a 20 MHz clock so that 32 units x 20 MHz x 1 flop
+    = 640 MFLOPS peak per node. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type latencies = {
+  lat_pass : int;
+  lat_fadd : int;
+  lat_fmul : int;
+  lat_fdiv : int;
+  lat_int : int;
+  lat_minmax : int;
+  lat_cmp : int;
+}
+val pp_latencies :
+  Format.formatter ->
+  latencies -> unit
+val show_latencies : latencies -> string
+val equal_latencies : latencies -> latencies -> bool
+type t = {
+  n_singlets : int;
+  n_doublets : int;
+  n_triplets : int;
+  n_memory_planes : int;
+  memory_plane_words : int;
+  n_caches : int;
+  cache_words : int;
+  n_shift_delay : int;
+  rf_registers : int;
+  rf_max_delay : int;
+  plane_read_ports : int;
+  plane_write_ports : int;
+  plane_dma_slots : int;
+  cache_dma_slots : int;
+  switch_fanout : int;
+  switch_capacity : int;
+  clock_mhz : float;
+  reconfig_cycles : int;
+  latencies : latencies;
+  hypercube_dim : int;
+  link_words_per_cycle : float;
+  hop_latency : int;
+}
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+(** Latencies of the default machine (divide slowest, pass cheapest). *)
+(** The default machine: reproduces the paper's figures — 32 functional
+    units (4 singlets + 8 doublets + 4 triplets), 16 planes x 128 MB,
+    20 MHz so that peak is exactly 640 MFLOPS per node. *)
+val default_latencies : latencies
+val default : t
+(** Total functional units in a node: the paper's "32". *)
+val n_functional_units : t -> int
+(** Total arithmetic-logic structures in a node. *)
+val n_als : t -> int
+(** Peak MFLOPS of one node (one flop per unit per cycle). *)
+val peak_mflops : t -> float
+(** Peak GFLOPS of the full hypercube (the paper's 40 for 64 nodes). *)
+val peak_gflops_machine : t -> float
+(** Node memory in bytes (the paper's 2 Gbytes). *)
+val node_memory_bytes : t -> int
+(** The deliberately restricted machine of the paper's Section 6
+    programmability-versus-performance discussion. *)
+val subset_model : t
+(** Internal-consistency problems of a parameter record (empty = sound). *)
+val validate : t -> string list

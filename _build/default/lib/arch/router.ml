@@ -1,0 +1,75 @@
+(** The hyperspace router and hypercube topology.
+
+    Communication between nodes is handled by a hyperspace router; nodes are
+    arranged in a hypercube.  This module provides the topology algebra —
+    neighbours, dimension-ordered routes, Gray-code embeddings of process
+    grids — used by the multi-node simulator. *)
+
+type node_id = int [@@deriving show, eq, ord]
+
+(** Number of nodes in a hypercube of dimension [d]. *)
+let nodes_of_dim d =
+  if d < 0 then invalid_arg "Router.nodes_of_dim";
+  1 lsl d
+
+(** Smallest dimension whose hypercube holds at least [n] nodes. *)
+let dim_for_nodes n =
+  if n <= 0 then invalid_arg "Router.dim_for_nodes";
+  let rec go d = if 1 lsl d >= n then d else go (d + 1) in
+  go 0
+
+let valid_node ~dim id = id >= 0 && id < nodes_of_dim dim
+
+(** Hypercube neighbours of [id] (one per dimension). *)
+let neighbours ~dim id =
+  if not (valid_node ~dim id) then invalid_arg "Router.neighbours";
+  List.init dim (fun bit -> id lxor (1 lsl bit))
+
+(** Hamming distance = hop count between two nodes. *)
+let distance a b =
+  let rec popcount x acc = if x = 0 then acc else popcount (x lsr 1) (acc + (x land 1)) in
+  popcount (a lxor b) 0
+
+(** Dimension-ordered (e-cube) route from [src] to [dst]: the sequence of
+    intermediate nodes visited, excluding [src], including [dst]. *)
+let route ~dim ~src ~dst =
+  if not (valid_node ~dim src && valid_node ~dim dst) then invalid_arg "Router.route";
+  let rec go cur bit acc =
+    if bit >= dim then List.rev acc
+    else
+      let want = dst land (1 lsl bit) in
+      let have = cur land (1 lsl bit) in
+      if want = have then go cur (bit + 1) acc
+      else
+        let nxt = cur lxor (1 lsl bit) in
+        go nxt (bit + 1) (nxt :: acc)
+  in
+  go src 0 []
+
+(** Standard binary-reflected Gray code and its inverse, used to embed rings
+    and grids so that grid neighbours are hypercube neighbours. *)
+let gray i = i lxor (i lsr 1)
+
+let gray_inverse g =
+  let rec go acc g = if g = 0 then acc else go (acc lxor g) (g lsr 1) in
+  go 0 g
+
+(** Embed a 1-D chain of [n] ranks into a hypercube: rank [r] lives on node
+    [gray r].  Adjacent ranks are then exactly one hop apart. *)
+let chain_to_node ~dim rank =
+  if rank < 0 || rank >= nodes_of_dim dim then invalid_arg "Router.chain_to_node";
+  gray rank
+
+let node_to_chain ~dim node =
+  if not (valid_node ~dim node) then invalid_arg "Router.node_to_chain";
+  gray_inverse node
+
+(** Cycles to move [words] 64-bit words between [src] and [dst]:
+    per-hop latency plus bandwidth-limited transmission (cut-through — the
+    payload streams behind the header, so distance adds latency only). *)
+let transfer_cycles (p : Params.t) ~src ~dst ~words =
+  if src = dst then 0
+  else
+    let hops = distance src dst in
+    (hops * p.hop_latency)
+    + int_of_float (ceil (float_of_int words /. p.link_words_per_cycle))

@@ -1,0 +1,29 @@
+(** The hyperspace router and hypercube topology.
+
+    Communication between nodes is handled by a hyperspace router; nodes are
+    arranged in a hypercube.  This module provides the topology algebra —
+    neighbours, dimension-ordered routes, Gray-code embeddings of process
+    grids — used by the multi-node simulator. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type node_id = int
+val pp_node_id :
+  Format.formatter ->
+  node_id -> unit
+val show_node_id : node_id -> string
+val equal_node_id : node_id -> node_id -> bool
+val compare_node_id : node_id -> node_id -> int
+val nodes_of_dim : int -> int
+val dim_for_nodes : int -> int
+val valid_node : dim:int -> int -> bool
+val neighbours : dim:int -> int -> int list
+val distance : int -> int -> int
+val route : dim:int -> src:int -> dst:int -> int list
+val gray : int -> int
+val gray_inverse : int -> int
+val chain_to_node : dim:int -> int -> int
+val node_to_chain : dim:int -> int -> int
+val transfer_cycles :
+  Params.t -> src:int -> dst:int -> words:int -> int

@@ -1,0 +1,43 @@
+(** Shift/delay units.
+
+    Two shift/delay units per node help "reformat memory data into multiple
+    vector streams".  A unit is programmed with a mode: a pure delay of [d]
+    cycles, or a shift that replicates its input stream at a relative offset
+    (the mechanism used to derive the u[i-1] / u[i+1] streams of a stencil
+    from a single central stream). *)
+
+type mode =
+  | Delay of int  (** emit the element received [d] cycles earlier *)
+  | Shift of int  (** emit element [i + offset] of the logical stream *)
+[@@deriving show { with_path = false }, eq]
+
+let mode_to_string = function
+  | Delay d -> Printf.sprintf "delay %d" d
+  | Shift o -> Printf.sprintf "shift %+d" o
+
+(** Validate a mode against the machine's buffering capacity (a shift/delay
+    unit reuses register-file-sized buffering). *)
+let validate (p : Params.t) = function
+  | Delay d ->
+      if d < 0 then [ "shift/delay: negative delay" ]
+      else if d > p.rf_max_delay then
+        [ Printf.sprintf "shift/delay: delay %d exceeds maximum %d" d p.rf_max_delay ]
+      else []
+  | Shift o ->
+      if abs o > p.rf_max_delay then
+        [ Printf.sprintf "shift/delay: offset %+d exceeds maximum %d" o p.rf_max_delay ]
+      else []
+
+(** Dynamic state mirrors a circular queue; [Shift] with negative offset is
+    realised as a delay, with positive offset as a negative-latency stream
+    the simulator services from the source stream directly. *)
+type t = { id : Resource.sd_id; mode : mode; queue : Register_file.queue }
+
+let make (p : Params.t) id mode =
+  if id < 0 || id >= p.n_shift_delay then invalid_arg "Shift_delay.make: bad id";
+  (match validate p mode with [] -> () | e :: _ -> invalid_arg ("Shift_delay.make: " ^ e));
+  let depth = match mode with Delay d -> d | Shift o when o < 0 -> -o | Shift _ -> 0 in
+  { id; mode; queue = Register_file.make_queue depth }
+
+let step t x = Register_file.push t.queue x
+let reset t = Register_file.reset t.queue

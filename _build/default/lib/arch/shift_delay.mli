@@ -1,0 +1,26 @@
+(** Shift/delay units.
+
+    Two shift/delay units per node help "reformat memory data into multiple
+    vector streams".  A unit is programmed with a mode: a pure delay of [d]
+    cycles, or a shift that replicates its input stream at a relative offset
+    (the mechanism used to derive the u[i-1] / u[i+1] streams of a stencil
+    from a single central stream). *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type mode = Delay of int | Shift of int
+val pp_mode :
+  Format.formatter -> mode -> unit
+val show_mode : mode -> string
+val equal_mode : mode -> mode -> bool
+val mode_to_string : mode -> string
+val validate : Params.t -> mode -> string list
+type t = {
+  id : Resource.sd_id;
+  mode : mode;
+  queue : Register_file.queue;
+}
+val make : Params.t -> Resource.sd_id -> mode -> t
+val step : t -> float -> float
+val reset : t -> unit

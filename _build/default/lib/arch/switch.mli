@@ -1,0 +1,66 @@
+(** The programmable switch network (the diagrams' "FLONET").
+
+    The switch routes data among ALSs, memory planes, caches and
+    shift/delay units.  A pipeline configuration is a set of
+    (source, sink) routes; the hardware constrains each sink to a single
+    source, bounds the fanout of any source, and bounds the total number
+    of simultaneous routes.
+
+    The table built here is consulted by the checker during editing and
+    interrogated by the microcode generator to derive switch settings. *)
+
+type route = { src : Resource.source; snk : Resource.sink }
+
+val pp_route : Format.formatter -> route -> unit
+val show_route : route -> string
+val equal_route : route -> route -> bool
+
+(** Reasons a route is illegal. *)
+type error =
+  | Sink_already_driven of Resource.sink * Resource.source
+      (** the sink is already fed, and by which source *)
+  | Fanout_exceeded of Resource.source * int
+      (** the source is at its fanout limit *)
+  | Capacity_exceeded of int  (** the network already holds n routes *)
+  | Self_loop of Resource.fu_id
+      (** direct output-to-own-input route; feedback must go through a
+          register file, not the switch *)
+
+val pp_error : Format.formatter -> error -> unit
+val show_error : error -> string
+val equal_error : error -> error -> bool
+val error_to_string : error -> string
+
+(** An immutable routing table under a machine's limits. *)
+type t = { params : Params.t; routes : route list }
+
+val empty : Params.t -> t
+
+(** Routes in insertion order. *)
+val routes : t -> route list
+
+val route_count : t -> int
+
+(** The source driving [snk], if routed. *)
+val source_of_sink : t -> Resource.sink -> Resource.source option
+
+(** Sinks fed by [src]. *)
+val sinks_of_source : t -> Resource.source -> Resource.sink list
+
+val fanout : t -> Resource.source -> int
+
+(** [check t route] reports why adding [route] would be illegal, if it
+    would — the question the editor asks before accepting a rubber-band
+    gesture. *)
+val check : t -> route -> error option
+
+val add : t -> route -> (t, error) result
+val remove : t -> route -> t
+
+(** Sources writing into memory plane [plane] (at most one is legal; the
+    checker turns a second into an error the editor surfaces
+    immediately). *)
+val plane_writers : t -> Resource.plane_id -> Resource.source list
+
+(** Sinks fed from plane [plane]'s read streams. *)
+val plane_readers : t -> Resource.plane_id -> Resource.sink list

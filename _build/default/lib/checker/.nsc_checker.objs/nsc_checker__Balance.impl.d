@@ -1,0 +1,1 @@
+lib/checker/balance.pp.ml: Fu_config Icon Knowledge List Nsc_arch Nsc_diagram Pipeline Program Resource Semantic Timing

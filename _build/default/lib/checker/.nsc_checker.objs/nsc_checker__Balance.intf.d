@@ -1,0 +1,1 @@
+lib/checker/balance.pp.mli: Nsc_arch Nsc_diagram

@@ -1,0 +1,1 @@
+lib/checker/checker.pp.mli: Diagnostic Nsc_arch Nsc_diagram

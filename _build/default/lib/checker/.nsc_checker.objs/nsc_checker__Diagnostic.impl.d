@@ -1,0 +1,1 @@
+lib/checker/diagnostic.pp.ml: Fmt Fun List Nsc_arch Nsc_diagram Option Ppx_deriving_runtime Printf Resource String

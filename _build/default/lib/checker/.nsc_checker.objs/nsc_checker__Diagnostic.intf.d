@@ -1,0 +1,1 @@
+lib/checker/diagnostic.pp.mli: Format Nsc_arch Nsc_diagram

@@ -1,0 +1,1 @@
+lib/checker/timing.pp.ml: Als Fu_config Hashtbl List Nsc_arch Nsc_diagram Opcode Option Params Resource Semantic Shift_delay

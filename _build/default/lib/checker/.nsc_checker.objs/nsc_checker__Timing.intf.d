@@ -1,0 +1,1 @@
+lib/checker/timing.pp.mli: Nsc_arch Nsc_diagram

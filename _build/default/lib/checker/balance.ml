@@ -1,0 +1,77 @@
+(** Automatic delay balancing of pipeline diagrams.
+
+    The paper's user fixes stream misalignment by hand — "routing input
+    data into a circular queue in a register file and then retrieving the
+    value a number of clock cycles later" — guided by checker errors.  This
+    module automates the chore: it repeatedly applies the corrections
+    {!Timing.balancing_corrections} computes until every binary unit sees
+    its operands in step.  The compiler uses it on every generated diagram;
+    the editor offers it as a one-click fix. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+let max_rounds = 32
+
+(* Icon id carrying a given ALS in the diagram. *)
+let icon_for_als (pl : Pipeline.t) als =
+  List.find_map
+    (fun (i : Icon.t) ->
+      match i.Icon.kind with
+      | Icon.Als_icon { als = a; _ } when a = als -> Some i.Icon.id
+      | Icon.Als_icon _ | Icon.Memory_icon _ | Icon.Cache_icon _
+      | Icon.Shift_delay_icon _ ->
+          None)
+    pl.Pipeline.icons
+
+(** Balance one diagram.  Returns the corrected diagram and the number of
+    correction rounds applied (0 = already balanced).  Corrections that
+    would exceed the register files' maximum queue depth are left in place
+    for the checker to report. *)
+let balance_pipeline (kb : Knowledge.t) ?(lookup = fun _ -> None) (pl : Pipeline.t) :
+    Pipeline.t * int =
+  let p = Knowledge.params kb in
+  let rec go pl round =
+    if round >= max_rounds then (pl, round)
+    else begin
+      let sem, _ = Semantic.of_pipeline p ~lookup pl in
+      let analysis = Timing.analyse p sem in
+      match Timing.balancing_corrections analysis with
+      | [] -> (pl, round)
+      | corrections ->
+          let pl =
+            List.fold_left
+              (fun pl ((fu : Resource.fu_id), port, extra) ->
+                match icon_for_als pl fu.Resource.als with
+                | None -> pl
+                | Some id -> (
+                    match Pipeline.config_of pl ~id ~slot:fu.Resource.slot with
+                    | None -> pl
+                    | Some cfg ->
+                        let cfg =
+                          match port with
+                          | Resource.A ->
+                              { cfg with Fu_config.delay_a = cfg.Fu_config.delay_a + extra }
+                          | Resource.B ->
+                              { cfg with Fu_config.delay_b = cfg.Fu_config.delay_b + extra }
+                        in
+                        if
+                          cfg.Fu_config.delay_a <= p.rf_max_delay
+                          && cfg.Fu_config.delay_b <= p.rf_max_delay
+                        then Pipeline.set_config pl ~id ~slot:fu.Resource.slot cfg
+                        else pl))
+              pl corrections
+          in
+          go pl (round + 1)
+    end
+  in
+  go pl 0
+
+(** Balance every pipeline of a program. *)
+let balance_program (kb : Knowledge.t) (prog : Program.t) : Program.t =
+  let lookup = Program.variable_base prog in
+  List.fold_left
+    (fun prog (pl : Pipeline.t) ->
+      let pl, _ = balance_pipeline kb ~lookup pl in
+      Program.update_pipeline prog pl)
+    prog prog.Program.pipelines

@@ -1,0 +1,27 @@
+(** Automatic delay balancing of pipeline diagrams.
+
+    The paper's user fixes stream misalignment by hand — "routing input
+    data into a circular queue in a register file and then retrieving the
+    value a number of clock cycles later" — guided by checker errors.  This
+    module automates the chore: it repeatedly applies the corrections
+    {!Timing.balancing_corrections} computes until every binary unit sees
+    its operands in step.  The compiler uses it on every generated diagram;
+    the editor offers it as a one-click fix. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val max_rounds : int
+val icon_for_als :
+  Nsc_diagram.Pipeline.t ->
+  Nsc_arch.Resource.als_id -> Nsc_diagram.Icon.id option
+(** Repeatedly apply {!Timing.balancing_corrections} until every binary
+    unit sees its operands in step; returns the corrected diagram and the
+    number of correction rounds (0 = already balanced). *)
+val balance_pipeline :
+  Nsc_arch.Knowledge.t ->
+  ?lookup:(string -> int option) ->
+  Nsc_diagram.Pipeline.t -> Nsc_diagram.Pipeline.t * int
+(** Balance every pipeline of a program. *)
+val balance_program :
+  Nsc_arch.Knowledge.t -> Nsc_diagram.Program.t -> Nsc_diagram.Program.t

@@ -1,0 +1,56 @@
+(** The checker: knowledge-base-driven validation of visual programs.
+
+    "The graphical editor calls on the checker at appropriate points during
+    interaction with the user to validate the information being input ...
+    The checker is invoked again at [code-generation time] to perform a
+    thorough check of global constraints."
+
+    Two levels are provided: [`Interactive] accepts incomplete diagrams
+    (unwired pads are advisory) and is cheap enough to run on every editing
+    action; [`Complete] additionally requires every consumed operand to be
+    bound, runs the timing analysis, and enforces global rules.  The
+    checker also powers the editor's menus, enumerating only the legal
+    choices for any pad. *)
+
+type level = [ `Complete | `Interactive ]
+
+(** Check one pipeline diagram.  [lookup] resolves declared variable names
+    to base word addresses (pass {!Nsc_diagram.Program.variable_base} of
+    the enclosing program). *)
+val check_pipeline :
+  Nsc_arch.Knowledge.t ->
+  ?lookup:(string -> int option) ->
+  level:level ->
+  Nsc_diagram.Pipeline.t ->
+  Diagnostic.t list
+
+(** Check a whole program: the "thorough check of global constraints"
+    performed before microcode generation.  Includes structural validation,
+    a [`Complete]-level pass over every pipeline, control-flow rules, and
+    variable-bound checks on every DMA specification. *)
+val check_program :
+  Nsc_arch.Knowledge.t -> Nsc_diagram.Program.t -> Diagnostic.t list
+
+(** Sources the editor may legally offer for a consuming pad — the
+    contents of the connection popup menu.  Everything already ruled out by
+    the pipeline's routing state is filtered away. *)
+val legal_sources :
+  Nsc_arch.Knowledge.t ->
+  ?lookup:(string -> int option) ->
+  Nsc_diagram.Pipeline.t ->
+  Nsc_arch.Resource.sink ->
+  Nsc_arch.Resource.source list
+
+(** Memory planes still open to a writer — the paper's worked example of
+    error prevention ("the graphical editor will not let him send the
+    output of a second unit to the same plane"). *)
+val writable_planes :
+  Nsc_arch.Knowledge.t ->
+  ?lookup:(string -> int option) ->
+  Nsc_diagram.Pipeline.t ->
+  Nsc_arch.Resource.plane_id list
+
+(** Opcodes the operation popup menu offers for a unit: exactly those its
+    circuitry supports. *)
+val legal_opcodes :
+  Nsc_arch.Knowledge.t -> Nsc_arch.Resource.fu_id -> Nsc_arch.Opcode.t list

@@ -1,0 +1,1 @@
+lib/debug/stepper.ml: Engine Float Interrupt List Node Nsc_arch Nsc_diagram Nsc_editor Nsc_microcode Nsc_sim Option Params Pipeline Printf Program Resource Semantic Sequencer String

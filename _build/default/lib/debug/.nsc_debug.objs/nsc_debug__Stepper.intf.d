@@ -1,0 +1,1 @@
+lib/debug/stepper.mli: Nsc_arch Nsc_diagram Nsc_microcode Nsc_sim

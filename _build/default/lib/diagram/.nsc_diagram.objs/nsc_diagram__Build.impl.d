@@ -1,0 +1,1 @@
+lib/diagram/build.pp.ml: Connection Dma_spec Fu_config Geometry Icon List Pipeline Program

@@ -1,0 +1,1 @@
+lib/diagram/build.pp.mli: Fu_config Icon Nsc_arch Pipeline Program

@@ -1,0 +1,1 @@
+lib/diagram/connection.pp.ml: Dma Dma_spec Icon Nsc_arch Ppx_deriving_runtime Printf Resource

@@ -1,0 +1,1 @@
+lib/diagram/connection.pp.mli: Dma_spec Format Icon Nsc_arch

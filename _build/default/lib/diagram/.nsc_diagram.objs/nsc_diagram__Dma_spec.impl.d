@@ -1,0 +1,1 @@
+lib/diagram/dma_spec.pp.ml: Nsc_arch Ppx_deriving_runtime Printf Result

@@ -1,0 +1,1 @@
+lib/diagram/dma_spec.pp.mli: Format Nsc_arch

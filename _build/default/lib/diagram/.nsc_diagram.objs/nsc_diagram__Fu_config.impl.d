@@ -1,0 +1,1 @@
+lib/diagram/fu_config.pp.ml: List Nsc_arch Opcode Option Ppx_deriving_runtime Printf Register_file Resource String

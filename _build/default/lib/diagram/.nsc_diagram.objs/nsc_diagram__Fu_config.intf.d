@@ -1,0 +1,1 @@
+lib/diagram/fu_config.pp.mli: Format Nsc_arch

@@ -1,0 +1,1 @@
+lib/diagram/geometry.pp.ml: List Option Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/diagram/geometry.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/diagram/icon.pp.ml: Als Array Fu_config Geometry List Nsc_arch Option Params Ppx_deriving_runtime Printf Resource Shift_delay String

@@ -1,0 +1,1 @@
+lib/diagram/icon.pp.mli: Format Fu_config Geometry Nsc_arch

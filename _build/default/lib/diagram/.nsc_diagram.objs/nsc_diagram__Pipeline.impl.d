@@ -1,0 +1,1 @@
+lib/diagram/pipeline.pp.ml: Als Array Connection Fu_config Geometry Icon List Nsc_arch Option Params Ppx_deriving_runtime Printf Resource Shift_delay

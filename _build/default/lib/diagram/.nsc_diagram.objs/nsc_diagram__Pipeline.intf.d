@@ -1,0 +1,1 @@
+lib/diagram/pipeline.pp.mli: Connection Dma_spec Format Fu_config Geometry Icon Nsc_arch

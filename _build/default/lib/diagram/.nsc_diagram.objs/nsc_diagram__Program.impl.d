@@ -1,0 +1,1 @@
+lib/diagram/program.pp.ml: Interrupt List Nsc_arch Option Pipeline Ppx_deriving_runtime Printf Resource String

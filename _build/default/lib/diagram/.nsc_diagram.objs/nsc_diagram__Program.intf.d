@@ -1,0 +1,1 @@
+lib/diagram/program.pp.mli: Format Nsc_arch Pipeline String

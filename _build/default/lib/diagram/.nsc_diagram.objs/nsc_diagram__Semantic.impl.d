@@ -1,0 +1,1 @@
+lib/diagram/semantic.pp.ml: Als Array Connection Dma Dma_spec Fu_config Hashtbl Icon List Nsc_arch Opcode Option Params Pipeline Ppx_deriving_runtime Printf Resource Shift_delay Switch

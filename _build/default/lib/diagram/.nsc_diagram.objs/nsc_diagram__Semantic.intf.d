@@ -1,0 +1,1 @@
+lib/diagram/semantic.pp.mli: Connection Format Fu_config Hashtbl Nsc_arch Pipeline

@@ -1,0 +1,1 @@
+lib/diagram/serialize.pp.ml: Als Array Buffer Connection Dma_spec Fu_config Fun Geometry Icon Interrupt List Nsc_arch Opcode Option Params Pipeline Printf Program Resource Shift_delay String

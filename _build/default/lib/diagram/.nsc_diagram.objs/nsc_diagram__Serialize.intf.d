@@ -1,0 +1,1 @@
+lib/diagram/serialize.pp.mli: Connection Dma_spec Fu_config Nsc_arch Pipeline Program

@@ -1,0 +1,1 @@
+lib/diagram/validate.pp.ml: Als Array Connection Icon Interrupt List Memory Nsc_arch Params Pipeline Ppx_deriving_runtime Printf Program Resource Shift_delay String

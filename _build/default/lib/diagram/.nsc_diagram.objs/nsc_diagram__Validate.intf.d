@@ -1,0 +1,1 @@
+lib/diagram/validate.pp.mli: Format Nsc_arch Pipeline Program

@@ -1,0 +1,70 @@
+(** Wiring connections between I/O pads.
+
+    A connection is what the rubber-band operation of Figure 8 creates: a
+    directed wire from a producing endpoint to a consuming endpoint.  When
+    either end is a memory plane or cache, the popup subwindow of Figure 9
+    supplies a {!Dma_spec.t} carried on the connection.
+
+    Endpoints are usually pads of placed icons; memory planes and caches may
+    also be referenced directly without a placed icon, exactly as in the
+    prototype (whose memory icons were "useful, but not currently
+    implemented"). *)
+
+open Nsc_arch
+
+type endpoint =
+  | Pad of { icon : Icon.id; pad : Icon.pad }
+  | Direct_memory of Resource.plane_id
+  | Direct_cache of Resource.cache_id
+[@@deriving show { with_path = false }, eq, ord]
+
+type id = int [@@deriving show, eq, ord]
+
+type t = {
+  id : id;
+  src : endpoint;  (** producing end *)
+  dst : endpoint;  (** consuming end *)
+  spec : Dma_spec.t option;
+      (** DMA programming; required exactly when an end is memory or cache *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let endpoint_to_string = function
+  | Pad { icon; pad } -> Printf.sprintf "icon%d.%s" icon (Icon.pad_to_string pad)
+  | Direct_memory p -> Printf.sprintf "mem%d" p
+  | Direct_cache c -> Printf.sprintf "cache%d" c
+
+let to_string c =
+  Printf.sprintf "#%d %s -> %s%s" c.id (endpoint_to_string c.src)
+    (endpoint_to_string c.dst)
+    (match c.spec with None -> "" | Some s -> " [" ^ Dma_spec.to_string s ^ "]")
+
+(** Does the endpoint denote a DMA-fed stream (memory or cache), whether as
+    a direct reference or through a placed icon?  [icon_kind] resolves icon
+    ids to their kinds. *)
+let is_dma_endpoint ~(icon_kind : Icon.id -> Icon.kind option) = function
+  | Direct_memory _ | Direct_cache _ -> true
+  | Pad { icon; pad = Icon.Flow_in | Icon.Flow_out } -> (
+      match icon_kind icon with
+      | Some (Icon.Memory_icon _ | Icon.Cache_icon _) -> true
+      | Some (Icon.Als_icon _ | Icon.Shift_delay_icon _) | None -> false)
+  | Pad _ -> false
+
+(** DMA channel denoted by the endpoint, if it is one. *)
+let dma_channel ~(icon_kind : Icon.id -> Icon.kind option) = function
+  | Direct_memory p -> Some (Dma.Plane p)
+  | Direct_cache c -> Some (Dma.Cache_chan c)
+  | Pad { icon; pad = Icon.Flow_in | Icon.Flow_out } -> (
+      match icon_kind icon with
+      | Some (Icon.Memory_icon p) -> Some (Dma.Plane p)
+      | Some (Icon.Cache_icon c) -> Some (Dma.Cache_chan c)
+      | Some (Icon.Als_icon _ | Icon.Shift_delay_icon _) | None -> None)
+  | Pad _ -> None
+
+(** Does the connection mention endpoint [e] (either end)? *)
+let mentions c e = equal_endpoint c.src e || equal_endpoint c.dst e
+
+(** Does the connection touch icon [icon_id]? *)
+let touches_icon c icon_id =
+  let touch = function Pad { icon; _ } -> icon = icon_id | Direct_memory _ | Direct_cache _ -> false in
+  touch c.src || touch c.dst

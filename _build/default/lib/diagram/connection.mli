@@ -1,0 +1,51 @@
+(** Wiring connections between I/O pads.
+
+    A connection is what the rubber-band operation of Figure 8 creates: a
+    directed wire from a producing endpoint to a consuming endpoint.  When
+    either end is a memory plane or cache, the popup subwindow of Figure 9
+    supplies a {!Dma_spec.t} carried on the connection.
+
+    Endpoints are usually pads of placed icons; memory planes and caches may
+    also be referenced directly without a placed icon, exactly as in the
+    prototype (whose memory icons were "useful, but not currently
+    implemented"). *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type endpoint =
+    Pad of { icon : Icon.id; pad : Icon.pad; }
+  | Direct_memory of Nsc_arch.Resource.plane_id
+  | Direct_cache of Nsc_arch.Resource.cache_id
+val pp_endpoint :
+  Format.formatter ->
+  endpoint -> unit
+val show_endpoint : endpoint -> string
+val equal_endpoint : endpoint -> endpoint -> bool
+val compare_endpoint : endpoint -> endpoint -> int
+type id = int
+val pp_id :
+  Format.formatter -> id -> unit
+val show_id : id -> string
+val equal_id : id -> id -> bool
+val compare_id : id -> id -> int
+type t = {
+  id : id;
+  src : endpoint;
+  dst : endpoint;
+  spec : Dma_spec.t option;
+}
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val endpoint_to_string : endpoint -> string
+val to_string : t -> string
+val is_dma_endpoint :
+  icon_kind:(Icon.id -> Icon.kind option) ->
+  endpoint -> bool
+val dma_channel :
+  icon_kind:(Icon.id -> Icon.kind option) ->
+  endpoint -> Nsc_arch.Dma.channel option
+val mentions : t -> endpoint -> bool
+val touches_icon : t -> Icon.id -> bool

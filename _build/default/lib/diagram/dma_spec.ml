@@ -1,0 +1,62 @@
+(** Data collected by the cache/memory connection popup subwindow.
+
+    Figure 9 of the paper shows the form: the plane (or cache) number, a
+    variable name or starting address, an offset, and a stride.  The count
+    defaults to the instruction's vector length. *)
+
+type target = To_plane of int | To_cache of int
+[@@deriving show { with_path = false }, eq, ord]
+
+type t = {
+  target : target;
+  variable : string option;
+      (** declared variable whose base address anchors the transfer; [None]
+          means [offset] is an absolute word address *)
+  offset : int;  (** word offset added to the variable's base (or absolute) *)
+  stride : int;  (** word step between consecutive vector elements *)
+  count : int;   (** element count; 0 = "use the instruction's vector length" *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let make ?variable ?(offset = 0) ?(stride = 1) ?(count = 0) target =
+  { target; variable; offset; stride; count }
+
+let target_to_string = function
+  | To_plane p -> Printf.sprintf "plane %d" p
+  | To_cache c -> Printf.sprintf "cache %d" c
+
+let to_string t =
+  Printf.sprintf "%s %s offset=%d stride=%d count=%s" (target_to_string t.target)
+    (match t.variable with Some v -> v | None -> "(absolute)")
+    t.offset t.stride
+    (if t.count = 0 then "vlen" else string_of_int t.count)
+
+(** Channel the spec addresses, in DMA terms. *)
+let channel t : Nsc_arch.Dma.channel =
+  match t.target with
+  | To_plane p -> Nsc_arch.Dma.Plane p
+  | To_cache c -> Nsc_arch.Dma.Cache_chan c
+
+(** Resolve the spec to a concrete transfer, given the direction and a
+    function resolving variable names to base word addresses.  Fails with
+    [Error] when the variable is undeclared. *)
+let resolve t ~direction ~(lookup : string -> int option) :
+    (Nsc_arch.Dma.transfer, string) result =
+  let base =
+    match t.variable with
+    | None -> Ok t.offset
+    | Some name -> (
+        match lookup name with
+        | Some b -> Ok (b + t.offset)
+        | None -> Error (Printf.sprintf "undeclared variable '%s'" name))
+  in
+  Result.map
+    (fun base ->
+      {
+        Nsc_arch.Dma.channel = channel t;
+        direction;
+        base;
+        stride = t.stride;
+        count = t.count;
+      })
+    base

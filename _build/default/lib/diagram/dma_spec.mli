@@ -1,0 +1,37 @@
+(** Data collected by the cache/memory connection popup subwindow.
+
+    Figure 9 of the paper shows the form: the plane (or cache) number, a
+    variable name or starting address, an offset, and a stride.  The count
+    defaults to the instruction's vector length. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type target = To_plane of int | To_cache of int
+val pp_target :
+  Format.formatter ->
+  target -> unit
+val show_target : target -> string
+val equal_target : target -> target -> bool
+val compare_target : target -> target -> int
+type t = {
+  target : target;
+  variable : string option;
+  offset : int;
+  stride : int;
+  count : int;
+}
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val make :
+  ?variable:string -> ?offset:int -> ?stride:int -> ?count:int -> target -> t
+val target_to_string : target -> string
+val to_string : t -> string
+val channel : t -> Nsc_arch.Dma.channel
+val resolve :
+  t ->
+  direction:Nsc_arch.Dma.direction ->
+  lookup:(string -> int option) -> (Nsc_arch.Dma.transfer, string) result

@@ -1,0 +1,151 @@
+(** A visual program: a numbered series of pipeline diagrams plus the
+    variable declarations and control-flow specification the display window
+    reserves its left-hand region for.
+
+    The control-panel editing operations of Section 5 — "insert, delete,
+    copy, and renumber pipelines" — live here; scrolling and jumping are
+    editor-state concerns. *)
+
+open Nsc_arch
+
+(** A declared variable: a named strided region of one memory plane.  The
+    DMA popup window resolves variable names against these. *)
+type declaration = {
+  name : string;
+  plane : Resource.plane_id;
+  base : int;    (** starting word address within the plane *)
+  length : int;  (** element count *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Control-flow specification interpreted by the central sequencer.
+    Conditions are interrupt-based (see {!Nsc_arch.Interrupt}): a [While]
+    re-runs its body as long as the captured scalar satisfies the
+    relation. *)
+type control =
+  | Exec of int  (** run pipeline number n *)
+  | Repeat of { count : int; body : control list }
+  | While of {
+      condition : Interrupt.condition;
+      max_iterations : int;  (** safety bound; 0 = unbounded *)
+      body : control list;
+    }
+  | Halt
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  name : string;
+  declarations : declaration list;
+  pipelines : Pipeline.t list;  (** kept sorted by [index], starting at 1 *)
+  control : control list;       (** empty means: run pipelines in order *)
+}
+[@@deriving show { with_path = false }, eq]
+
+let empty name = { name; declarations = []; pipelines = []; control = [] }
+
+(* Renumber pipelines 1..n preserving order. *)
+let renumber pipelines =
+  List.mapi (fun i (pl : Pipeline.t) -> { pl with Pipeline.index = i + 1 }) pipelines
+
+let pipeline_count t = List.length t.pipelines
+
+let find_pipeline t index =
+  List.find_opt (fun (pl : Pipeline.t) -> pl.Pipeline.index = index) t.pipelines
+
+(** Replace pipeline [index] wholesale (the editor writes back the diagram
+    it has been mutating). *)
+let update_pipeline t (pl : Pipeline.t) =
+  {
+    t with
+    pipelines =
+      List.map
+        (fun (q : Pipeline.t) -> if q.Pipeline.index = pl.Pipeline.index then pl else q)
+        t.pipelines;
+  }
+
+(** Insert a fresh empty pipeline at position [at] (1-based; existing
+    pipelines from [at] on shift up).  [at] beyond the end appends. *)
+let insert_pipeline ?(label = "") t ~at =
+  let at = max 1 (min at (pipeline_count t + 1)) in
+  let fresh = Pipeline.empty ~label 0 in
+  let rec ins i = function
+    | [] -> [ fresh ]
+    | pl :: rest -> if i = at then fresh :: pl :: rest else pl :: ins (i + 1) rest
+  in
+  let pipelines = renumber (ins 1 t.pipelines) in
+  ({ t with pipelines }, at)
+
+(** Append a fresh pipeline and return its number. *)
+let append_pipeline ?(label = "") t =
+  insert_pipeline ?label:(Some label) t ~at:(pipeline_count t + 1)
+
+(** Delete pipeline [index]; later pipelines are renumbered down. *)
+let delete_pipeline t ~index =
+  {
+    t with
+    pipelines =
+      renumber
+        (List.filter (fun (pl : Pipeline.t) -> pl.Pipeline.index <> index) t.pipelines);
+  }
+
+(** Copy pipeline [index] and insert the copy immediately after it,
+    returning the copy's number. *)
+let copy_pipeline t ~index =
+  match find_pipeline t index with
+  | None -> Error (Printf.sprintf "no pipeline %d to copy" index)
+  | Some src ->
+      let rec ins = function
+        | [] -> []
+        | (pl : Pipeline.t) :: rest ->
+            if pl.Pipeline.index = index then pl :: { src with Pipeline.index = 0 } :: rest
+            else pl :: ins rest
+      in
+      Ok ({ t with pipelines = renumber (ins t.pipelines) }, index + 1)
+
+(** Move pipeline [index] to position [to_] (the "renumber" panel op). *)
+let move_pipeline t ~index ~to_ =
+  match find_pipeline t index with
+  | None -> Error (Printf.sprintf "no pipeline %d to move" index)
+  | Some victim ->
+      let rest =
+        List.filter (fun (pl : Pipeline.t) -> pl.Pipeline.index <> index) t.pipelines
+      in
+      let to_ = max 1 (min to_ (List.length rest + 1)) in
+      let rec ins i = function
+        | [] -> [ victim ]
+        | pl :: tl -> if i = to_ then victim :: pl :: tl else pl :: ins (i + 1) tl
+      in
+      Ok { t with pipelines = renumber (ins 1 rest) }
+
+(** Declare a variable; [Error] on duplicate names. *)
+let declare t (d : declaration) =
+  if List.exists (fun (d' : declaration) -> String.equal d'.name d.name) t.declarations
+  then
+    Error (Printf.sprintf "variable '%s' is already declared" d.name)
+  else Ok { t with declarations = t.declarations @ [ d ] }
+
+let lookup_variable t name =
+  List.find_opt (fun (d : declaration) -> String.equal d.name name) t.declarations
+
+(** Base-address resolver handed to {!Dma_spec.resolve}. *)
+let variable_base t name = Option.map (fun d -> d.base) (lookup_variable t name)
+
+let set_control t control = { t with control }
+
+(** Effective control program: an explicit specification if present,
+    otherwise straight-line execution of the pipelines in order. *)
+let effective_control t =
+  match t.control with
+  | [] -> List.map (fun (pl : Pipeline.t) -> Exec pl.Pipeline.index) t.pipelines @ [ Halt ]
+  | c -> c
+
+(** Pipeline numbers referenced by the control program. *)
+let referenced_pipelines t =
+  let rec walk acc = function
+    | [] -> acc
+    | Exec n :: rest -> walk (n :: acc) rest
+    | Repeat { body; _ } :: rest | While { body; _ } :: rest ->
+        walk (walk acc body) rest
+    | Halt :: rest -> walk acc rest
+  in
+  List.sort_uniq compare (walk [] (effective_control t))

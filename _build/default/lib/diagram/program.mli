@@ -1,0 +1,73 @@
+(** A visual program: a numbered series of pipeline diagrams plus the
+    variable declarations and control-flow specification the display window
+    reserves its left-hand region for.
+
+    The control-panel editing operations of Section 5 — "insert, delete,
+    copy, and renumber pipelines" — live here; scrolling and jumping are
+    editor-state concerns. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type declaration = {
+  name : string;
+  plane : Nsc_arch.Resource.plane_id;
+  base : int;
+  length : int;
+}
+val pp_declaration :
+  Format.formatter ->
+  declaration -> unit
+val show_declaration : declaration -> string
+val equal_declaration :
+  declaration -> declaration -> bool
+type control =
+    Exec of int
+  | Repeat of { count : int; body : control list; }
+  | While of { condition : Nsc_arch.Interrupt.condition;
+      max_iterations : int; body : control list;
+    }
+  | Halt
+val pp_control :
+  Format.formatter ->
+  control -> unit
+val show_control : control -> string
+val equal_control : control -> control -> bool
+type t = {
+  name : string;
+  declarations : declaration list;
+  pipelines : Pipeline.t list;
+  control : control list;
+}
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val empty : string -> t
+val renumber : Pipeline.t list -> Pipeline.t list
+val pipeline_count : t -> int
+val find_pipeline : t -> int -> Pipeline.t option
+val update_pipeline : t -> Pipeline.t -> t
+(** Insert a fresh empty pipeline at a 1-based position; later pipelines
+    renumber up. *)
+val insert_pipeline : ?label:string -> t -> at:int -> t * int
+(** Append a fresh pipeline and return its number. *)
+val append_pipeline : ?label:string -> t -> t * int
+(** Delete a pipeline; later pipelines renumber down. *)
+val delete_pipeline : t -> index:int -> t
+(** Copy a pipeline in place (the control panel's Copy operation). *)
+val copy_pipeline : t -> index:int -> (t * int, string) result
+(** Move a pipeline to a new position (the Renumber operation). *)
+val move_pipeline : t -> index:int -> to_:int -> (t, string) result
+(** Declare a variable; [Error] on duplicate names. *)
+val declare : t -> declaration -> (t, string) result
+val lookup_variable : t -> String.t -> declaration option
+(** Base-address resolver handed to {!Dma_spec.resolve} and the
+    checker. *)
+val variable_base : t -> String.t -> int option
+val set_control : t -> control list -> t
+(** The sequencer programme: an explicit specification if present,
+    otherwise straight-line execution of the pipelines in order. *)
+val effective_control : t -> control list
+(** Pipeline numbers reachable from the control programme. *)
+val referenced_pipelines : t -> int list

@@ -1,0 +1,316 @@
+(** Semantic data structures: the machine-meaningful projection of a
+    pipeline diagram.
+
+    The paper distinguishes two kinds of internal editor data — display
+    management data (icon positions) and "semantic information which is
+    needed in order to generate microcode".  This module computes the
+    latter: which ALSs are engaged and how they are bypassed, what each
+    functional unit computes and where its operands come from, the switch
+    routes, the shift/delay programmes, and the DMA transfers.  The
+    prototype emitted exactly these structures as its output.
+
+    DMA engine slots are allocated here: each distinct transfer on a memory
+    plane or cache claims the channel's next engine; identical transfers
+    (e.g. one stream fanned out to several units) share an engine. *)
+
+open Nsc_arch
+
+(** Programme of one engaged functional unit. *)
+type unit_program = {
+  fu : Resource.fu_id;
+  op : Opcode.t;
+  a : Fu_config.input_binding;
+  b : Fu_config.input_binding;
+  delay_a : int;
+  delay_b : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Programme of one engaged shift/delay unit. *)
+type sd_program = { sd : Resource.sd_id; mode : Shift_delay.mode }
+[@@deriving show { with_path = false }, eq]
+
+(** A DMA transfer bound to the engine slot it runs on. *)
+type stream = {
+  transfer : Dma.transfer;
+  engine : [ `Read of Resource.source | `Write of Resource.sink ];
+      (** the slotted switch endpoint the engine exposes *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  index : int;
+  label : string;
+  vector_length : int;
+  bypasses : (Resource.als_id * Als.bypass) list;  (** engaged ALSs *)
+  units : unit_program list;
+  sds : sd_program list;
+  routes : Switch.route list;
+  streams : stream list;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Problems found while projecting; positions refer to connection ids so
+    the editor can highlight the offending wire. *)
+type issue = { connection : Connection.id option; message : string }
+[@@deriving show { with_path = false }, eq]
+
+let issue ?connection message = { connection; message }
+
+(* DMA engine allocator: per channel, the transfers already placed, in slot
+   order.  Identical transfers share a slot. *)
+type allocator = (Dma.channel, Dma.transfer list) Hashtbl.t
+
+let alloc_slot (al : allocator) channel transfer =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt al channel) in
+  let rec find i = function
+    | [] -> None
+    | t :: rest -> if Dma.equal_transfer t transfer then Some i else find (i + 1) rest
+  in
+  match find 0 existing with
+  | Some slot -> (slot, false)
+  | None ->
+      Hashtbl.replace al channel (existing @ [ transfer ]);
+      (List.length existing, true)
+
+(* Resolve the DMA spec carried on a connection, insisting that the spec's
+   target agree with the endpoint it programs. *)
+let resolve_transfer (c : Connection.t) ~direction ~expected ~lookup :
+    (Dma.transfer, issue) result =
+  match c.Connection.spec with
+  | None ->
+      Error
+        (issue ~connection:c.Connection.id
+           "memory/cache connection is missing its DMA specification (the popup \
+            subwindow was never completed)")
+  | Some spec ->
+      if not (Dma.equal_channel (Dma_spec.channel spec) expected) then
+        Error
+          (issue ~connection:c.Connection.id
+             (Printf.sprintf "DMA specification targets %s but the wire attaches to %s"
+                (Dma.channel_to_string (Dma_spec.channel spec))
+                (Dma.channel_to_string expected)))
+      else (
+        match Dma_spec.resolve spec ~direction ~lookup with
+        | Error e -> Error (issue ~connection:c.Connection.id e)
+        | Ok transfer -> Ok transfer)
+
+(* The DMA channel an endpoint denotes, if it is a memory/cache endpoint. *)
+let endpoint_channel (pl : Pipeline.t) = function
+  | Connection.Direct_memory plane -> Ok (Some (Dma.Plane plane))
+  | Connection.Direct_cache cache -> Ok (Some (Dma.Cache_chan cache))
+  | Connection.Pad { icon; pad } -> (
+      match Pipeline.find_icon pl icon with
+      | None -> Error (Printf.sprintf "icon %d does not exist" icon)
+      | Some ic -> (
+          match (ic.Icon.kind, pad) with
+          | Icon.Memory_icon plane, (Icon.Flow_in | Icon.Flow_out) ->
+              Ok (Some (Dma.Plane plane))
+          | Icon.Cache_icon cache, (Icon.Flow_in | Icon.Flow_out) ->
+              Ok (Some (Dma.Cache_chan cache))
+          | _ -> Ok None))
+
+(* Resolve a producing endpoint that is not DMA-fed. *)
+let resolve_plain_source (p : Params.t) (pl : Pipeline.t) (c : Connection.t) :
+    (Resource.source, issue) result =
+  let conn = c.Connection.id in
+  match c.Connection.src with
+  | Connection.Direct_memory _ | Connection.Direct_cache _ ->
+      assert false (* handled by the DMA path *)
+  | Connection.Pad { icon; pad } -> (
+      match Pipeline.find_icon pl icon with
+      | None -> Error (issue ~connection:conn (Printf.sprintf "icon %d does not exist" icon))
+      | Some ic -> (
+          match (ic.Icon.kind, pad) with
+          | Icon.Als_icon { als; bypass }, Icon.Out_pad slot ->
+              let size = Resource.als_size p als in
+              if List.mem slot (Als.active_slots ~size bypass) then
+                Ok (Resource.Src_fu { Resource.als; slot })
+              else
+                Error
+                  (issue ~connection:conn
+                     (Printf.sprintf "slot %d of ALS%d is bypassed" slot als))
+          | Icon.Shift_delay_icon { sd; _ }, Icon.Flow_out ->
+              Ok (Resource.Src_shift_delay sd)
+          | _, _ ->
+              Error
+                (issue ~connection:conn
+                   (Printf.sprintf "pad %s of icon %d cannot produce data"
+                      (Icon.pad_to_string pad) icon))))
+
+(* Resolve a consuming endpoint that is not DMA-fed. *)
+let resolve_plain_sink (p : Params.t) (pl : Pipeline.t) (c : Connection.t) :
+    (Resource.sink, issue) result =
+  let conn = c.Connection.id in
+  match c.Connection.dst with
+  | Connection.Direct_memory _ | Connection.Direct_cache _ -> assert false
+  | Connection.Pad { icon; pad } -> (
+      match Pipeline.find_icon pl icon with
+      | None -> Error (issue ~connection:conn (Printf.sprintf "icon %d does not exist" icon))
+      | Some ic -> (
+          match (ic.Icon.kind, pad) with
+          | Icon.Als_icon { als; bypass }, Icon.In_pad (slot, port) ->
+              let size = Resource.als_size p als in
+              if Als.port_is_external ~size bypass ~slot ~port then
+                Ok (Resource.Snk_fu ({ Resource.als; slot }, port))
+              else
+                Error
+                  (issue ~connection:conn
+                     (Printf.sprintf
+                        "port %s of ALS%d slot %d is fed internally, not from the switch"
+                        (Resource.port_to_string port) als slot))
+          | Icon.Shift_delay_icon { sd; _ }, Icon.Flow_in ->
+              Ok (Resource.Snk_shift_delay sd)
+          | _, _ ->
+              Error
+                (issue ~connection:conn
+                   (Printf.sprintf "pad %s of icon %d cannot consume data"
+                      (Icon.pad_to_string pad) icon))))
+
+(** Project a pipeline diagram to its semantic structures.  [lookup]
+    resolves declared variable names to base addresses (see
+    {!Program.variable_base}).  All problems are accumulated rather than
+    failing fast, so the editor can flag every offending wire at once. *)
+let of_pipeline (p : Params.t) ?(lookup = fun _ -> None) (pl : Pipeline.t) :
+    t * issue list =
+  let issues = ref [] in
+  let push i = issues := i :: !issues in
+  let bypasses =
+    List.filter_map
+      (fun (i : Icon.t) ->
+        match i.Icon.kind with
+        | Icon.Als_icon { als; bypass } -> Some (als, bypass)
+        | Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Shift_delay_icon _ -> None)
+      pl.Pipeline.icons
+  in
+  let units =
+    List.concat_map
+      (fun (i : Icon.t) ->
+        match i.Icon.kind with
+        | Icon.Als_icon { als; _ } ->
+            List.filter_map
+              (fun slot ->
+                let cfg = i.Icon.configs.(slot) in
+                match cfg.Fu_config.op with
+                | None -> None
+                | Some op ->
+                    Some
+                      {
+                        fu = { Resource.als; slot };
+                        op;
+                        a = cfg.Fu_config.a;
+                        b = cfg.Fu_config.b;
+                        delay_a = cfg.Fu_config.delay_a;
+                        delay_b = cfg.Fu_config.delay_b;
+                      })
+              (Icon.active_slots p i)
+        | Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Shift_delay_icon _ -> [])
+      pl.Pipeline.icons
+  in
+  let sds =
+    List.filter_map
+      (fun (i : Icon.t) ->
+        match i.Icon.kind with
+        | Icon.Shift_delay_icon { sd; mode } -> Some { sd; mode }
+        | Icon.Als_icon _ | Icon.Memory_icon _ | Icon.Cache_icon _ -> None)
+      pl.Pipeline.icons
+  in
+  let routes = ref [] and streams = ref [] in
+  let allocator : allocator = Hashtbl.create 8 in
+  let slotted_source channel slot =
+    match channel with
+    | Dma.Plane plane -> Resource.Src_memory (plane, slot)
+    | Dma.Cache_chan cache -> Resource.Src_cache (cache, slot)
+  in
+  let slotted_sink channel slot =
+    match channel with
+    | Dma.Plane plane -> Resource.Snk_memory (plane, slot)
+    | Dma.Cache_chan cache -> Resource.Snk_cache (cache, slot)
+  in
+  List.iter
+    (fun (c : Connection.t) ->
+      let src_result =
+        match endpoint_channel pl c.Connection.src with
+        | Error m -> Error (issue ~connection:c.Connection.id m)
+        | Ok (Some channel) -> (
+            match resolve_transfer c ~direction:Dma.Read ~expected:channel ~lookup with
+            | Error e -> Error e
+            | Ok transfer ->
+                let slot, fresh = alloc_slot allocator channel transfer in
+                let src = slotted_source channel slot in
+                if fresh then streams := { transfer; engine = `Read src } :: !streams;
+                Ok src)
+        | Ok None -> resolve_plain_source p pl c
+      in
+      let dst_result =
+        match endpoint_channel pl c.Connection.dst with
+        | Error m -> Error (issue ~connection:c.Connection.id m)
+        | Ok (Some channel) -> (
+            match resolve_transfer c ~direction:Dma.Write ~expected:channel ~lookup with
+            | Error e -> Error e
+            | Ok transfer ->
+                let slot, fresh = alloc_slot allocator channel transfer in
+                let snk = slotted_sink channel slot in
+                if fresh then streams := { transfer; engine = `Write snk } :: !streams;
+                Ok snk)
+        | Ok None -> resolve_plain_sink p pl c
+      in
+      match (src_result, dst_result) with
+      | Error e, Error e' ->
+          push e;
+          push e'
+      | Error e, Ok _ | Ok _, Error e -> push e
+      | Ok src, Ok snk ->
+          (match (src, snk) with
+          | ( (Resource.Src_memory _ | Resource.Src_cache _),
+              (Resource.Snk_memory _ | Resource.Snk_cache _) ) ->
+              push
+                (issue ~connection:c.Connection.id
+                   "a wire cannot join two DMA-fed devices directly; route the stream \
+                    through a functional unit")
+          | _ -> ());
+          routes := { Switch.src; snk } :: !routes)
+    pl.Pipeline.connections;
+  ( {
+      index = pl.Pipeline.index;
+      label = pl.Pipeline.label;
+      vector_length = pl.Pipeline.vector_length;
+      bypasses;
+      units;
+      sds;
+      routes = List.rev !routes;
+      streams = List.rev !streams;
+    },
+    List.rev !issues )
+
+(** Unit programme for a given functional unit, if engaged. *)
+let unit_for t fu =
+  List.find_opt (fun u -> Resource.equal_fu_id u.fu fu) t.units
+
+(** The switch source feeding a sink, per the projected routes. *)
+let source_feeding t snk =
+  List.find_map
+    (fun (r : Switch.route) ->
+      if Resource.equal_sink r.Switch.snk snk then Some r.Switch.src else None)
+    t.routes
+
+(** Read streams of the pipeline, with their slotted sources. *)
+let read_streams t =
+  List.filter_map
+    (fun s -> match s.engine with `Read src -> Some (src, s.transfer) | `Write _ -> None)
+    t.streams
+
+(** Write streams of the pipeline, with their slotted sinks. *)
+let write_streams t =
+  List.filter_map
+    (fun s -> match s.engine with `Write snk -> Some (snk, s.transfer) | `Read _ -> None)
+    t.streams
+
+(** Distinct DMA streams running on a channel. *)
+let streams_on t channel =
+  List.filter (fun s -> Dma.equal_channel s.transfer.Dma.channel channel) t.streams
+
+(** Floating-point operations one pass of the pipeline performs per vector
+    element. *)
+let flops_per_element t =
+  List.fold_left (fun acc u -> if Opcode.is_flop u.op then acc + 1 else acc) 0 t.units

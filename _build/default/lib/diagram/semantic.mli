@@ -1,0 +1,116 @@
+(** Semantic data structures: the machine-meaningful projection of a
+    pipeline diagram.
+
+    The paper distinguishes two kinds of internal editor data — display
+    management data (icon positions) and "semantic information which is
+    needed in order to generate microcode".  This module computes the
+    latter: which ALSs are engaged and how they are bypassed, what each
+    functional unit computes and where its operands come from, the switch
+    routes, the shift/delay programmes, and the DMA transfers.  The
+    prototype emitted exactly these structures as its output.
+
+    DMA engine slots are allocated here: each distinct transfer on a memory
+    plane or cache claims the channel's next engine; identical transfers
+    (e.g. one stream fanned out to several units) share an engine. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type unit_program = {
+  fu : Nsc_arch.Resource.fu_id;
+  op : Nsc_arch.Opcode.t;
+  a : Fu_config.input_binding;
+  b : Fu_config.input_binding;
+  delay_a : int;
+  delay_b : int;
+}
+val pp_unit_program :
+  Format.formatter ->
+  unit_program -> unit
+val show_unit_program : unit_program -> string
+val equal_unit_program :
+  unit_program -> unit_program -> bool
+type sd_program = {
+  sd : Nsc_arch.Resource.sd_id;
+  mode : Nsc_arch.Shift_delay.mode;
+}
+val pp_sd_program :
+  Format.formatter ->
+  sd_program -> unit
+val show_sd_program : sd_program -> string
+val equal_sd_program : sd_program -> sd_program -> bool
+type stream = {
+  transfer : Nsc_arch.Dma.transfer;
+  engine :
+    [ `Read of Nsc_arch.Resource.source | `Write of Nsc_arch.Resource.sink ];
+}
+val pp_stream :
+  Format.formatter ->
+  stream -> unit
+val show_stream : stream -> string
+val equal_stream : stream -> stream -> bool
+type t = {
+  index : int;
+  label : string;
+  vector_length : int;
+  bypasses : (Nsc_arch.Resource.als_id * Nsc_arch.Als.bypass) list;
+  units : unit_program list;
+  sds : sd_program list;
+  routes : Nsc_arch.Switch.route list;
+  streams : stream list;
+}
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+type issue = {
+  connection : Connection.id option;
+  message : string;
+}
+val pp_issue :
+  Format.formatter -> issue -> unit
+val show_issue : issue -> string
+val equal_issue : issue -> issue -> bool
+val issue : ?connection:Connection.id -> string -> issue
+type allocator = (Nsc_arch.Dma.channel, Nsc_arch.Dma.transfer list) Hashtbl.t
+val alloc_slot :
+  allocator -> Nsc_arch.Dma.channel -> Nsc_arch.Dma.transfer -> int * bool
+val resolve_transfer :
+  Connection.t ->
+  direction:Nsc_arch.Dma.direction ->
+  expected:Nsc_arch.Dma.channel ->
+  lookup:(string -> int option) -> (Nsc_arch.Dma.transfer, issue) result
+val endpoint_channel :
+  Pipeline.t ->
+  Connection.endpoint ->
+  (Nsc_arch.Dma.channel option, string) result
+val resolve_plain_source :
+  Nsc_arch.Params.t ->
+  Pipeline.t ->
+  Connection.t -> (Nsc_arch.Resource.source, issue) result
+val resolve_plain_sink :
+  Nsc_arch.Params.t ->
+  Pipeline.t ->
+  Connection.t -> (Nsc_arch.Resource.sink, issue) result
+(** Project a diagram to its semantic structures, allocating DMA engine
+    slots (identical transfers share an engine).  [lookup] resolves
+    declared variable names; problems accumulate as issues so the editor
+    can flag every offending wire at once. *)
+val of_pipeline :
+  Nsc_arch.Params.t ->
+  ?lookup:(string -> int option) -> Pipeline.t -> t * issue list
+(** The programme of a functional unit, if engaged. *)
+val unit_for : t -> Nsc_arch.Resource.fu_id -> unit_program option
+(** The switch source feeding a sink, per the projected routes. *)
+val source_feeding :
+  t -> Nsc_arch.Resource.sink -> Nsc_arch.Resource.source option
+(** Read streams with their slotted sources. *)
+val read_streams :
+  t -> (Nsc_arch.Resource.source * Nsc_arch.Dma.transfer) list
+(** Write streams with their slotted sinks. *)
+val write_streams :
+  t -> (Nsc_arch.Resource.sink * Nsc_arch.Dma.transfer) list
+(** Distinct DMA streams running on a channel. *)
+val streams_on : t -> Nsc_arch.Dma.channel -> stream list
+(** Floating-point operations one pass performs per vector element. *)
+val flops_per_element : t -> int

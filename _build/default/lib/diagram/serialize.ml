@@ -1,0 +1,507 @@
+(** Save and restore visual programs.
+
+    The graphical editor must be able to "save the results"; this module
+    defines the on-disk form: a line-oriented, whitespace-tokenised text
+    format that round-trips the full program, display data included.  The
+    format is deliberately diff-friendly so saved programs can live under
+    version control. *)
+
+open Nsc_arch
+
+(* Labels may contain spaces; the format is token-based, so encode them. *)
+let encode_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | ' ' -> Buffer.add_string buf "%20"
+      | '%' -> Buffer.add_string buf "%25"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let decode_label s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '%' && i + 2 < n then begin
+        (match String.sub s (i + 1) 2 with
+        | "20" -> Buffer.add_char buf ' '
+        | "25" -> Buffer.add_char buf '%'
+        | "0A" -> Buffer.add_char buf '\n'
+        | other -> Buffer.add_string buf ("%" ^ other));
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let bypass_to_string = function
+  | Als.No_bypass -> "none"
+  | Als.Keep_head -> "head"
+  | Als.Keep_tail -> "tail"
+
+let bypass_of_string = function
+  | "none" -> Some Als.No_bypass
+  | "head" -> Some Als.Keep_head
+  | "tail" -> Some Als.Keep_tail
+  | _ -> None
+
+let binding_to_string = function
+  | Fu_config.From_switch -> "switch"
+  | Fu_config.From_chain -> "chain"
+  | Fu_config.From_constant c -> Printf.sprintf "const:%h" c
+  | Fu_config.From_feedback n -> Printf.sprintf "fb:%d" n
+  | Fu_config.Unbound -> "unbound"
+
+let binding_of_string s =
+  match s with
+  | "switch" -> Some Fu_config.From_switch
+  | "chain" -> Some Fu_config.From_chain
+  | "unbound" -> Some Fu_config.Unbound
+  | _ ->
+      if String.length s > 6 && String.sub s 0 6 = "const:" then
+        Option.map
+          (fun c -> Fu_config.From_constant c)
+          (float_of_string_opt (String.sub s 6 (String.length s - 6)))
+      else if String.length s > 3 && String.sub s 0 3 = "fb:" then
+        Option.map
+          (fun n -> Fu_config.From_feedback n)
+          (int_of_string_opt (String.sub s 3 (String.length s - 3)))
+      else None
+
+let endpoint_to_string = function
+  | Connection.Pad { icon; pad } ->
+      Printf.sprintf "icon%d.%s" icon (Icon.pad_to_string pad)
+  | Connection.Direct_memory p -> Printf.sprintf "mem%d" p
+  | Connection.Direct_cache c -> Printf.sprintf "cache%d" c
+
+let endpoint_of_string s =
+  let num prefix =
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      int_of_string_opt (String.sub s pl (String.length s - pl))
+    else None
+  in
+  match num "mem" with
+  | Some p -> Some (Connection.Direct_memory p)
+  | None -> (
+      match num "cache" with
+      | Some c -> Some (Connection.Direct_cache c)
+      | None -> (
+          match String.index_opt s '.' with
+          | Some dot when String.length s > 4 && String.sub s 0 4 = "icon" -> (
+              let id = int_of_string_opt (String.sub s 4 (dot - 4)) in
+              let pad =
+                Icon.pad_of_string (String.sub s (dot + 1) (String.length s - dot - 1))
+              in
+              match (id, pad) with
+              | Some icon, Some pad -> Some (Connection.Pad { icon; pad })
+              | _ -> None)
+          | _ -> None))
+
+let spec_to_string (s : Dma_spec.t) =
+  let target =
+    match s.target with
+    | Dma_spec.To_plane p -> Printf.sprintf "plane=%d" p
+    | Dma_spec.To_cache c -> Printf.sprintf "cache=%d" c
+  in
+  let var = match s.variable with Some v -> " var=" ^ v | None -> "" in
+  Printf.sprintf "%s%s offset=%d stride=%d count=%d" target var s.offset s.stride s.count
+
+(* key=value token helpers *)
+let kv_of_tokens tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i -> Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None)
+    tokens
+
+let find_int kvs key = Option.bind (List.assoc_opt key kvs) int_of_string_opt
+let find_str kvs key = List.assoc_opt key kvs
+
+let spec_of_tokens tokens : Dma_spec.t option =
+  let kvs = kv_of_tokens tokens in
+  let target =
+    match (find_int kvs "plane", find_int kvs "cache") with
+    | Some p, None -> Some (Dma_spec.To_plane p)
+    | None, Some c -> Some (Dma_spec.To_cache c)
+    | _ -> None
+  in
+  match target with
+  | None -> None
+  | Some target ->
+      Some
+        {
+          Dma_spec.target;
+          variable = find_str kvs "var";
+          offset = Option.value ~default:0 (find_int kvs "offset");
+          stride = Option.value ~default:1 (find_int kvs "stride");
+          count = Option.value ~default:0 (find_int kvs "count");
+        }
+
+let fu_ref_to_string (fu : Resource.fu_id) = Resource.fu_to_string fu
+
+let fu_ref_of_string s : Resource.fu_id option =
+  (* form: als<N>.u<M> *)
+  match String.index_opt s '.' with
+  | Some dot
+    when dot > 3
+         && String.sub s 0 3 = "als"
+         && String.length s > dot + 2
+         && s.[dot + 1] = 'u' -> (
+      match
+        ( int_of_string_opt (String.sub s 3 (dot - 3)),
+          int_of_string_opt (String.sub s (dot + 2) (String.length s - dot - 2)) )
+      with
+      | Some als, Some slot -> Some { Resource.als; slot }
+      | _ -> None)
+  | _ -> None
+
+let relation_of_string = function
+  | "<" -> Some Interrupt.Rlt
+  | "<=" -> Some Interrupt.Rle
+  | "=" -> Some Interrupt.Req
+  | "<>" -> Some Interrupt.Rne
+  | ">=" -> Some Interrupt.Rge
+  | ">" -> Some Interrupt.Rgt
+  | _ -> None
+
+(** Render a program to its textual form. *)
+let to_string (prog : Program.t) : string =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "program %s" prog.Program.name;
+  List.iter
+    (fun (d : Program.declaration) ->
+      line "declare %s plane=%d base=%d length=%d" d.name d.plane d.base d.length)
+    prog.Program.declarations;
+  List.iter
+    (fun (pl : Pipeline.t) ->
+      line "pipeline %d vlen=%d label=%s" pl.Pipeline.index pl.Pipeline.vector_length
+        (if pl.Pipeline.label = "" then "-" else encode_label pl.Pipeline.label);
+      List.iter
+        (fun (i : Icon.t) ->
+          let pos = i.Icon.pos in
+          (match i.Icon.kind with
+          | Icon.Als_icon { als; bypass } ->
+              line "icon %d als %d bypass=%s at %d %d" i.Icon.id als
+                (bypass_to_string bypass) pos.Geometry.x pos.Geometry.y
+          | Icon.Memory_icon p ->
+              line "icon %d mem %d at %d %d" i.Icon.id p pos.Geometry.x pos.Geometry.y
+          | Icon.Cache_icon c ->
+              line "icon %d cache %d at %d %d" i.Icon.id c pos.Geometry.x pos.Geometry.y
+          | Icon.Shift_delay_icon { sd; mode } ->
+              let m =
+                match mode with
+                | Shift_delay.Delay d -> Printf.sprintf "delay %d" d
+                | Shift_delay.Shift o -> Printf.sprintf "shift %d" o
+              in
+              line "icon %d sd %d %s at %d %d" i.Icon.id sd m pos.Geometry.x pos.Geometry.y);
+          Array.iteri
+            (fun slot (cfg : Fu_config.t) ->
+              match cfg.Fu_config.op with
+              | None -> ()
+              | Some op ->
+                  line "config %d %d op=%s a=%s b=%s za=%d zb=%d" i.Icon.id slot
+                    (Opcode.mnemonic op)
+                    (binding_to_string cfg.Fu_config.a)
+                    (binding_to_string cfg.Fu_config.b)
+                    cfg.Fu_config.delay_a cfg.Fu_config.delay_b)
+            i.Icon.configs)
+        pl.Pipeline.icons;
+      List.iter
+        (fun (c : Connection.t) ->
+          let spec =
+            match c.Connection.spec with
+            | None -> ""
+            | Some s -> " spec " ^ spec_to_string s
+          in
+          line "connect %d %s -> %s%s" c.Connection.id
+            (endpoint_to_string c.Connection.src)
+            (endpoint_to_string c.Connection.dst)
+            spec)
+        pl.Pipeline.connections)
+    prog.Program.pipelines;
+  if prog.Program.control <> [] then begin
+    line "control";
+    let rec emit depth cs =
+      let pad = String.make (depth * 2) ' ' in
+      List.iter
+        (function
+          | Program.Exec n -> line "%sexec %d" pad n
+          | Program.Halt -> line "%shalt" pad
+          | Program.Repeat { count; body } ->
+              line "%srepeat %d" pad count;
+              emit (depth + 1) body;
+              line "%sendrepeat" pad
+          | Program.While { condition; max_iterations; body } ->
+              line "%swhile %s %s %h max=%d" pad
+                (fu_ref_to_string condition.Interrupt.unit_watched)
+                (Interrupt.relation_to_string condition.Interrupt.relation)
+                condition.Interrupt.threshold max_iterations;
+              emit (depth + 1) body;
+              line "%sendwhile" pad)
+        cs
+    in
+    emit 1 prog.Program.control;
+    line "endcontrol"
+  end;
+  line "end";
+  Buffer.contents buf
+
+type parse_state = {
+  mutable prog : Program.t;
+  mutable current : Pipeline.t option;
+  mutable lineno : int;
+}
+
+let fail st msg = Error (Printf.sprintf "line %d: %s" st.lineno msg)
+
+let tokens_of_line l =
+  String.split_on_char ' ' l |> List.filter (fun s -> s <> "")
+
+(* Store the current pipeline back into the program. *)
+let flush_pipeline st =
+  match st.current with
+  | None -> ()
+  | Some pl ->
+      let prog = st.prog in
+      let exists = Option.is_some (Program.find_pipeline prog pl.Pipeline.index) in
+      st.prog <-
+        (if exists then Program.update_pipeline prog pl
+         else { prog with Program.pipelines = prog.Program.pipelines @ [ pl ] });
+      st.current <- None
+
+(** Parse a program from its textual form. *)
+let of_string (p : Params.t) (text : string) : (Program.t, string) result =
+  let st = { prog = Program.empty "unnamed"; current = None; lineno = 0 } in
+  let lines = String.split_on_char '\n' text in
+  let rec parse_control acc = function
+    (* returns (control list, remaining lines) or an error *)
+    | [] -> Error "unterminated control section"
+    | l :: rest -> (
+        st.lineno <- st.lineno + 1;
+        match tokens_of_line l with
+        | [] -> parse_control acc rest
+        | [ "endcontrol" ] | [ "endrepeat" ] | [ "endwhile" ] ->
+            Ok (List.rev acc, rest)
+        | [ "exec"; n ] -> (
+            match int_of_string_opt n with
+            | Some n -> parse_control (Program.Exec n :: acc) rest
+            | None -> Error "bad exec operand")
+        | [ "halt" ] -> parse_control (Program.Halt :: acc) rest
+        | [ "repeat"; n ] -> (
+            match int_of_string_opt n with
+            | None -> Error "bad repeat count"
+            | Some count -> (
+                match parse_control [] rest with
+                | Error e -> Error e
+                | Ok (body, rest) ->
+                    parse_control (Program.Repeat { count; body } :: acc) rest))
+        | "while" :: fu :: rel :: thr :: more -> (
+            let max_iterations =
+              match kv_of_tokens more with
+              | kvs -> Option.value ~default:0 (find_int kvs "max")
+            in
+            match
+              (fu_ref_of_string fu, relation_of_string rel, float_of_string_opt thr)
+            with
+            | Some unit_watched, Some relation, Some threshold -> (
+                match parse_control [] rest with
+                | Error e -> Error e
+                | Ok (body, rest) ->
+                    parse_control
+                      (Program.While
+                         {
+                           condition = { Interrupt.unit_watched; relation; threshold };
+                           max_iterations;
+                           body;
+                         }
+                      :: acc)
+                      rest)
+            | _ -> Error "bad while condition")
+        | tok :: _ -> Error (Printf.sprintf "unexpected token '%s' in control section" tok))
+  in
+  let rec go = function
+    | [] ->
+        flush_pipeline st;
+        Ok st.prog
+    | l :: rest -> (
+        st.lineno <- st.lineno + 1;
+        match tokens_of_line l with
+        | [] -> go rest
+        | [ "end" ] ->
+            flush_pipeline st;
+            Ok st.prog
+        | [ "program"; name ] ->
+            st.prog <- { st.prog with Program.name };
+            go rest
+        | "declare" :: name :: kv -> (
+            let kvs = kv_of_tokens kv in
+            match (find_int kvs "plane", find_int kvs "base", find_int kvs "length") with
+            | Some plane, Some base, Some length -> (
+                match Program.declare st.prog { Program.name; plane; base; length } with
+                | Ok prog ->
+                    st.prog <- prog;
+                    go rest
+                | Error e -> fail st e)
+            | _ -> fail st "declare needs plane=, base=, length=")
+        | "pipeline" :: idx :: kv -> (
+            flush_pipeline st;
+            match int_of_string_opt idx with
+            | None -> fail st "bad pipeline number"
+            | Some index ->
+                let kvs = kv_of_tokens kv in
+                let vlen = Option.value ~default:1 (find_int kvs "vlen") in
+                let label =
+                  match find_str kvs "label" with
+                  | Some "-" | None -> ""
+                  | Some l -> decode_label l
+                in
+                st.current <-
+                  Some { (Pipeline.empty ~label index) with Pipeline.vector_length = vlen };
+                go rest)
+        | "icon" :: id :: what :: more -> (
+            match (st.current, int_of_string_opt id) with
+            | None, _ -> fail st "icon outside a pipeline"
+            | _, None -> fail st "bad icon id"
+            | Some pl, Some id -> (
+                let at_pos tokens =
+                  match tokens with
+                  | [ "at"; x; y ] -> (
+                      match (int_of_string_opt x, int_of_string_opt y) with
+                      | Some x, Some y -> Some (Geometry.point x y)
+                      | _ -> None)
+                  | _ -> None
+                in
+                let mk kind tokens =
+                  match at_pos tokens with
+                  | None -> fail st "icon needs 'at x y'"
+                  | Some pos ->
+                      let icon = Icon.make p ~id ~kind ~pos in
+                      st.current <-
+                        Some
+                          {
+                            pl with
+                            Pipeline.icons = pl.Pipeline.icons @ [ icon ];
+                            next_icon_id = max pl.Pipeline.next_icon_id (id + 1);
+                          };
+                      go rest
+                in
+                match (what, more) with
+                | "als", als :: kv_and_at -> (
+                    match int_of_string_opt als with
+                    | None -> fail st "bad ALS number"
+                    | Some als ->
+                        let kvs = kv_of_tokens kv_and_at in
+                        let bypass =
+                          Option.bind (find_str kvs "bypass") bypass_of_string
+                          |> Option.value ~default:Als.No_bypass
+                        in
+                        let at = List.filter (fun t -> not (String.contains t '=')) kv_and_at in
+                        mk (Icon.Als_icon { als; bypass }) at)
+                | "mem", plane :: at -> (
+                    match int_of_string_opt plane with
+                    | Some plane -> mk (Icon.Memory_icon plane) at
+                    | None -> fail st "bad plane number")
+                | "cache", c :: at -> (
+                    match int_of_string_opt c with
+                    | Some c -> mk (Icon.Cache_icon c) at
+                    | None -> fail st "bad cache number")
+                | "sd", sd :: mode :: arg :: at -> (
+                    match (int_of_string_opt sd, int_of_string_opt arg) with
+                    | Some sd, Some n -> (
+                        match mode with
+                        | "delay" ->
+                            mk (Icon.Shift_delay_icon { sd; mode = Shift_delay.Delay n }) at
+                        | "shift" ->
+                            mk (Icon.Shift_delay_icon { sd; mode = Shift_delay.Shift n }) at
+                        | _ -> fail st "bad shift/delay mode")
+                    | _ -> fail st "bad shift/delay icon")
+                | _ -> fail st "unknown icon form"))
+        | "config" :: id :: slot :: kv -> (
+            match (st.current, int_of_string_opt id, int_of_string_opt slot) with
+            | None, _, _ -> fail st "config outside a pipeline"
+            | _, None, _ | _, _, None -> fail st "bad config reference"
+            | Some pl, Some id, Some slot -> (
+                let kvs = kv_of_tokens kv in
+                let op = Option.bind (find_str kvs "op") Opcode.of_mnemonic in
+                let bind key =
+                  Option.bind (find_str kvs key) binding_of_string
+                  |> Option.value ~default:Fu_config.Unbound
+                in
+                match op with
+                | None -> fail st "config needs a valid op="
+                | Some op -> (
+                    let cfg =
+                      {
+                        Fu_config.op = Some op;
+                        a = bind "a";
+                        b = bind "b";
+                        delay_a = Option.value ~default:0 (find_int kvs "za");
+                        delay_b = Option.value ~default:0 (find_int kvs "zb");
+                      }
+                    in
+                    try
+                      st.current <- Some (Pipeline.set_config pl ~id ~slot cfg);
+                      go rest
+                    with Invalid_argument m -> fail st m)))
+        | "connect" :: id :: src :: "->" :: dst :: more -> (
+            match (st.current, int_of_string_opt id) with
+            | None, _ -> fail st "connect outside a pipeline"
+            | _, None -> fail st "bad connection id"
+            | Some pl, Some id -> (
+                match (endpoint_of_string src, endpoint_of_string dst) with
+                | Some src, Some dst ->
+                    let spec =
+                      match more with
+                      | "spec" :: spec_tokens -> spec_of_tokens spec_tokens
+                      | _ -> None
+                    in
+                    if more <> [] && spec = None then fail st "bad DMA specification"
+                    else begin
+                      let c = { Connection.id; src; dst; spec } in
+                      st.current <-
+                        Some
+                          {
+                            pl with
+                            Pipeline.connections = pl.Pipeline.connections @ [ c ];
+                            next_conn_id = max pl.Pipeline.next_conn_id (id + 1);
+                          };
+                      go rest
+                    end
+                | _ -> fail st "bad connection endpoint"))
+        | [ "control" ] -> (
+            flush_pipeline st;
+            match parse_control [] rest with
+            | Error e -> fail st e
+            | Ok (control, rest) ->
+                st.prog <- Program.set_control st.prog control;
+                go rest)
+        | tok :: _ -> fail st (Printf.sprintf "unknown directive '%s'" tok))
+  in
+  go lines
+
+(** Write a program to [path]. *)
+let save (prog : Program.t) ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string prog))
+
+(** Load a program from [path]. *)
+let load (p : Params.t) ~path : (Program.t, string) result =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string p text)

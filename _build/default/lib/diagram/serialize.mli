@@ -1,0 +1,41 @@
+(** Save and restore visual programs.
+
+    The graphical editor must be able to "save the results"; this module
+    defines the on-disk form: a line-oriented, whitespace-tokenised text
+    format that round-trips the full program, display data included.  The
+    format is deliberately diff-friendly so saved programs can live under
+    version control. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val encode_label : string -> string
+val decode_label : string -> string
+val bypass_to_string : Nsc_arch.Als.bypass -> string
+val bypass_of_string : string -> Nsc_arch.Als.bypass option
+val binding_to_string : Fu_config.input_binding -> string
+val binding_of_string : string -> Fu_config.input_binding option
+val endpoint_to_string : Connection.endpoint -> string
+val endpoint_of_string : string -> Connection.endpoint option
+val spec_to_string : Dma_spec.t -> string
+val kv_of_tokens : string list -> (string * string) list
+val find_int : ('a * string) list -> 'a -> int option
+val find_str : ('a * 'b) list -> 'a -> 'b option
+val spec_of_tokens : string list -> Dma_spec.t option
+val fu_ref_to_string : Nsc_arch.Resource.fu_id -> string
+val fu_ref_of_string : string -> Nsc_arch.Resource.fu_id option
+val relation_of_string : string -> Nsc_arch.Interrupt.relation option
+val to_string : Program.t -> string
+type parse_state = {
+  mutable prog : Program.t;
+  mutable current : Pipeline.t option;
+  mutable lineno : int;
+}
+val fail : parse_state -> string -> ('a, string) result
+val tokens_of_line : string -> string list
+val flush_pipeline : parse_state -> unit
+val of_string :
+  Nsc_arch.Params.t -> string -> (Program.t, string) result
+val save : Program.t -> path:string -> unit
+val load :
+  Nsc_arch.Params.t -> path:string -> (Program.t, string) result

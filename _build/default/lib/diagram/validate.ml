@@ -1,0 +1,166 @@
+(** Structural well-formedness of diagrams, independent of machine rules.
+
+    These checks guard the data structures themselves (dangling icon ids,
+    duplicate bindings, out-of-range slots); architectural legality is the
+    checker library's concern. *)
+
+open Nsc_arch
+
+type problem = { where : string; message : string }
+[@@deriving show { with_path = false }, eq]
+
+let problem where fmt = Printf.ksprintf (fun message -> { where; message }) fmt
+
+(** Structural problems of one pipeline diagram. *)
+let pipeline (p : Params.t) (pl : Pipeline.t) : problem list =
+  let where = Printf.sprintf "pipeline %d" pl.Pipeline.index in
+  let out = ref [] in
+  let push pr = out := pr :: !out in
+  if pl.Pipeline.vector_length < 1 then
+    push (problem where "vector length must be at least 1");
+  (* icon ids unique *)
+  let ids = List.map (fun (i : Icon.t) -> i.Icon.id) pl.Pipeline.icons in
+  if List.length ids <> List.length (List.sort_uniq compare ids) then
+    push (problem where "duplicate icon ids");
+  (* ALS bound at most once *)
+  let als = Pipeline.used_als pl in
+  if List.length als <> List.length (List.sort_uniq compare als) then
+    push (problem where "an ALS is bound to two icons");
+  let sds = Pipeline.used_shift_delay pl in
+  if List.length sds <> List.length (List.sort_uniq compare sds) then
+    push (problem where "a shift/delay unit is bound to two icons");
+  (* icons reference real hardware *)
+  List.iter
+    (fun (i : Icon.t) ->
+      match i.Icon.kind with
+      | Icon.Als_icon { als; bypass } ->
+          if als < 0 || als >= Params.n_als p then
+            push (problem where "icon %d references ALS%d which does not exist" i.Icon.id als)
+          else begin
+            let size = Resource.als_size p als in
+            if not (List.mem bypass (Als.legal_bypasses ~size)) then
+              push
+                (problem where "icon %d uses a bypass configuration illegal for its ALS"
+                   i.Icon.id);
+            if Array.length i.Icon.configs <> size then
+              push (problem where "icon %d has a malformed configuration array" i.Icon.id)
+          end
+      | Icon.Memory_icon pl' ->
+          if pl' < 0 || pl' >= p.n_memory_planes then
+            push (problem where "icon %d references memory plane %d" i.Icon.id pl')
+      | Icon.Cache_icon c ->
+          if c < 0 || c >= p.n_caches then
+            push (problem where "icon %d references cache %d" i.Icon.id c)
+      | Icon.Shift_delay_icon { sd; mode } ->
+          if sd < 0 || sd >= p.n_shift_delay then
+            push (problem where "icon %d references shift/delay unit %d" i.Icon.id sd)
+          else
+            List.iter
+              (fun m -> push (problem where "icon %d: %s" i.Icon.id m))
+              (Shift_delay.validate p mode))
+    pl.Pipeline.icons;
+  (* connection ids unique, endpoints resolvable *)
+  let cids = List.map (fun (c : Connection.t) -> c.Connection.id) pl.Pipeline.connections in
+  if List.length cids <> List.length (List.sort_uniq compare cids) then
+    push (problem where "duplicate connection ids");
+  List.iter
+    (fun (c : Connection.t) ->
+      let check_end role = function
+        | Connection.Pad { icon; pad } -> (
+            match Pipeline.find_icon pl icon with
+            | None ->
+                push
+                  (problem where "connection %d %s references missing icon %d"
+                     c.Connection.id role icon)
+            | Some ic ->
+                if not (List.mem_assoc pad (Icon.pads p ic)) then
+                  push
+                    (problem where "connection %d %s references pad %s absent from icon %d"
+                       c.Connection.id role (Icon.pad_to_string pad) icon))
+        | Connection.Direct_memory plane ->
+            if plane < 0 || plane >= p.n_memory_planes then
+              push
+                (problem where "connection %d %s references memory plane %d"
+                   c.Connection.id role plane)
+        | Connection.Direct_cache cache ->
+            if cache < 0 || cache >= p.n_caches then
+              push
+                (problem where "connection %d %s references cache %d" c.Connection.id role
+                   cache)
+      in
+      check_end "source" c.Connection.src;
+      check_end "destination" c.Connection.dst)
+    pl.Pipeline.connections;
+  List.rev !out
+
+(** Structural problems of a whole program. *)
+let program (p : Params.t) (prog : Program.t) : problem list =
+  let out = ref [] in
+  let push pr = out := pr :: !out in
+  (* pipeline numbering must be 1..n in order *)
+  List.iteri
+    (fun i (pl : Pipeline.t) ->
+      if pl.Pipeline.index <> i + 1 then
+        push (problem "program" "pipelines are misnumbered at position %d" (i + 1)))
+    prog.Program.pipelines;
+  (* declarations: unique names, extents within planes, no overlap *)
+  let decls = prog.Program.declarations in
+  let names = List.map (fun (d : Program.declaration) -> d.name) decls in
+  if List.length names <> List.length (List.sort_uniq String.compare names) then
+    push (problem "declarations" "duplicate variable names");
+  let extents =
+    List.map
+      (fun (d : Program.declaration) ->
+        ( d,
+          {
+            Memory.plane = d.plane;
+            lo = d.base;
+            hi = d.base + d.length;
+          } ))
+      decls
+  in
+  List.iter
+    (fun ((d : Program.declaration), e) ->
+      List.iter
+        (fun m -> push (problem ("variable " ^ d.name) "%s" m))
+        (Memory.validate_extent p e);
+      if d.length <= 0 then push (problem ("variable " ^ d.name) "length must be positive"))
+    extents;
+  let rec pairwise = function
+    | [] -> ()
+    | ((d1 : Program.declaration), e1) :: rest ->
+        List.iter
+          (fun ((d2 : Program.declaration), e2) ->
+            if Memory.extents_overlap e1 e2 then
+              push
+                (problem "declarations" "variables '%s' and '%s' overlap in plane %d"
+                   d1.name d2.name d1.plane))
+          rest;
+        pairwise rest
+  in
+  pairwise extents;
+  (* control references existing pipelines; Repeat counts positive *)
+  let n = Program.pipeline_count prog in
+  let rec walk = function
+    | [] -> ()
+    | Program.Exec i :: rest ->
+        if i < 1 || i > n then
+          push (problem "control" "exec references pipeline %d of %d" i n);
+        walk rest
+    | Program.Repeat { count; body } :: rest ->
+        if count < 0 then push (problem "control" "repeat count must be non-negative");
+        walk body;
+        walk rest
+    | Program.While { max_iterations; body; condition } :: rest ->
+        if max_iterations < 0 then
+          push (problem "control" "while bound must be non-negative");
+        if not (Resource.fu_valid p condition.Interrupt.unit_watched) then
+          push (problem "control" "while condition watches a unit that does not exist");
+        walk body;
+        walk rest
+    | Program.Halt :: rest -> walk rest
+  in
+  walk (Program.effective_control prog);
+  (* per-pipeline structural checks *)
+  List.iter (fun pl -> out := List.rev_append (pipeline p pl) !out) prog.Program.pipelines;
+  List.rev !out

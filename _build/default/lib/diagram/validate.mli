@@ -1,0 +1,18 @@
+(** Structural well-formedness of diagrams, independent of machine rules.
+
+    These checks guard the data structures themselves (dangling icon ids,
+    duplicate bindings, out-of-range slots); architectural legality is the
+    checker library's concern. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type problem = { where : string; message : string; }
+val pp_problem :
+  Format.formatter ->
+  problem -> unit
+val show_problem : problem -> string
+val equal_problem : problem -> problem -> bool
+val problem : string -> ('a, unit, string, problem) format4 -> 'a
+val pipeline : Nsc_arch.Params.t -> Pipeline.t -> problem list
+val program : Nsc_arch.Params.t -> Program.t -> problem list

@@ -1,0 +1,1 @@
+lib/editor/actions.pp.ml: Editor Event Geometry Icon Knowledge Layout List Menu Nsc_arch Nsc_diagram Opcode Option Pipeline Printf State String

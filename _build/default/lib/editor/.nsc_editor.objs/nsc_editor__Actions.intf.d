@@ -1,0 +1,1 @@
+lib/editor/actions.pp.mli: Layout Nsc_arch Nsc_diagram State

@@ -1,0 +1,1 @@
+lib/editor/editor.pp.mli: Event State

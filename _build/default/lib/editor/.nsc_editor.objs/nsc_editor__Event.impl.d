@@ -1,0 +1,1 @@
+lib/editor/event.pp.ml: Geometry Nsc_diagram Option Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/editor/event.pp.mli: Format Nsc_diagram

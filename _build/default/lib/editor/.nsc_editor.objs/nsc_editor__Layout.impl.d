@@ -1,0 +1,1 @@
+lib/editor/layout.pp.ml: Geometry List Nsc_diagram Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/editor/layout.pp.mli: Format Nsc_diagram

@@ -1,0 +1,1 @@
+lib/editor/menu.pp.ml: Connection Geometry Icon List Nsc_arch Nsc_diagram Opcode Ppx_deriving_runtime Resource

@@ -1,0 +1,1 @@
+lib/editor/menu.pp.mli: Format Nsc_arch Nsc_diagram

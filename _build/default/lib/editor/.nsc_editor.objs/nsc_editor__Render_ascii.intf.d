@@ -1,0 +1,1 @@
+lib/editor/render_ascii.pp.mli: Bytes Nsc_arch Nsc_diagram State

@@ -1,0 +1,1 @@
+lib/editor/render_svg.pp.ml: Als Array Buffer Capability Connection Fu_config Geometry Icon Layout List Nsc_arch Nsc_diagram Opcode Option Params Pipeline Printf Resource String

@@ -1,0 +1,1 @@
+lib/editor/render_svg.pp.mli: Buffer Nsc_arch Nsc_diagram

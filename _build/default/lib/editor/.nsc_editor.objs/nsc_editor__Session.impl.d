@@ -1,0 +1,1 @@
+lib/editor/session.pp.ml: Editor Event List Render_ascii State String

@@ -1,0 +1,1 @@
+lib/editor/session.pp.mli: Event State

@@ -1,0 +1,1 @@
+lib/editor/state.pp.ml: Als Checker Diagnostic Geometry Icon Knowledge List Menu Nsc_arch Nsc_checker Nsc_diagram Pipeline Ppx_deriving_runtime Printf Program Resource Shift_delay

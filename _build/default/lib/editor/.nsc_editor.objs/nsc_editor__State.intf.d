@@ -1,0 +1,1 @@
+lib/editor/state.pp.mli: Format Menu Nsc_arch Nsc_checker Nsc_diagram

@@ -1,0 +1,122 @@
+(** High-level editing gestures, expressed as the mouse/keyboard event
+    sequences a user would produce.
+
+    Everything here goes through {!Editor.handle} — these are macros over
+    real events (computing pad and button coordinates by hit-testing the
+    live state), not a separate mutation path, so scripted sessions and
+    tests exercise exactly the interaction code the figures describe. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+let params st = Knowledge.params st.State.kb
+
+let click st (at : Geometry.point) =
+  Editor.run st [ Event.Mouse_down at; Event.Mouse_up at ]
+
+let drag st ~(from : Geometry.point) ~(to_ : Geometry.point) =
+  Editor.run st [ Event.Mouse_down from; Event.Mouse_move to_; Event.Mouse_up to_ ]
+
+let button_center b = Geometry.center (Layout.button_rect b)
+
+(** Press a control-panel button. *)
+let press st b = Editor.handle st (Event.Mouse_down (button_center b))
+
+(** Drag an icon button from the panel to drawing coordinates (x, y) —
+    the Figure 6 gesture.  Returns the new state and the icon placed. *)
+let place st b ~x ~y =
+  let st =
+    drag st ~from:(button_center b) ~to_:(Layout.of_drawing (Geometry.point x y))
+  in
+  (st, st.State.selected)
+
+(** Absolute window position of a pad of a placed icon. *)
+let pad_window_pos st icon pad =
+  let pl = State.current_pipeline st in
+  Option.bind (Pipeline.find_icon pl icon) (fun ic ->
+      Option.map Layout.of_drawing (Icon.pad_position (params st) ic pad))
+
+(** Rubber-band a wire between two pads (Figure 8). *)
+let rubber_connect st ~from_icon ~from_pad ~to_icon ~to_pad =
+  match (pad_window_pos st from_icon from_pad, pad_window_pos st to_icon to_pad) with
+  | Some a, Some b -> drag st ~from:a ~to_:b
+  | _ -> State.message st "rubber_connect: pad not found"
+
+(** Click a pad, opening its source/destination popup menu. *)
+let click_pad st ~icon ~pad =
+  match pad_window_pos st icon pad with
+  | Some at -> click st at
+  | None -> State.message st "click_pad: pad not found"
+
+(** Click the [slot]-th functional-unit box of an icon, opening the
+    operation menu of Figure 10. *)
+let click_unit st ~icon ~slot =
+  let pl = State.current_pipeline st in
+  match Pipeline.find_icon pl icon with
+  | None -> State.message st "click_unit: icon not found"
+  | Some ic ->
+      let at =
+        Geometry.add ic.Icon.pos (Geometry.point (Icon.fu_box_w / 2) (Icon.slot_row slot))
+      in
+      click st (Layout.of_drawing at)
+
+(** Choose the menu item whose label starts with [label]. *)
+let choose st ~label =
+  match st.State.mode with
+  | State.Menu_open menu -> (
+      let rec find i = function
+        | [] -> None
+        | (it : Menu.item) :: rest ->
+            if
+              String.length it.Menu.label >= String.length label
+              && String.sub it.Menu.label 0 (String.length label) = label
+            then Some i
+            else find (i + 1) rest
+      in
+      match find 0 menu.Menu.items with
+      | Some i -> Editor.handle st (Event.Menu_select i)
+      | None -> State.message st "no menu item matching '%s'" label)
+  | _ -> State.message st "no menu is open"
+
+(** Fill form fields and submit (the Figure 9 subwindow interaction). *)
+let fill_and_submit st fields =
+  let st =
+    List.fold_left (fun st (name, v) -> Editor.handle st (Event.Form_set (name, v))) st
+      fields
+  in
+  Editor.handle st Event.Form_submit
+
+(** Programme a unit: click its box, then pick the mnemonic. *)
+let set_op st ~icon ~slot op =
+  choose (click_unit st ~icon ~slot) ~label:(Opcode.mnemonic op)
+
+(** Wire a memory-plane stream into a pad: click the pad, choose "from
+    memory plane ...", fill the DMA subwindow. *)
+let wire_memory_to_pad st ~icon ~pad ~plane ?variable ?(offset = 0) ?(stride = 1) () =
+  let st = click_pad st ~icon ~pad in
+  let st = choose st ~label:"from memory plane" in
+  fill_and_submit st
+    ([ ("plane", string_of_int plane) ]
+    @ (match variable with Some v -> [ ("variable", v) ] | None -> [])
+    @ [ ("offset", string_of_int offset); ("stride", string_of_int stride) ])
+
+(** Wire a pad's output to a memory plane. *)
+let wire_pad_to_memory st ~icon ~pad ~plane ?variable ?(offset = 0) ?(stride = 1) () =
+  let st = click_pad st ~icon ~pad in
+  let st = choose st ~label:"to memory plane" in
+  fill_and_submit st
+    ([ ("plane", string_of_int plane) ]
+    @ (match variable with Some v -> [ ("variable", v) ] | None -> [])
+    @ [ ("offset", string_of_int offset); ("stride", string_of_int stride) ])
+
+(** Bind a constant to a port through its popup menu. *)
+let bind_constant st ~icon ~slot ~port value =
+  let st = click_pad st ~icon ~pad:(Icon.In_pad (slot, port)) in
+  let st = choose st ~label:"constant" in
+  fill_and_submit st [ ("value", Printf.sprintf "%.17g" value) ]
+
+(** Bind a feedback loop to a port through its popup menu. *)
+let bind_feedback st ~icon ~slot ~port depth =
+  let st = click_pad st ~icon ~pad:(Icon.In_pad (slot, port)) in
+  let st = choose st ~label:"feedback" in
+  fill_and_submit st [ ("depth", string_of_int depth) ]

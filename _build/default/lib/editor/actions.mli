@@ -1,0 +1,81 @@
+(** High-level editing gestures, expressed as the mouse/keyboard event
+    sequences a user would produce.
+
+    Everything here goes through {!Editor.handle} — these are macros over
+    real events (computing pad and button coordinates by hit-testing the
+    live state), not a separate mutation path, so scripted sessions and
+    tests exercise exactly the interaction code the figures describe. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val params : State.t -> Nsc_arch.Params.t
+val click :
+  State.t -> Nsc_diagram.Geometry.point -> State.t
+val drag :
+  State.t ->
+  from:Nsc_diagram.Geometry.point ->
+  to_:Nsc_diagram.Geometry.point -> State.t
+val button_center : Layout.button -> Nsc_diagram.Geometry.point
+(** Press a control-panel button. *)
+val press :
+  State.t -> Layout.button -> State.t
+(** Drag an icon button from the panel to drawing coordinates — the
+    Figure 6 gesture.  Returns the state and the icon placed. *)
+val place :
+  State.t ->
+  Layout.button ->
+  x:int -> y:int -> State.t * Nsc_diagram.Icon.id option
+val pad_window_pos :
+  State.t ->
+  Nsc_diagram.Icon.id ->
+  Nsc_diagram.Icon.pad -> Nsc_diagram.Geometry.point option
+(** Rubber-band a wire between two pads (Figure 8). *)
+val rubber_connect :
+  State.t ->
+  from_icon:Nsc_diagram.Icon.id ->
+  from_pad:Nsc_diagram.Icon.pad ->
+  to_icon:Nsc_diagram.Icon.id ->
+  to_pad:Nsc_diagram.Icon.pad -> State.t
+(** Click a pad, opening its source/destination popup menu. *)
+val click_pad :
+  State.t ->
+  icon:Nsc_diagram.Icon.id -> pad:Nsc_diagram.Icon.pad -> State.t
+(** Click a functional-unit box, opening the Figure 10 menu. *)
+val click_unit :
+  State.t ->
+  icon:Nsc_diagram.Icon.id -> slot:int -> State.t
+(** Choose the open menu's item whose label starts with [label]. *)
+val choose : State.t -> label:string -> State.t
+(** Fill form fields and submit (the Figure 9 interaction). *)
+val fill_and_submit :
+  State.t -> (string * string) list -> State.t
+(** Programme a unit: click its box, then pick the mnemonic. *)
+val set_op :
+  State.t ->
+  icon:Nsc_diagram.Icon.id ->
+  slot:int -> Nsc_arch.Opcode.t -> State.t
+(** Wire a memory stream into a pad via menu + DMA subwindow. *)
+val wire_memory_to_pad :
+  State.t ->
+  icon:Nsc_diagram.Icon.id ->
+  pad:Nsc_diagram.Icon.pad ->
+  plane:int ->
+  ?variable:string ->
+  ?offset:int -> ?stride:int -> unit -> State.t
+(** Wire a pad's output to a memory plane. *)
+val wire_pad_to_memory :
+  State.t ->
+  icon:Nsc_diagram.Icon.id ->
+  pad:Nsc_diagram.Icon.pad ->
+  plane:int ->
+  ?variable:string ->
+  ?offset:int -> ?stride:int -> unit -> State.t
+val bind_constant :
+  State.t ->
+  icon:Nsc_diagram.Icon.id ->
+  slot:int -> port:Nsc_arch.Resource.port -> float -> State.t
+val bind_feedback :
+  State.t ->
+  icon:Nsc_diagram.Icon.id ->
+  slot:int -> port:Nsc_arch.Resource.port -> int -> State.t

@@ -1,0 +1,869 @@
+(** The graphical editor's event interpreter.
+
+    Gestures follow Section 5 of the paper:
+
+    - drag an icon button from the control panel into the drawing space to
+      place an ALS (Figure 6); the lowest free structure of that kind is
+      bound automatically, and the editor refuses the drop when the
+      machine's supply is exhausted;
+    - {e click} an I/O pad and "a menu pops up showing the available
+      choices" — external connections to other units, caches, memories or
+      shift/delay units, or internal connections for feedback loops and
+      register-file constants; or {e drag} from a producing pad to a
+      consuming pad to wire them directly with the rubber band (Figure 8);
+    - memory and cache choices open the popup subwindow of Figure 9 to
+      programme the DMA unit;
+    - click a functional-unit box to programme its operation through the
+      popup menu of Figure 10.
+
+    The checker is consulted on every completed gesture; a gesture that
+    would introduce a hardware violation is rejected outright and the
+    reason shown in the message strip — the paper's "if the user has
+    routed the output from one function unit to a particular memory plane,
+    the graphical editor will not let him send the output of a second unit
+    to the same plane". *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_checker
+
+let params st = Knowledge.params st.State.kb
+
+(* ------------------------------------------------------------------ *)
+(* hit testing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pad_hit st (p_draw : Geometry.point) =
+  Pipeline.pad_at (params st) (State.current_pipeline st) ~within:1 p_draw
+
+let icon_hit st p_draw = Pipeline.icon_at (params st) (State.current_pipeline st) p_draw
+
+(* Which functional-unit box of [icon] contains the point, if any. *)
+let slot_hit st (icon : Icon.t) (p_draw : Geometry.point) =
+  let rel = Geometry.sub p_draw icon.Icon.pos in
+  let slot = (rel.Geometry.y - 1) / (Icon.fu_box_h + Icon.fu_gap) in
+  let within_box =
+    rel.Geometry.y >= Icon.slot_row slot
+    && rel.Geometry.y < Icon.slot_row slot + Icon.fu_box_h
+    && rel.Geometry.x > 0
+    && rel.Geometry.x < Icon.fu_box_w - 1
+  in
+  if within_box && List.mem slot (Icon.active_slots (params st) icon) then Some slot
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* gesture helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Tentatively add a wire; keep it only if the checker reports no new
+   errors.  Auto-bind the receiving port to the switch when it was
+   unbound (the natural meaning of the gesture). *)
+let try_connect (st : State.t) ~src ~dst ?spec () : State.t =
+  let before = State.error_count st in
+  let pl = State.current_pipeline st in
+  let _, pl' = Pipeline.add_connection pl ~src ~dst ?spec () in
+  let pl' =
+    match dst with
+    | Connection.Pad { icon; pad = Icon.In_pad (slot, port) } -> (
+        match Pipeline.config_of pl' ~id:icon ~slot with
+        | Some cfg
+          when Fu_config.equal_input_binding
+                 (Fu_config.binding_of_port cfg port)
+                 Fu_config.Unbound ->
+            let cfg =
+              match port with
+              | Resource.A -> { cfg with Fu_config.a = Fu_config.From_switch }
+              | Resource.B -> { cfg with Fu_config.b = Fu_config.From_switch }
+            in
+            Pipeline.set_config pl' ~id:icon ~slot cfg
+        | _ -> pl')
+    | _ -> pl'
+  in
+  let st' = State.put_pipeline st pl' in
+  if State.error_count st' > before then begin
+    let new_error =
+      match Diagnostic.errors st'.State.diagnostics with
+      | d :: _ -> Diagnostic.to_string d
+      | [] -> "illegal connection"
+    in
+    let st = State.put_pipeline st pl (* rollback *) in
+    State.message st "rejected: %s" new_error
+  end
+  else
+    State.message st' "connected %s -> %s"
+      (Connection.endpoint_to_string src)
+      (Connection.endpoint_to_string dst)
+
+(* Update one port's binding of a placed unit, preserving the rest. *)
+let set_binding (st : State.t) ~icon ~slot ~port binding : State.t =
+  let pl = State.current_pipeline st in
+  match Pipeline.config_of pl ~id:icon ~slot with
+  | None -> State.message st "no such functional unit"
+  | Some cfg ->
+      let cfg =
+        match port with
+        | Resource.A -> { cfg with Fu_config.a = binding }
+        | Resource.B -> { cfg with Fu_config.b = binding }
+      in
+      State.put_pipeline st (Pipeline.set_config pl ~id:icon ~slot cfg)
+
+(* Programme a unit, preserving bindings already established and defaulting
+   fresh ones: the A port of a chained slot is hardwired to its
+   predecessor; a port already reached by a wire means the switch. *)
+let set_op (st : State.t) ~icon ~slot op : State.t =
+  let p = params st in
+  let pl = State.current_pipeline st in
+  match (Pipeline.find_icon pl icon, Pipeline.config_of pl ~id:icon ~slot) with
+  | Some ic, Some cfg ->
+      (match op with
+      | None ->
+          let pl = Pipeline.set_config pl ~id:icon ~slot Fu_config.idle in
+          State.message (State.put_pipeline st pl) "unit set idle"
+      | Some op ->
+          let size, bypass =
+            match ic.Icon.kind with
+            | Icon.Als_icon { als; bypass } -> (Resource.als_size p als, bypass)
+            | _ -> (0, Als.No_bypass)
+          in
+          let wired port =
+            Pipeline.connections_into pl
+              (Connection.Pad { icon; pad = Icon.In_pad (slot, port) })
+            <> []
+          in
+          let default_binding port existing =
+            match existing with
+            | Fu_config.Unbound ->
+                if
+                  Resource.equal_port port Resource.A
+                  && Als.chain_predecessor ~size bypass ~slot <> None
+                then Fu_config.From_chain
+                else if wired port then Fu_config.From_switch
+                else Fu_config.Unbound
+            | b -> b
+          in
+          let cfg =
+            {
+              cfg with
+              Fu_config.op = Some op;
+              a = default_binding Resource.A cfg.Fu_config.a;
+              b = default_binding Resource.B cfg.Fu_config.b;
+            }
+          in
+          let pl = Pipeline.set_config pl ~id:icon ~slot cfg in
+          State.message (State.put_pipeline st pl) "unit programmed: %s" (Opcode.mnemonic op))
+  | _ -> State.message st "no such functional unit"
+
+(* ------------------------------------------------------------------ *)
+(* menu construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Endpoint for a pad, as a connection endpoint. *)
+let pad_endpoint icon pad = Connection.Pad { icon; pad }
+
+(* Sink denoted by a consuming pad of a placed icon, for legal-source
+   queries. *)
+let sink_of_pad st (icon : Icon.t) pad : Resource.sink option =
+  match (icon.Icon.kind, pad) with
+  | Icon.Als_icon { als; _ }, Icon.In_pad (slot, port) ->
+      Some (Resource.Snk_fu ({ Resource.als; slot }, port))
+  | Icon.Shift_delay_icon { sd; _ }, Icon.Flow_in -> Some (Resource.Snk_shift_delay sd)
+  | (Icon.Memory_icon _ | Icon.Cache_icon _), Icon.Flow_in ->
+      ignore st;
+      None (* device pads take any unit output; handled separately *)
+  | _ -> None
+
+(* Producing pads of placed icons, with labels, for destination menus. *)
+let placed_outputs st : (string * Connection.endpoint) list =
+  let p = params st in
+  let pl = State.current_pipeline st in
+  List.concat_map
+    (fun (ic : Icon.t) ->
+      List.filter_map
+        (fun (pad, _) ->
+          match (ic.Icon.kind, pad) with
+          | Icon.Als_icon { als; _ }, Icon.Out_pad slot ->
+              Some
+                (Printf.sprintf "from %s output" (Resource.fu_to_string { Resource.als; slot }),
+                 pad_endpoint ic.Icon.id pad)
+          | Icon.Shift_delay_icon { sd; _ }, Icon.Flow_out ->
+              Some (Printf.sprintf "from sd%d output" sd, pad_endpoint ic.Icon.id pad)
+          | ( ( Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Als_icon _
+              | Icon.Shift_delay_icon _ ),
+              _ ) ->
+              None)
+        (Icon.pads p ic))
+    pl.Pipeline.icons
+
+(* Consuming pads of placed icons (for output-pad destination menus). *)
+let placed_inputs st : (string * Connection.endpoint) list =
+  let p = params st in
+  let pl = State.current_pipeline st in
+  List.concat_map
+    (fun (ic : Icon.t) ->
+      List.filter_map
+        (fun (pad, _) ->
+          match (ic.Icon.kind, pad) with
+          | Icon.Als_icon { als; _ }, Icon.In_pad (slot, port) ->
+              Some
+                (Printf.sprintf "to %s.%s"
+                   (Resource.fu_to_string { Resource.als; slot })
+                   (Resource.port_to_string port),
+                 pad_endpoint ic.Icon.id pad)
+          | Icon.Shift_delay_icon { sd; _ }, Icon.Flow_in ->
+              Some (Printf.sprintf "to sd%d" sd, pad_endpoint ic.Icon.id pad)
+          | (Icon.Memory_icon _ | Icon.Cache_icon _), Icon.Flow_in ->
+              Some (Icon.title ic ^ " (DMA)", pad_endpoint ic.Icon.id pad)
+          | ( ( Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Als_icon _
+              | Icon.Shift_delay_icon _ ),
+              _ ) ->
+              None)
+        (Icon.pads p ic))
+    pl.Pipeline.icons
+
+(* The source menu for a consuming pad: only choices the checker would
+   accept appear (Knowledge + current routing table), exactly the paper's
+   error-prevention behaviour. *)
+let source_menu st (icon : Icon.t) pad ~at : Menu.t =
+  let pl = State.current_pipeline st in
+  let wires = Pipeline.connections_into pl (pad_endpoint icon.Icon.id pad) in
+  let disconnects =
+    List.map
+      (fun (c : Connection.t) ->
+        Menu.item
+          (Printf.sprintf "disconnect wire %d" c.Connection.id)
+          (Menu.P_disconnect c.Connection.id))
+      wires
+  in
+  let legal_fu_sources =
+    match sink_of_pad st icon pad with
+    | None -> placed_outputs st
+    | Some snk ->
+        let legal =
+          Checker.legal_sources st.State.kb
+            ~lookup:(Program.variable_base st.State.program) pl snk
+        in
+        List.filter
+          (fun (_, ep) ->
+            match ep with
+            | Connection.Pad { icon = src_icon; pad = src_pad } -> (
+                match Pipeline.find_icon pl src_icon with
+                | Some src_ic -> (
+                    match (src_ic.Icon.kind, src_pad) with
+                    | Icon.Als_icon { als; _ }, Icon.Out_pad slot ->
+                        List.exists
+                          (Resource.equal_source (Resource.Src_fu { Resource.als; slot }))
+                          legal
+                    | Icon.Shift_delay_icon { sd; _ }, Icon.Flow_out ->
+                        List.exists
+                          (Resource.equal_source (Resource.Src_shift_delay sd))
+                          legal
+                    | _ -> false)
+                | None -> false)
+            | _ -> false)
+          (placed_outputs st)
+  in
+  let device_sources =
+    (* placed memory/cache icons: the stream attaches to the icon's pad *)
+    List.filter_map
+      (fun (ic : Icon.t) ->
+        match ic.Icon.kind with
+        | Icon.Memory_icon _ ->
+            Some
+              (Menu.item
+                 (Printf.sprintf "from %s ..." (Icon.title ic))
+                 (Menu.P_dma_form
+                    {
+                      pending = Menu.Into_pad { icon = icon.Icon.id; pad };
+                      target = `Memory;
+                      device_icon = Some ic.Icon.id;
+                    }))
+        | Icon.Cache_icon _ ->
+            Some
+              (Menu.item
+                 (Printf.sprintf "from %s ..." (Icon.title ic))
+                 (Menu.P_dma_form
+                    {
+                      pending = Menu.Into_pad { icon = icon.Icon.id; pad };
+                      target = `Cache;
+                      device_icon = Some ic.Icon.id;
+                    }))
+        | Icon.Als_icon _ | Icon.Shift_delay_icon _ -> None)
+      pl.Pipeline.icons
+  in
+  let externals =
+    List.map
+      (fun (label, ep) ->
+        Menu.item label (Menu.P_connect { src = ep; dst = pad_endpoint icon.Icon.id pad }))
+      legal_fu_sources
+    @ device_sources
+    @ [
+        Menu.item "from memory plane ..."
+          (Menu.P_dma_form
+             { pending = Menu.Into_pad { icon = icon.Icon.id; pad }; target = `Memory;
+               device_icon = None });
+        Menu.item "from cache ..."
+          (Menu.P_dma_form
+             { pending = Menu.Into_pad { icon = icon.Icon.id; pad }; target = `Cache;
+               device_icon = None });
+      ]
+  in
+  let internals =
+    match (icon.Icon.kind, pad) with
+    | Icon.Als_icon _, Icon.In_pad (slot, port) ->
+        [
+          Menu.item "constant (register file) ..."
+            (Menu.P_const_form { icon = icon.Icon.id; slot; port });
+          Menu.item "feedback loop ..."
+            (Menu.P_feedback_form { icon = icon.Icon.id; slot; port });
+        ]
+    | _ -> []
+  in
+  {
+    Menu.title = "input source";
+    at;
+    items = disconnects @ externals @ internals @ [ Menu.item "cancel" Menu.P_cancel ];
+  }
+
+(* The destination menu for a producing pad. *)
+let dest_menu st (icon : Icon.t) pad ~at : Menu.t =
+  let dsts =
+    List.map
+      (fun (label, ep) ->
+        match ep with
+        | Connection.Pad { icon = dst_icon; pad = Icon.Flow_in } as dst -> (
+            match Pipeline.icon_kind (State.current_pipeline st) dst_icon with
+            | Some (Icon.Memory_icon _) | Some (Icon.Cache_icon _) ->
+                (* device destination: needs the DMA subwindow *)
+                ignore dst;
+                Menu.item label
+                  (Menu.P_dma_form
+                     {
+                       pending = Menu.Out_of_pad { icon = icon.Icon.id; pad };
+                       target =
+                         (match Pipeline.icon_kind (State.current_pipeline st) dst_icon with
+                         | Some (Icon.Cache_icon _) -> `Cache
+                         | _ -> `Memory);
+                       device_icon = Some dst_icon;
+                     })
+            | _ ->
+                Menu.item label
+                  (Menu.P_connect { src = pad_endpoint icon.Icon.id pad; dst = ep }))
+        | _ ->
+            Menu.item label (Menu.P_connect { src = pad_endpoint icon.Icon.id pad; dst = ep }))
+      (placed_inputs st)
+  in
+  {
+    Menu.title = "output destination";
+    at;
+    items =
+      dsts
+      @ [
+          Menu.item "to memory plane ..."
+            (Menu.P_dma_form
+               { pending = Menu.Out_of_pad { icon = icon.Icon.id; pad }; target = `Memory;
+                 device_icon = None });
+          Menu.item "to cache ..."
+            (Menu.P_dma_form
+               { pending = Menu.Out_of_pad { icon = icon.Icon.id; pad }; target = `Cache;
+                 device_icon = None });
+          Menu.item "cancel" Menu.P_cancel;
+        ];
+  }
+
+(* The operation menu of Figure 10: only opcodes this unit's circuitry
+   supports are listed. *)
+let op_menu st (icon : Icon.t) slot ~at : Menu.t =
+  match icon.Icon.kind with
+  | Icon.Als_icon { als; _ } ->
+      let fu = { Resource.als; slot } in
+      let ops = Checker.legal_opcodes st.State.kb fu in
+      {
+        Menu.title = Printf.sprintf "operation of %s" (Resource.fu_to_string fu);
+        at;
+        items =
+          List.map
+            (fun op ->
+              Menu.item (Opcode.mnemonic op)
+                (Menu.P_set_op { icon = icon.Icon.id; slot; op = Some op }))
+            ops
+          @ [
+              Menu.item "idle" (Menu.P_set_op { icon = icon.Icon.id; slot; op = None });
+              Menu.item "cancel" Menu.P_cancel;
+            ];
+      }
+  | _ -> { Menu.title = "operation"; at; items = [ Menu.item "cancel" Menu.P_cancel ] }
+
+(* ------------------------------------------------------------------ *)
+(* form submission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let int_field f name = Option.bind (Menu.field_value f name) int_of_string_opt
+let float_field f name = Option.bind (Menu.field_value f name) float_of_string_opt
+
+let submit_form (st : State.t) (f : Menu.form) : State.t =
+  let st_idle = { st with State.mode = State.Idle } in
+  match f.Menu.kind with
+  | Menu.F_dma { pending; target; device_icon } -> (
+      let device_field = match target with `Memory -> "plane" | `Cache -> "cache" in
+      match int_field f device_field with
+      | None -> State.message st "the %s number is missing or malformed" device_field
+      | Some device ->
+          let p = params st in
+          let limit =
+            match target with `Memory -> p.n_memory_planes | `Cache -> p.n_caches
+          in
+          if device < 0 || device >= limit then
+            State.message st "%s %d does not exist (machine has %d)" device_field device
+              limit
+          else begin
+            let spec =
+              {
+                Dma_spec.target =
+                  (match target with
+                  | `Memory -> Dma_spec.To_plane device
+                  | `Cache -> Dma_spec.To_cache device);
+                variable =
+                  (match Menu.field_value f "variable" with
+                  | Some "" | None -> None
+                  | Some v -> Some v);
+                offset = Option.value ~default:0 (int_field f "offset");
+                stride = Option.value ~default:1 (int_field f "stride");
+                count = Option.value ~default:0 (int_field f "count");
+              }
+            in
+            (* when the wire attaches to a placed device icon, the endpoint
+               is the icon's flow pad (and the device number must agree) *)
+            let device_end flow =
+              match device_icon with
+              | Some id -> (
+                  match Pipeline.icon_kind (State.current_pipeline st) id with
+                  | Some (Icon.Memory_icon plane) when plane = device ->
+                      Ok (Connection.Pad { icon = id; pad = flow })
+                  | Some (Icon.Cache_icon cache) when cache = device ->
+                      Ok (Connection.Pad { icon = id; pad = flow })
+                  | Some (Icon.Memory_icon plane) ->
+                      Error
+                        (Printf.sprintf
+                           "the wire attaches to %s, but the form names %s %d"
+                           (Printf.sprintf "MEM %d" plane) device_field device)
+                  | Some (Icon.Cache_icon cache) ->
+                      Error
+                        (Printf.sprintf
+                           "the wire attaches to %s, but the form names %s %d"
+                           (Printf.sprintf "CACHE %d" cache) device_field device)
+                  | _ -> Error "the device icon vanished")
+              | None -> (
+                  match target with
+                  | `Memory -> Ok (Connection.Direct_memory device)
+                  | `Cache -> Ok (Connection.Direct_cache device))
+            in
+            match pending with
+            | Menu.Into_pad { icon; pad } -> (
+                match device_end Icon.Flow_out with
+                | Ok src -> try_connect st_idle ~src ~dst:(Connection.Pad { icon; pad }) ~spec ()
+                | Error m -> State.message st "%s" m)
+            | Menu.Out_of_pad { icon; pad } -> (
+                match device_end Icon.Flow_in with
+                | Ok dst -> try_connect st_idle ~src:(Connection.Pad { icon; pad }) ~dst ~spec ()
+                | Error m -> State.message st "%s" m)
+          end)
+  | Menu.F_constant { icon; slot; port } -> (
+      match float_field f "value" with
+      | None -> State.message st "the constant value is malformed"
+      | Some v ->
+          State.message
+            (set_binding st_idle ~icon ~slot ~port (Fu_config.From_constant v))
+            "constant %g loaded into the register file" v)
+  | Menu.F_feedback { icon; slot; port } -> (
+      match int_field f "depth" with
+      | None -> State.message st "the feedback depth is malformed"
+      | Some d ->
+          State.message
+            (set_binding st_idle ~icon ~slot ~port (Fu_config.From_feedback d))
+            "feedback loop of depth %d" d)
+  | Menu.F_place_memory -> (
+      match int_field f "plane" with
+      | None -> State.message st "the plane number is malformed"
+      | Some plane ->
+          {
+            st_idle with
+            State.mode =
+              State.Placing
+                { request = State.Place_memory plane; at = Geometry.point 40 10 };
+          })
+  | Menu.F_place_cache -> (
+      match int_field f "cache" with
+      | None -> State.message st "the cache number is malformed"
+      | Some cache ->
+          {
+            st_idle with
+            State.mode =
+              State.Placing { request = State.Place_cache cache; at = Geometry.point 40 10 };
+          })
+  | Menu.F_place_shift_delay -> (
+      let mode =
+        match (Menu.field_value f "mode", int_field f "amount") with
+        | Some "delay", Some d -> Some (Shift_delay.Delay d)
+        | Some "shift", Some o -> Some (Shift_delay.Shift o)
+        | _ -> None
+      in
+      match mode with
+      | None -> State.message st "shift/delay mode must be 'delay' or 'shift' with an amount"
+      | Some mode ->
+          {
+            st_idle with
+            State.mode =
+              State.Placing
+                { request = State.Place_shift_delay mode; at = Geometry.point 40 10 };
+          })
+  | Menu.F_goto -> (
+      match int_field f "pipeline" with
+      | None -> State.message st "the pipeline number is malformed"
+      | Some n -> State.message (State.goto st_idle n) "editing pipeline %d" n)
+  | Menu.F_vlen -> (
+      match int_field f "length" with
+      | Some n when n >= 1 ->
+          let pl = Pipeline.with_vector_length (State.current_pipeline st) n in
+          State.message (State.put_pipeline st_idle pl) "vector length set to %d" n
+      | _ -> State.message st "the vector length must be a positive integer")
+  | Menu.F_renumber -> (
+      match int_field f "to" with
+      | None -> State.message st "the target position is malformed"
+      | Some to_ -> (
+          match Program.move_pipeline st.State.program ~index:st.State.current ~to_ with
+          | Ok program ->
+              State.message
+                (State.goto { st_idle with State.program; dirty = true } to_)
+                "pipeline moved to position %d" to_
+          | Error e -> State.message st "%s" e))
+  | Menu.F_save -> (
+      match Menu.field_value f "path" with
+      | None | Some "" -> State.message st "a file path is required"
+      | Some path -> (
+          try
+            Serialize.save st.State.program ~path;
+            State.message { st_idle with State.dirty = false } "saved to %s" path
+          with Sys_error e -> State.message st "save failed: %s" e))
+  | Menu.F_load -> (
+      match Menu.field_value f "path" with
+      | None | Some "" -> State.message st "a file path is required"
+      | Some path -> (
+          try
+            match Serialize.load (params st) ~path with
+            | Ok program ->
+                State.message
+                  (State.goto { (State.of_program st.State.kb program) with
+                                State.messages = st.State.messages } 1)
+                  "loaded %s (%d pipeline(s))" path (Program.pipeline_count program)
+            | Error e -> State.message st "load failed: %s" e
+          with Sys_error e -> State.message st "load failed: %s" e))
+
+(* ------------------------------------------------------------------ *)
+(* buttons                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let press_button (st : State.t) (b : Layout.button) : State.t =
+  let arm request =
+    { st with State.mode = State.Placing { request; at = Geometry.point 40 10 } }
+  in
+  let open_form form = { st with State.mode = State.Form_open form } in
+  match b with
+  | Layout.B_singlet -> arm (State.Place_als (Als.Singlet, Als.No_bypass))
+  | Layout.B_doublet -> arm (State.Place_als (Als.Doublet, Als.No_bypass))
+  | Layout.B_doublet_bypass -> arm (State.Place_als (Als.Doublet, Als.Keep_head))
+  | Layout.B_triplet -> arm (State.Place_als (Als.Triplet, Als.No_bypass))
+  | Layout.B_memory ->
+      open_form (Menu.form "Place memory plane" [ ("plane", "0") ] Menu.F_place_memory)
+  | Layout.B_cache ->
+      open_form (Menu.form "Place cache" [ ("cache", "0") ] Menu.F_place_cache)
+  | Layout.B_shift_delay ->
+      open_form
+        (Menu.form "Place shift/delay unit"
+           [ ("mode", "delay"); ("amount", "1") ]
+           Menu.F_place_shift_delay)
+  | Layout.B_insert ->
+      let program, at =
+        Program.insert_pipeline st.State.program ~at:(st.State.current + 1)
+      in
+      State.message
+        (State.goto { st with State.program; dirty = true } at)
+        "inserted pipeline %d" at
+  | Layout.B_delete ->
+      if Program.pipeline_count st.State.program <= 1 then
+        State.message st "cannot delete the only pipeline"
+      else
+        let program = Program.delete_pipeline st.State.program ~index:st.State.current in
+        State.message
+          (State.goto { st with State.program; dirty = true } st.State.current)
+          "deleted pipeline %d" st.State.current
+  | Layout.B_copy -> (
+      match Program.copy_pipeline st.State.program ~index:st.State.current with
+      | Ok (program, copy_at) ->
+          State.message
+            (State.goto { st with State.program; dirty = true } copy_at)
+            "copied pipeline %d to %d" st.State.current copy_at
+      | Error e -> State.message st "%s" e)
+  | Layout.B_renumber ->
+      { st with State.mode = State.Form_open (Menu.form "Renumber pipeline" [ ("to", "1") ] Menu.F_renumber) }
+  | Layout.B_next -> State.goto st (st.State.current + 1)
+  | Layout.B_prev -> State.goto st (st.State.current - 1)
+  | Layout.B_goto ->
+      { st with State.mode = State.Form_open (Menu.form "Go to pipeline" [ ("pipeline", "1") ] Menu.F_goto) }
+  | Layout.B_vlen ->
+      {
+        st with
+        State.mode =
+          State.Form_open
+            (Menu.form "Vector length"
+               [ ("length", string_of_int (State.current_pipeline st).Pipeline.vector_length) ]
+               Menu.F_vlen);
+      }
+  | Layout.B_check ->
+      let lookup = Program.variable_base st.State.program in
+      let ds =
+        Checker.check_pipeline st.State.kb ~lookup ~level:`Complete
+          (State.current_pipeline st)
+      in
+      let st = { st with State.diagnostics = ds } in
+      if ds = [] then State.message st "check complete: no findings"
+      else
+        State.message st "check complete: %d finding(s), %d error(s)" (List.length ds)
+          (List.length (Diagnostic.errors ds))
+  | Layout.B_balance ->
+      let lookup = Program.variable_base st.State.program in
+      let pl, rounds =
+        Balance.balance_pipeline st.State.kb ~lookup (State.current_pipeline st)
+      in
+      if rounds = 0 then State.message st "streams already aligned"
+      else
+        State.message (State.put_pipeline st pl)
+          "alignment queues inserted (%d correction round%s)" rounds
+          (if rounds = 1 then "" else "s")
+  | Layout.B_save ->
+      { st with State.mode = State.Form_open (Menu.form "Save program" [ ("path", "") ] Menu.F_save) }
+  | Layout.B_load ->
+      { st with State.mode = State.Form_open (Menu.form "Load program" [ ("path", "") ] Menu.F_load) }
+
+(* ------------------------------------------------------------------ *)
+(* menu dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch_payload (st : State.t) (payload : Menu.payload) : State.t =
+  let st = { st with State.mode = State.Idle } in
+  match payload with
+  | Menu.P_cancel -> st
+  | Menu.P_set_op { icon; slot; op } -> set_op st ~icon ~slot op
+  | Menu.P_connect { src; dst } -> try_connect st ~src ~dst ()
+  | Menu.P_dma_form { pending; target; device_icon } ->
+      let device =
+        Option.bind device_icon (fun id ->
+            match Pipeline.icon_kind (State.current_pipeline st) id with
+            | Some (Icon.Memory_icon plane) -> Some plane
+            | Some (Icon.Cache_icon cache) -> Some cache
+            | _ -> None)
+      in
+      {
+        st with
+        State.mode =
+          State.Form_open (Menu.dma_form ?device_icon ?device ~pending ~target ());
+      }
+  | Menu.P_const_form { icon; slot; port } ->
+      { st with State.mode = State.Form_open (Menu.constant_form ~icon ~slot ~port) }
+  | Menu.P_feedback_form { icon; slot; port } ->
+      { st with State.mode = State.Form_open (Menu.feedback_form ~icon ~slot ~port) }
+  | Menu.P_bind_chain { icon; slot; port } ->
+      set_binding st ~icon ~slot ~port Fu_config.From_chain
+  | Menu.P_disconnect cid ->
+      let pl = Pipeline.remove_connection (State.current_pipeline st) cid in
+      State.message (State.put_pipeline st pl) "wire %d removed" cid
+
+(* ------------------------------------------------------------------ *)
+(* the event interpreter                                              *)
+(* ------------------------------------------------------------------ *)
+
+let handle (st : State.t) (ev : Event.t) : State.t =
+  let p = params st in
+  match (st.State.mode, ev) with
+  (* -- menus and forms capture their events -------------------------- *)
+  | State.Menu_open menu, Event.Menu_select n -> (
+      match Menu.nth_payload menu n with
+      | Some payload -> dispatch_payload st payload
+      | None -> State.message st "no such menu item")
+  | State.Menu_open _, Event.Menu_cancel -> { st with State.mode = State.Idle }
+  | State.Menu_open _, Event.Key "Escape" -> { st with State.mode = State.Idle }
+  | State.Menu_open _, _ -> st
+  | State.Form_open f, Event.Form_set (name, value) ->
+      { st with State.mode = State.Form_open (Menu.set_field f name value) }
+  | State.Form_open f, Event.Form_submit -> submit_form st f
+  | State.Form_open _, (Event.Form_cancel | Event.Key "Escape") ->
+      { st with State.mode = State.Idle }
+  | State.Form_open _, _ -> st
+  (* -- placing an icon (Figure 6) ------------------------------------ *)
+  | State.Placing { request; _ }, Event.Mouse_move at ->
+      { st with State.mode = State.Placing { request; at = Layout.to_drawing at } }
+  | State.Placing { request; _ }, Event.Mouse_up at when Layout.in_drawing at -> (
+      let pos = Layout.to_drawing at in
+      let pl = State.current_pipeline st in
+      let placed =
+        match request with
+        | State.Place_als (kind, bypass) -> Pipeline.place_als p pl ~kind ~bypass ~pos ()
+        | State.Place_memory plane ->
+            if plane < 0 || plane >= p.n_memory_planes then Error "no such memory plane"
+            else Ok (Pipeline.add_icon p pl ~kind:(Icon.Memory_icon plane) ~pos)
+        | State.Place_cache cache ->
+            if cache < 0 || cache >= p.n_caches then Error "no such cache"
+            else Ok (Pipeline.add_icon p pl ~kind:(Icon.Cache_icon cache) ~pos)
+        | State.Place_shift_delay mode -> Pipeline.place_shift_delay p pl ~mode ~pos
+      in
+      match placed with
+      | Ok (id, pl) ->
+          let st = State.put_pipeline { st with State.mode = State.Idle } pl in
+          let title =
+            match Pipeline.find_icon (State.current_pipeline st) id with
+            | Some ic -> Icon.title ic
+            | None -> "icon"
+          in
+          State.message { st with State.selected = Some id } "placed %s" title
+      | Error e -> State.message { st with State.mode = State.Idle } "%s" e)
+  | State.Placing _, Event.Mouse_up _ ->
+      State.message { st with State.mode = State.Idle } "placement cancelled"
+  | State.Placing _, Event.Key "Escape" -> { st with State.mode = State.Idle }
+  | State.Placing _, _ -> st
+  (* -- moving a placed icon ------------------------------------------ *)
+  | State.Moving { icon; grab }, Event.Mouse_move at ->
+      let pos = Geometry.sub (Layout.to_drawing at) grab in
+      State.put_pipeline st (Pipeline.move_icon (State.current_pipeline st) icon pos)
+  | State.Moving { icon; grab }, Event.Mouse_up at ->
+      let pos = Geometry.sub (Layout.to_drawing at) grab in
+      let st =
+        State.put_pipeline { st with State.mode = State.Idle }
+          (Pipeline.move_icon (State.current_pipeline st) icon pos)
+      in
+      st
+  | State.Moving _, _ -> st
+  (* -- rubber-band wiring (Figure 8) ---------------------------------- *)
+  | State.Rubber { from_icon; from_pad; _ }, Event.Mouse_move at ->
+      {
+        st with
+        State.mode = State.Rubber { from_icon; from_pad; at = Layout.to_drawing at };
+      }
+  | State.Rubber { from_icon; from_pad; _ }, Event.Mouse_up at -> (
+      let st = { st with State.mode = State.Idle } in
+      let p_draw = Layout.to_drawing at in
+      let pl = State.current_pipeline st in
+      let from_pos =
+        Option.bind (Pipeline.find_icon pl from_icon) (fun ic ->
+            Icon.pad_position p ic from_pad)
+      in
+      let released_in_place =
+        match from_pos with Some fp -> Geometry.dist2 fp p_draw <= 2 | None -> false
+      in
+      if released_in_place then begin
+        (* a click, not a drag: open the destination menu *)
+        match Pipeline.find_icon pl from_icon with
+        | Some ic ->
+            { st with State.mode = State.Menu_open (dest_menu st ic from_pad ~at:p_draw) }
+        | None -> st
+      end
+      else
+        match pad_hit st p_draw with
+        | None -> State.message st "released over empty space; wire cancelled"
+        | Some (to_icon, to_pad) -> (
+            match Pipeline.find_icon pl to_icon with
+            | None -> st
+            | Some to_ic -> (
+                match Icon.pad_direction to_pad with
+                | Icon.Produces ->
+                    State.message st "both ends produce data; wire cancelled"
+                | Icon.Consumes -> (
+                    match (to_ic.Icon.kind, to_pad) with
+                    | (Icon.Memory_icon _ | Icon.Cache_icon _), Icon.Flow_in ->
+                        (* a device destination: open the DMA subwindow *)
+                        let device =
+                          match to_ic.Icon.kind with
+                          | Icon.Memory_icon plane -> plane
+                          | Icon.Cache_icon cache -> cache
+                          | _ -> 0
+                        in
+                        {
+                          st with
+                          State.mode =
+                            State.Form_open
+                              (Menu.dma_form ~device_icon:to_icon ~device
+                                 ~pending:
+                                   (Menu.Out_of_pad { icon = from_icon; pad = from_pad })
+                                 ~target:
+                                   (match to_ic.Icon.kind with
+                                   | Icon.Cache_icon _ -> `Cache
+                                   | _ -> `Memory)
+                                 ());
+                        }
+                    | _ ->
+                        try_connect st
+                          ~src:(pad_endpoint from_icon from_pad)
+                          ~dst:(pad_endpoint to_icon to_pad)
+                          ()))))
+  | State.Rubber _, Event.Key "Escape" -> { st with State.mode = State.Idle }
+  | State.Rubber _, _ -> st
+  (* -- idle ----------------------------------------------------------- *)
+  | State.Idle, Event.Mouse_down at -> (
+      match Layout.button_at at with
+      | Some b -> press_button st b
+      | None ->
+          if not (Layout.in_drawing at) then st
+          else begin
+            let p_draw = Layout.to_drawing at in
+            match pad_hit st p_draw with
+            | Some (icon_id, pad) -> (
+                let pl = State.current_pipeline st in
+                match Pipeline.find_icon pl icon_id with
+                | None -> st
+                | Some ic -> (
+                    match Icon.pad_direction pad with
+                    | Icon.Produces ->
+                        {
+                          st with
+                          State.mode =
+                            State.Rubber
+                              { from_icon = icon_id; from_pad = pad; at = p_draw };
+                        }
+                    | Icon.Consumes ->
+                        {
+                          st with
+                          State.mode = State.Menu_open (source_menu st ic pad ~at:p_draw);
+                        }))
+            | None -> (
+                match icon_hit st p_draw with
+                | Some ic -> (
+                    match slot_hit st ic p_draw with
+                    | Some slot ->
+                        {
+                          st with
+                          State.selected = Some ic.Icon.id;
+                          State.mode = State.Menu_open (op_menu st ic slot ~at:p_draw);
+                        }
+                    | None ->
+                        {
+                          st with
+                          State.selected = Some ic.Icon.id;
+                          State.mode =
+                            State.Moving
+                              {
+                                icon = ic.Icon.id;
+                                grab = Geometry.sub p_draw ic.Icon.pos;
+                              };
+                        })
+                | None -> { st with State.selected = None })
+          end)
+  | State.Idle, Event.Key ("x" | "Delete") -> (
+      match st.State.selected with
+      | None -> State.message st "nothing selected"
+      | Some id ->
+          let pl = Pipeline.remove_icon (State.current_pipeline st) id in
+          State.message
+            (State.put_pipeline { st with State.selected = None } pl)
+            "icon %d deleted (with its wires)" id)
+  | State.Idle, _ -> st
+
+(** Feed a list of events through the editor. *)
+let run (st : State.t) (events : Event.t list) : State.t = List.fold_left handle st events

@@ -1,0 +1,27 @@
+(** The graphical editor's event interpreter.
+
+    Gestures follow Section 5 of the paper:
+
+    - drag an icon button from the control panel into the drawing space to
+      place an ALS (Figure 6); the lowest free structure of that kind is
+      bound automatically, and the editor refuses the drop when the
+      machine's supply is exhausted;
+    - {e click} an I/O pad and "a menu pops up showing the available
+      choices" - external connections to other units, caches, memories or
+      shift/delay units, or internal connections for feedback loops and
+      register-file constants; or {e drag} from a producing pad to a
+      consuming pad to wire them directly with the rubber band (Figure 8);
+    - memory and cache choices open the popup subwindow of Figure 9 to
+      programme the DMA unit;
+    - click a functional-unit box to programme its operation through the
+      popup menu of Figure 10.
+
+    The checker is consulted on every completed gesture; a gesture that
+    would introduce a hardware violation is rejected outright and the
+    reason shown in the message strip. *)
+
+(** Apply one input event to the editor state. *)
+val handle : State.t -> Event.t -> State.t
+
+(** Feed a list of events through the editor. *)
+val run : State.t -> Event.t list -> State.t

@@ -1,0 +1,55 @@
+(** Input events the editor consumes.
+
+    "Interaction is provided primarily with a 'mouse', augmented with a
+    keyboard for some operations."  The editor is headless: events are
+    synthesised by session scripts (or tests) and carry drawing-surface
+    coordinates in character cells, so hit testing against icons, pads and
+    panel buttons works exactly as it would under a pointing device. *)
+
+open Nsc_diagram
+
+type t =
+  | Mouse_down of Geometry.point
+  | Mouse_move of Geometry.point
+  | Mouse_up of Geometry.point
+  | Key of string             (** a keystroke, e.g. "x", "Escape" *)
+  | Menu_select of int        (** choose the n-th item of the open menu *)
+  | Menu_cancel
+  | Form_set of string * string  (** set a form field by name *)
+  | Form_submit
+  | Form_cancel
+[@@deriving show { with_path = false }, eq]
+
+let to_string = show
+
+(** Parse the textual form used by session scripts:
+    [down x y], [move x y], [up x y], [key k], [menu n], [menu-cancel],
+    [set field value], [submit], [form-cancel]. *)
+let of_tokens = function
+  | [ "down"; x; y ] ->
+      Option.bind (int_of_string_opt x) (fun x ->
+          Option.map (fun y -> Mouse_down (Geometry.point x y)) (int_of_string_opt y))
+  | [ "move"; x; y ] ->
+      Option.bind (int_of_string_opt x) (fun x ->
+          Option.map (fun y -> Mouse_move (Geometry.point x y)) (int_of_string_opt y))
+  | [ "up"; x; y ] ->
+      Option.bind (int_of_string_opt x) (fun x ->
+          Option.map (fun y -> Mouse_up (Geometry.point x y)) (int_of_string_opt y))
+  | [ "key"; k ] -> Some (Key k)
+  | [ "menu"; n ] -> Option.map (fun n -> Menu_select n) (int_of_string_opt n)
+  | [ "menu-cancel" ] -> Some Menu_cancel
+  | "set" :: field :: rest -> Some (Form_set (field, String.concat " " rest))
+  | [ "submit" ] -> Some Form_submit
+  | [ "form-cancel" ] -> Some Form_cancel
+  | _ -> None
+
+let to_tokens = function
+  | Mouse_down p -> Printf.sprintf "down %d %d" p.Geometry.x p.Geometry.y
+  | Mouse_move p -> Printf.sprintf "move %d %d" p.Geometry.x p.Geometry.y
+  | Mouse_up p -> Printf.sprintf "up %d %d" p.Geometry.x p.Geometry.y
+  | Key k -> "key " ^ k
+  | Menu_select n -> Printf.sprintf "menu %d" n
+  | Menu_cancel -> "menu-cancel"
+  | Form_set (f, v) -> Printf.sprintf "set %s %s" f v
+  | Form_submit -> "submit"
+  | Form_cancel -> "form-cancel"

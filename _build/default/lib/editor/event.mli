@@ -1,0 +1,28 @@
+(** Input events the editor consumes.
+
+    "Interaction is provided primarily with a 'mouse', augmented with a
+    keyboard for some operations."  The editor is headless: events are
+    synthesised by session scripts (or tests) and carry drawing-surface
+    coordinates in character cells, so hit testing against icons, pads and
+    panel buttons works exactly as it would under a pointing device. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type t =
+    Mouse_down of Nsc_diagram.Geometry.point
+  | Mouse_move of Nsc_diagram.Geometry.point
+  | Mouse_up of Nsc_diagram.Geometry.point
+  | Key of string
+  | Menu_select of int
+  | Menu_cancel
+  | Form_set of string * string
+  | Form_submit
+  | Form_cancel
+val pp :
+  Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_tokens : string list -> t option
+val to_tokens : t -> string

@@ -1,0 +1,106 @@
+(** Popup menus and subwindows.
+
+    "The use of popup menus and windows is crucial to our approach.  By
+    hiding ancillary information until it is needed, the amount of detail
+    displayed in the pipeline diagrams is reduced to a manageable level."
+
+    Menus carry self-contained payloads so selecting an item needs no
+    other context; forms are ordered field lists with a kind tag saying
+    what submission means. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+(** A wire under construction whose memory/cache end still needs its DMA
+    subwindow completed.  [Into_pad]: the stream flows from the device into
+    the pad; [Out_of_pad]: from the pad into the device. *)
+type pending_wire =
+  | Into_pad of { icon : Icon.id; pad : Icon.pad }
+  | Out_of_pad of { icon : Icon.id; pad : Icon.pad }
+[@@deriving show { with_path = false }, eq]
+
+type payload =
+  | P_cancel
+  | P_set_op of { icon : Icon.id; slot : int; op : Opcode.t option }
+      (** programme (or idle) a functional unit — the Figure 10 menu *)
+  | P_connect of { src : Connection.endpoint; dst : Connection.endpoint }
+      (** complete a wire that needs no DMA data *)
+  | P_dma_form of {
+      pending : pending_wire;
+      target : [ `Memory | `Cache ];
+      device_icon : Icon.id option;
+          (** a placed memory/cache icon the wire attaches to, when the
+              gesture named one — its device number pre-fills the form *)
+    }
+      (** open the Figure 9 subwindow for a memory/cache connection *)
+  | P_const_form of { icon : Icon.id; slot : int; port : Resource.port }
+  | P_feedback_form of { icon : Icon.id; slot : int; port : Resource.port }
+  | P_bind_chain of { icon : Icon.id; slot : int; port : Resource.port }
+  | P_disconnect of Connection.id
+[@@deriving show { with_path = false }, eq]
+
+type item = { label : string; payload : payload }
+
+type t = { title : string; at : Geometry.point; items : item list }
+
+let item label payload = { label; payload }
+
+let nth_payload menu n =
+  if n < 0 || n >= List.length menu.items then None
+  else Some (List.nth menu.items n).payload
+
+(** Forms (popup subwindows).  Fields are an ordered (name, value) list;
+    submission semantics live in [kind]. *)
+type form_kind =
+  | F_dma of {
+      pending : pending_wire;
+      target : [ `Memory | `Cache ];
+      device_icon : Icon.id option;
+    }
+  | F_constant of { icon : Icon.id; slot : int; port : Resource.port }
+  | F_feedback of { icon : Icon.id; slot : int; port : Resource.port }
+  | F_place_memory
+  | F_place_cache
+  | F_place_shift_delay
+  | F_goto
+  | F_vlen
+  | F_renumber
+  | F_save
+  | F_load
+[@@deriving show { with_path = false }, eq]
+
+type form = {
+  form_title : string;
+  fields : (string * string) list;  (** ordered; edited in place *)
+  kind : form_kind;
+}
+
+let form form_title fields kind = { form_title; fields; kind }
+
+let field_value f name = List.assoc_opt name f.fields
+
+let set_field f name value =
+  if List.mem_assoc name f.fields then
+    {
+      f with
+      fields = List.map (fun (n, v) -> if n = name then (n, value) else (n, v)) f.fields;
+    }
+  else f
+
+(** The Figure 9 cache/memory-connection subwindow.  [device] pre-fills
+    the plane/cache number when the wire attaches to a placed icon. *)
+let dma_form ?device_icon ?(device = 0) ~pending ~target () =
+  let device_field = match target with `Memory -> "plane" | `Cache -> "cache" in
+  form
+    (match target with
+    | `Memory -> "Memory connection"
+    | `Cache -> "Cache connection")
+    [ (device_field, string_of_int device); ("variable", ""); ("offset", "0");
+      ("stride", "1"); ("count", "0") ]
+    (F_dma { pending; target; device_icon })
+
+let constant_form ~icon ~slot ~port =
+  form "Register-file constant" [ ("value", "0.0") ] (F_constant { icon; slot; port })
+
+let feedback_form ~icon ~slot ~port =
+  form "Feedback queue" [ ("depth", "1") ] (F_feedback { icon; slot; port })

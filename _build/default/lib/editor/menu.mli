@@ -1,0 +1,95 @@
+(** Popup menus and subwindows.
+
+    "The use of popup menus and windows is crucial to our approach.  By
+    hiding ancillary information until it is needed, the amount of detail
+    displayed in the pipeline diagrams is reduced to a manageable level."
+
+    Menus carry self-contained payloads so selecting an item needs no
+    other context; forms are ordered field lists with a kind tag saying
+    what submission means. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type pending_wire =
+    Into_pad of { icon : Nsc_diagram.Icon.id; pad : Nsc_diagram.Icon.pad; }
+  | Out_of_pad of { icon : Nsc_diagram.Icon.id; pad : Nsc_diagram.Icon.pad; }
+val pp_pending_wire :
+  Format.formatter ->
+  pending_wire -> unit
+val show_pending_wire : pending_wire -> string
+val equal_pending_wire :
+  pending_wire -> pending_wire -> bool
+type payload =
+    P_cancel
+  | P_set_op of { icon : Nsc_diagram.Icon.id; slot : int;
+      op : Nsc_arch.Opcode.t option;
+    }
+  | P_connect of { src : Nsc_diagram.Connection.endpoint;
+      dst : Nsc_diagram.Connection.endpoint;
+    }
+  | P_dma_form of { pending : pending_wire; target : [ `Cache | `Memory ];
+      device_icon : Nsc_diagram.Icon.id option;
+    }
+  | P_const_form of { icon : Nsc_diagram.Icon.id; slot : int;
+      port : Nsc_arch.Resource.port;
+    }
+  | P_feedback_form of { icon : Nsc_diagram.Icon.id; slot : int;
+      port : Nsc_arch.Resource.port;
+    }
+  | P_bind_chain of { icon : Nsc_diagram.Icon.id; slot : int;
+      port : Nsc_arch.Resource.port;
+    }
+  | P_disconnect of Nsc_diagram.Connection.id
+val pp_payload :
+  Format.formatter ->
+  payload -> unit
+val show_payload : payload -> string
+val equal_payload : payload -> payload -> bool
+type item = { label : string; payload : payload; }
+type t = {
+  title : string;
+  at : Nsc_diagram.Geometry.point;
+  items : item list;
+}
+val item : string -> payload -> item
+val nth_payload : t -> int -> payload option
+type form_kind =
+    F_dma of { pending : pending_wire; target : [ `Cache | `Memory ];
+      device_icon : Nsc_diagram.Icon.id option;
+    }
+  | F_constant of { icon : Nsc_diagram.Icon.id; slot : int;
+      port : Nsc_arch.Resource.port;
+    }
+  | F_feedback of { icon : Nsc_diagram.Icon.id; slot : int;
+      port : Nsc_arch.Resource.port;
+    }
+  | F_place_memory
+  | F_place_cache
+  | F_place_shift_delay
+  | F_goto
+  | F_vlen
+  | F_renumber
+  | F_save
+  | F_load
+val pp_form_kind :
+  Format.formatter ->
+  form_kind -> unit
+val show_form_kind : form_kind -> string
+val equal_form_kind : form_kind -> form_kind -> bool
+type form = {
+  form_title : string;
+  fields : (string * string) list;
+  kind : form_kind;
+}
+val form : string -> (string * string) list -> form_kind -> form
+val field_value : form -> string -> string option
+val set_field : form -> string -> string -> form
+val dma_form :
+  ?device_icon:Nsc_diagram.Icon.id ->
+  ?device:int ->
+  pending:pending_wire -> target:[ `Cache | `Memory ] -> unit -> form
+val constant_form :
+  icon:Nsc_diagram.Icon.id -> slot:int -> port:Nsc_arch.Resource.port -> form
+val feedback_form :
+  icon:Nsc_diagram.Icon.id -> slot:int -> port:Nsc_arch.Resource.port -> form

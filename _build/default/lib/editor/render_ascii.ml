@@ -1,0 +1,316 @@
+(** ASCII rendering of the display window.
+
+    Regenerates the paper's screen figures as text: the message strip, the
+    left control-flow/declarations region, the central drawing space with
+    icons, pads and wires, and the control panel (Figure 5).  Double-box
+    functional units (integer/logical circuitry) are drawn with ['#']
+    borders, min/max units carry an [m] mark, matching the icon vocabulary
+    of Figure 4. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+type canvas = { w : int; h : int; cells : Bytes.t }
+
+let make_canvas w h = { w; h; cells = Bytes.make (w * h) ' ' }
+
+let put c x y ch =
+  if x >= 0 && x < c.w && y >= 0 && y < c.h then Bytes.set c.cells ((y * c.w) + x) ch
+
+let get c x y =
+  if x >= 0 && x < c.w && y >= 0 && y < c.h then Bytes.get c.cells ((y * c.w) + x) else ' '
+
+let text c x y s = String.iteri (fun i ch -> put c (x + i) y ch) s
+
+let hline c x0 x1 y ch =
+  for x = min x0 x1 to max x0 x1 do
+    put c x y ch
+  done
+
+let vline c x y0 y1 ch =
+  for y = min y0 y1 to max y0 y1 do
+    put c x y ch
+  done
+
+let box c (r : Geometry.rect) =
+  hline c r.Geometry.ox (r.Geometry.ox + r.Geometry.w) r.Geometry.oy '-';
+  hline c r.Geometry.ox (r.Geometry.ox + r.Geometry.w) (r.Geometry.oy + r.Geometry.h) '-';
+  vline c r.Geometry.ox r.Geometry.oy (r.Geometry.oy + r.Geometry.h) '|';
+  vline c (r.Geometry.ox + r.Geometry.w) r.Geometry.oy (r.Geometry.oy + r.Geometry.h) '|';
+  List.iter
+    (fun (x, y) -> put c x y '+')
+    [
+      (r.Geometry.ox, r.Geometry.oy);
+      (r.Geometry.ox + r.Geometry.w, r.Geometry.oy);
+      (r.Geometry.ox, r.Geometry.oy + r.Geometry.h);
+      (r.Geometry.ox + r.Geometry.w, r.Geometry.oy + r.Geometry.h);
+    ]
+
+let to_string c =
+  let buf = Buffer.create ((c.w + 1) * c.h) in
+  for y = 0 to c.h - 1 do
+    (* trim trailing blanks per line *)
+    let last = ref (-1) in
+    for x = 0 to c.w - 1 do
+      if get c x y <> ' ' then last := x
+    done;
+    for x = 0 to !last do
+      Buffer.add_char buf (get c x y)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* -- icon drawing ---------------------------------------------------- *)
+
+let draw_icon (p : Params.t) c ~(origin : Geometry.point) (ic : Icon.t) =
+  let ox = origin.Geometry.x + ic.Icon.pos.Geometry.x in
+  let oy = origin.Geometry.y + ic.Icon.pos.Geometry.y in
+  (match ic.Icon.kind with
+  | Icon.Als_icon { als; bypass } ->
+      let size = Resource.als_size p als in
+      let actives = Als.active_slots ~size bypass in
+      List.iter
+        (fun slot ->
+          let fu = { Resource.als; slot } in
+          let row = oy + Icon.slot_row slot in
+          let double = Resource.fu_has_capability p fu Capability.Int_logical in
+          let border = if double then '#' else '-' in
+          let active = List.mem slot actives in
+          if active then begin
+            hline c (ox + 1) (ox + Icon.fu_box_w - 2) (row - 1) border;
+            hline c (ox + 1) (ox + Icon.fu_box_w - 2) (row + 1) border;
+            put c (ox + 1) row (if double then '#' else '|');
+            put c (ox + Icon.fu_box_w - 2) row (if double then '#' else '|');
+            let cfg = ic.Icon.configs.(slot) in
+            let label =
+              match cfg.Fu_config.op with
+              | Some op -> Opcode.mnemonic op
+              | None -> if Resource.fu_has_capability p fu Capability.Min_max then "m" else ""
+            in
+            text c (ox + 2) row label
+          end
+          else text c (ox + 2) row "bypass")
+        (List.init size (fun s -> s));
+      text c ox (oy + Icon.slot_row (size - 1) + Icon.fu_box_h) ""
+  | Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Shift_delay_icon _ ->
+      let w, h = Icon.size p ic in
+      box c (Geometry.rect ox oy (w - 1) (h - 1)));
+  text c ox (oy - 1) (Icon.title ic);
+  (* pads *)
+  List.iter
+    (fun (_, rel) -> put c (ox + rel.Geometry.x) (oy + rel.Geometry.y) 'o')
+    (Icon.pads p ic)
+
+(* Manhattan wire from a to b: down, across, down. *)
+let draw_wire c (a : Geometry.point) (b : Geometry.point) =
+  let midy = (a.Geometry.y + b.Geometry.y) / 2 in
+  vline c a.Geometry.x (a.Geometry.y + 1) midy '.';
+  hline c a.Geometry.x b.Geometry.x midy '.';
+  vline c b.Geometry.x midy (b.Geometry.y - 1) '.';
+  put c a.Geometry.x a.Geometry.y '*';
+  put c b.Geometry.x b.Geometry.y '*'
+
+(* A direct-device label beside the pad it feeds: to the left of pads on
+   the icon's left half, to the right otherwise, so neighbouring labels
+   and the icon title stay readable. *)
+let draw_source_label p pl c ~icon ~(at : Geometry.point) label =
+  (match Pipeline.find_icon pl icon with
+  | Some ic ->
+      let centre =
+        Geometry.add (Geometry.origin Layout.drawing_area)
+          (Geometry.center (Icon.bounding_box p ic))
+      in
+      if at.Geometry.x <= centre.Geometry.x then
+        text c (at.Geometry.x - String.length label) at.Geometry.y label
+      else text c (at.Geometry.x + 1) at.Geometry.y label
+  | None -> text c (at.Geometry.x - String.length label) at.Geometry.y label);
+  put c at.Geometry.x at.Geometry.y '*'
+
+(* -- the full window -------------------------------------------------- *)
+
+let draw_drawing_area (p : Params.t) c (pl : Pipeline.t) =
+  let origin = Geometry.origin Layout.drawing_area in
+  box c Layout.drawing_area;
+  List.iter (fun ic -> draw_icon p c ~origin ic) pl.Pipeline.icons;
+  (* wires *)
+  let pad_abs icon pad =
+    Option.bind (Pipeline.find_icon pl icon) (fun ic ->
+        Option.map (Geometry.add origin) (Icon.pad_position p ic pad))
+  in
+  List.iter
+    (fun (conn : Connection.t) ->
+      match (conn.Connection.src, conn.Connection.dst) with
+      | Connection.Pad { icon = i1; pad = p1 }, Connection.Pad { icon = i2; pad = p2 } -> (
+          match (pad_abs i1 p1, pad_abs i2 p2) with
+          | Some a, Some b -> draw_wire c a b
+          | _ -> ())
+      | Connection.Direct_memory pl_, Connection.Pad { icon; pad } -> (
+          match pad_abs icon pad with
+          | Some b ->
+              draw_source_label p pl c ~icon ~at:b (Printf.sprintf "[mem%d]" pl_)
+          | None -> ())
+      | Connection.Direct_cache ca, Connection.Pad { icon; pad } -> (
+          match pad_abs icon pad with
+          | Some b ->
+              draw_source_label p pl c ~icon ~at:b (Printf.sprintf "[cache%d]" ca)
+          | None -> ())
+      | Connection.Pad { icon; pad }, Connection.Direct_memory pl_ -> (
+          match pad_abs icon pad with
+          | Some a ->
+              text c (a.Geometry.x + 1) (a.Geometry.y + 1) (Printf.sprintf "[mem%d]" pl_);
+              put c a.Geometry.x a.Geometry.y '*'
+          | None -> ())
+      | Connection.Pad { icon; pad }, Connection.Direct_cache ca -> (
+          match pad_abs icon pad with
+          | Some a ->
+              text c (a.Geometry.x + 1) (a.Geometry.y + 1) (Printf.sprintf "[cache%d]" ca);
+              put c a.Geometry.x a.Geometry.y '*'
+          | None -> ())
+      | (Connection.Direct_memory _ | Connection.Direct_cache _), _ -> ())
+    pl.Pipeline.connections
+
+let draw_panel c =
+  box c Layout.control_panel;
+  text c (Layout.control_panel.Geometry.ox + 2) Layout.control_panel.Geometry.oy "PANEL";
+  List.iter
+    (fun (b, label) ->
+      let r = Layout.button_rect b in
+      text c r.Geometry.ox r.Geometry.oy ("[" ^ label ^ "]"))
+    Layout.buttons
+
+let draw_left_region c (st : State.t) =
+  box c Layout.left_region;
+  let x = Layout.left_region.Geometry.ox + 1 in
+  let y = ref (Layout.left_region.Geometry.oy + 1) in
+  let line s =
+    if !y < Layout.left_region.Geometry.oy + Layout.left_region.Geometry.h then begin
+      text c x !y s;
+      incr y
+    end
+  in
+  line "DECLARATIONS";
+  List.iter
+    (fun (d : Program.declaration) ->
+      line (Printf.sprintf "%s: p%d+%d" d.Program.name d.Program.plane d.Program.base))
+    st.State.program.Program.declarations;
+  line "";
+  line "CONTROL";
+  List.iter line
+    (Nsc_microcode.Listing.control_to_lines ~indent:0
+       (Program.effective_control st.State.program))
+
+let draw_overlays c (st : State.t) =
+  let origin = Geometry.origin Layout.drawing_area in
+  match st.State.mode with
+  | State.Menu_open menu ->
+      let at = Geometry.add origin menu.Menu.at in
+      let wmax =
+        List.fold_left (fun m (i : Menu.item) -> max m (String.length i.Menu.label)) 8
+          menu.Menu.items
+      in
+      let r = Geometry.rect at.Geometry.x at.Geometry.y (wmax + 6) (List.length menu.Menu.items + 2) in
+      (* clear the menu area *)
+      for y = r.Geometry.oy to r.Geometry.oy + r.Geometry.h do
+        hline c r.Geometry.ox (r.Geometry.ox + r.Geometry.w) y ' '
+      done;
+      box c r;
+      text c (r.Geometry.ox + 1) r.Geometry.oy menu.Menu.title;
+      List.iteri
+        (fun i (it : Menu.item) ->
+          text c (r.Geometry.ox + 1)
+            (r.Geometry.oy + 1 + i)
+            (Printf.sprintf "%2d %s" i it.Menu.label))
+        menu.Menu.items
+  | State.Form_open f ->
+      let r = Geometry.rect 40 8 44 (List.length f.Menu.fields + 3) in
+      for y = r.Geometry.oy to r.Geometry.oy + r.Geometry.h do
+        hline c r.Geometry.ox (r.Geometry.ox + r.Geometry.w) y ' '
+      done;
+      box c r;
+      text c (r.Geometry.ox + 1) r.Geometry.oy (" " ^ f.Menu.form_title ^ " ");
+      List.iteri
+        (fun i (name, value) ->
+          text c (r.Geometry.ox + 2)
+            (r.Geometry.oy + 1 + i)
+            (Printf.sprintf "%-10s: %s_" name value))
+        f.Menu.fields;
+      text c (r.Geometry.ox + 2)
+        (r.Geometry.oy + 1 + List.length f.Menu.fields)
+        "[submit]  [cancel]"
+  | State.Placing { request; at } ->
+      let at = Geometry.add origin at in
+      let label =
+        match request with
+        | State.Place_als (k, _) -> Als.kind_to_string k
+        | State.Place_memory pl_ -> Printf.sprintf "mem%d" pl_
+        | State.Place_cache ca -> Printf.sprintf "cache%d" ca
+        | State.Place_shift_delay _ -> "sd"
+      in
+      box c (Geometry.rect at.Geometry.x at.Geometry.y (Icon.fu_box_w - 1) 3);
+      text c (at.Geometry.x + 1) (at.Geometry.y + 1) label
+  | State.Rubber { from_icon; from_pad; at } -> (
+      let p = Knowledge.params st.State.kb in
+      let pl = State.current_pipeline st in
+      match
+        Option.bind (Pipeline.find_icon pl from_icon) (fun ic ->
+            Icon.pad_position p ic from_pad)
+      with
+      | Some from_pos ->
+          draw_wire c (Geometry.add origin from_pos) (Geometry.add origin at)
+      | None -> ())
+  | State.Moving _ | State.Idle -> ()
+
+(** Render the full display window of the editor. *)
+let render (st : State.t) : string =
+  let p = Knowledge.params st.State.kb in
+  let c = make_canvas Layout.window_w Layout.window_h in
+  (* message strip *)
+  box c Layout.message_strip;
+  text c 2 0
+    (Printf.sprintf " NSC visual environment | pipeline %d of %d | %s " st.State.current
+       (Program.pipeline_count st.State.program)
+       (State.latest_message st));
+  draw_left_region c st;
+  draw_drawing_area p c (State.current_pipeline st);
+  draw_panel c;
+  draw_overlays c st;
+  (* status line: diagnostics summary *)
+  let errors = List.length (Nsc_checker.Diagnostic.errors st.State.diagnostics) in
+  text c 2 (Layout.window_h - 1)
+    (Printf.sprintf "vlen %d | %d finding(s), %d error(s)%s"
+       (State.current_pipeline st).Pipeline.vector_length
+       (List.length st.State.diagnostics)
+       errors
+       (if st.State.dirty then " | modified" else ""));
+  to_string c
+
+(** Render just a pipeline diagram (no window chrome) — used by the
+    debugger's annotated frames and the [render] CLI command.  [values]
+    annotates engaged units with the data flowing through them (the
+    debugging extension of Section 6: "each new instruction would display
+    the corresponding pipeline diagram, annotated to show data values
+    flowing through the pipeline"). *)
+let render_pipeline ?(values : (Resource.fu_id * float) list = []) (p : Params.t)
+    (pl : Pipeline.t) : string =
+  let c = make_canvas Layout.window_w Layout.window_h in
+  draw_drawing_area p c pl;
+  let origin = Geometry.origin Layout.drawing_area in
+  List.iter
+    (fun (ic : Icon.t) ->
+      match ic.Icon.kind with
+      | Icon.Als_icon { als; _ } ->
+          List.iter
+            (fun slot ->
+              match List.assoc_opt { Resource.als; slot } values with
+              | Some v ->
+                  let at =
+                    Geometry.add (Geometry.add origin ic.Icon.pos)
+                      (Geometry.point Icon.fu_box_w (Icon.slot_row slot))
+                  in
+                  text c at.Geometry.x at.Geometry.y (Printf.sprintf "=%.6g" v)
+              | None -> ())
+            (Icon.active_slots p ic)
+      | Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Shift_delay_icon _ -> ())
+    pl.Pipeline.icons;
+  to_string c

@@ -1,0 +1,35 @@
+(** ASCII rendering of the display window.
+
+    Regenerates the paper's screen figures as text: the message strip, the
+    left control-flow/declarations region, the central drawing space with
+    icons, pads and wires, and the control panel (Figure 5).  Double-box
+    functional units (integer/logical circuitry) are drawn with ['#']
+    borders, min/max units carry an [m] mark, matching the icon vocabulary
+    of Figure 4. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type canvas = { w : int; h : int; cells : Bytes.t; }
+val make_canvas : int -> int -> canvas
+val put : canvas -> int -> int -> char -> unit
+val get : canvas -> int -> int -> char
+val text : canvas -> int -> int -> string -> unit
+val hline : canvas -> int -> int -> int -> char -> unit
+val vline : canvas -> int -> int -> int -> char -> unit
+val box : canvas -> Nsc_diagram.Geometry.rect -> unit
+val to_string : canvas -> string
+val draw_icon :
+  Nsc_arch.Params.t ->
+  canvas -> origin:Nsc_diagram.Geometry.point -> Nsc_diagram.Icon.t -> unit
+val draw_wire :
+  canvas -> Nsc_diagram.Geometry.point -> Nsc_diagram.Geometry.point -> unit
+val draw_drawing_area :
+  Nsc_arch.Params.t -> canvas -> Nsc_diagram.Pipeline.t -> unit
+val draw_panel : canvas -> unit
+val draw_left_region : canvas -> State.t -> unit
+val draw_overlays : canvas -> State.t -> unit
+val render : State.t -> string
+val render_pipeline :
+  ?values:(Nsc_arch.Resource.fu_id * float) list ->
+  Nsc_arch.Params.t -> Nsc_diagram.Pipeline.t -> string

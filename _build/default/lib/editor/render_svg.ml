@@ -1,0 +1,205 @@
+(** SVG rendering of pipeline diagrams — publication-quality counterparts
+    of the ASCII frames, scaled from the same character-cell geometry. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+let cell_w = 9
+let cell_h = 18
+
+let sx x = x * cell_w
+let sy y = y * cell_h
+
+let esc s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rect buf ~x ~y ~w ~h ~style =
+  Buffer.add_string buf
+    (Printf.sprintf "<rect x='%d' y='%d' width='%d' height='%d' style='%s'/>\n" x y w h
+       style)
+
+let line buf ~x1 ~y1 ~x2 ~y2 ~style =
+  Buffer.add_string buf
+    (Printf.sprintf "<line x1='%d' y1='%d' x2='%d' y2='%d' style='%s'/>\n" x1 y1 x2 y2
+       style)
+
+let text buf ~x ~y ?(style = "font:12px monospace;fill:#222") s =
+  Buffer.add_string buf
+    (Printf.sprintf "<text x='%d' y='%d' style='%s'>%s</text>\n" x y style (esc s))
+
+let circle buf ~x ~y ~r ~style =
+  Buffer.add_string buf
+    (Printf.sprintf "<circle cx='%d' cy='%d' r='%d' style='%s'/>\n" x y r style)
+
+let unit_style ~double =
+  if double then "fill:#fff;stroke:#222;stroke-width:3" else "fill:#fff;stroke:#222;stroke-width:1.5"
+
+let draw_icon (p : Params.t) buf (ic : Icon.t) =
+  let ox = ic.Icon.pos.Geometry.x and oy = ic.Icon.pos.Geometry.y in
+  (match ic.Icon.kind with
+  | Icon.Als_icon { als; bypass } ->
+      let size = Resource.als_size p als in
+      let actives = Als.active_slots ~size bypass in
+      List.iter
+        (fun slot ->
+          let fu = { Resource.als; slot } in
+          let row = Icon.slot_row slot in
+          let double = Resource.fu_has_capability p fu Capability.Int_logical in
+          let active = List.mem slot actives in
+          rect buf ~x:(sx (ox + 1)) ~y:(sy (oy + row - 1)) ~w:(sx (Icon.fu_box_w - 2))
+            ~h:(sy Icon.fu_box_h)
+            ~style:
+              (if active then unit_style ~double
+               else "fill:#eee;stroke:#999;stroke-dasharray:4");
+          let cfg = ic.Icon.configs.(slot) in
+          let label =
+            match cfg.Fu_config.op with
+            | Some op -> Opcode.mnemonic op
+            | None ->
+                if Resource.fu_has_capability p fu Capability.Min_max then "(m)" else ""
+          in
+          if active then
+            text buf ~x:(sx (ox + 2)) ~y:(sy (oy + row) + 14) label;
+          (* internal chain arrow *)
+          if active && slot < size - 1 && List.mem (slot + 1) actives then
+            line buf
+              ~x1:(sx (ox + (Icon.fu_box_w / 2)))
+              ~y1:(sy (oy + row - 1) + sy Icon.fu_box_h)
+              ~x2:(sx (ox + (Icon.fu_box_w / 2)))
+              ~y2:(sy (oy + Icon.slot_row (slot + 1) - 1))
+              ~style:"stroke:#555;stroke-width:2")
+        (List.init size (fun s -> s))
+  | Icon.Memory_icon _ | Icon.Cache_icon _ | Icon.Shift_delay_icon _ ->
+      let w, h = Icon.size p ic in
+      rect buf ~x:(sx ox) ~y:(sy oy) ~w:(sx w) ~h:(sy h)
+        ~style:"fill:#f5f5ff;stroke:#225;stroke-width:1.5");
+  text buf ~x:(sx ox) ~y:(sy oy - 4) ~style:"font:bold 12px monospace;fill:#000"
+    (Icon.title ic);
+  List.iter
+    (fun (_, rel) ->
+      circle buf
+        ~x:(sx (ox + rel.Geometry.x))
+        ~y:(sy (oy + rel.Geometry.y) + (cell_h / 2))
+        ~r:4 ~style:"fill:#000")
+    (Icon.pads p ic)
+
+let draw_wire buf (a : Geometry.point) (b : Geometry.point) =
+  let ax = sx a.Geometry.x and ay = sy a.Geometry.y + (cell_h / 2) in
+  let bx = sx b.Geometry.x and by_ = sy b.Geometry.y + (cell_h / 2) in
+  let midy = (ay + by_) / 2 in
+  let style = "stroke:#06c;stroke-width:2;fill:none" in
+  Buffer.add_string buf
+    (Printf.sprintf "<polyline points='%d,%d %d,%d %d,%d %d,%d' style='%s'/>\n" ax ay ax
+       midy bx midy bx by_ style)
+
+(** Render a pipeline diagram to a standalone SVG document. *)
+let render_pipeline (p : Params.t) (pl : Pipeline.t) : string =
+  let buf = Buffer.create 8192 in
+  let w = sx (Layout.drawing_area.Geometry.w + 4) in
+  let h = sy (Layout.drawing_area.Geometry.h + 4) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d' viewBox='0 0 %d \
+        %d'>\n<rect width='%d' height='%d' fill='#fff'/>\n"
+       w h w h w h);
+  text buf ~x:8 ~y:16 ~style:"font:bold 14px monospace;fill:#000"
+    (Printf.sprintf "instruction %d: %s (vlen %d)" pl.Pipeline.index pl.Pipeline.label
+       pl.Pipeline.vector_length);
+  List.iter (fun ic -> draw_icon p buf ic) pl.Pipeline.icons;
+  let pad_abs icon pad =
+    Option.bind (Pipeline.find_icon pl icon) (fun ic -> Icon.pad_position p ic pad)
+  in
+  List.iter
+    (fun (conn : Connection.t) ->
+      let label_at (pt : Geometry.point) s ~above =
+        text buf ~x:(sx pt.Geometry.x - 20)
+          ~y:(sy pt.Geometry.y + if above then -8 else cell_h + 10)
+          ~style:"font:11px monospace;fill:#063" s
+      in
+      match (conn.Connection.src, conn.Connection.dst) with
+      | Connection.Pad { icon = i1; pad = p1 }, Connection.Pad { icon = i2; pad = p2 } -> (
+          match (pad_abs i1 p1, pad_abs i2 p2) with
+          | Some a, Some b -> draw_wire buf a b
+          | _ -> ())
+      | Connection.Direct_memory m, Connection.Pad { icon; pad } -> (
+          match pad_abs icon pad with
+          | Some b -> label_at b (Printf.sprintf "mem%d" m) ~above:true
+          | None -> ())
+      | Connection.Direct_cache ca, Connection.Pad { icon; pad } -> (
+          match pad_abs icon pad with
+          | Some b -> label_at b (Printf.sprintf "cache%d" ca) ~above:true
+          | None -> ())
+      | Connection.Pad { icon; pad }, Connection.Direct_memory m -> (
+          match pad_abs icon pad with
+          | Some a -> label_at a (Printf.sprintf "mem%d" m) ~above:false
+          | None -> ())
+      | Connection.Pad { icon; pad }, Connection.Direct_cache ca -> (
+          match pad_abs icon pad with
+          | Some a -> label_at a (Printf.sprintf "cache%d" ca) ~above:false
+          | None -> ())
+      | (Connection.Direct_memory _ | Connection.Direct_cache _), _ -> ())
+    pl.Pipeline.connections;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+(** Render the machine datapath overview (the paper's Figure 1). *)
+let render_datapath (p : Params.t) : string =
+  let buf = Buffer.create 4096 in
+  let w = 980 and h = 560 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns='http://www.w3.org/2000/svg' width='%d' height='%d'>\n<rect width='%d' \
+        height='%d' fill='#fff'/>\n"
+       w h w h);
+  text buf ~x:20 ~y:28 ~style:"font:bold 16px monospace;fill:#000"
+    "Navier-Stokes Computer: node datapath";
+  (* router *)
+  rect buf ~x:20 ~y:50 ~w:180 ~h:50 ~style:"fill:#fef;stroke:#000";
+  text buf ~x:30 ~y:80 "Hyperspace router";
+  (* caches *)
+  rect buf ~x:260 ~y:50 ~w:300 ~h:50 ~style:"fill:#eef;stroke:#000";
+  text buf ~x:270 ~y:80 (Printf.sprintf "%d double-buffered caches" p.n_caches);
+  (* memory planes *)
+  rect buf ~x:620 ~y:50 ~w:330 ~h:50 ~style:"fill:#eef;stroke:#000";
+  text buf ~x:630 ~y:80
+    (Printf.sprintf "%d memory planes x %d MB" p.n_memory_planes
+       (p.memory_plane_words * 8 / (1024 * 1024)));
+  (* switch *)
+  rect buf ~x:260 ~y:180 ~w:690 ~h:60 ~style:"fill:#ffe;stroke:#000";
+  text buf ~x:270 ~y:215 "programmable switch network (FLONET)";
+  (* ALS row *)
+  let x = ref 40 in
+  let als_box kind count =
+    rect buf ~x:!x ~y:320 ~w:190 ~h:70 ~style:"fill:#efe;stroke:#000";
+    text buf ~x:(!x + 10) ~y:350 (Printf.sprintf "%d %ss" count (Als.kind_to_string kind));
+    text buf ~x:(!x + 10) ~y:370
+      (Printf.sprintf "(%d units each)" (Als.kind_size kind));
+    line buf ~x1:(!x + 95) ~y1:320 ~x2:(!x + 95) ~y2:240 ~style:"stroke:#000";
+    x := !x + 230
+  in
+  als_box Als.Singlet p.n_singlets;
+  als_box Als.Doublet p.n_doublets;
+  als_box Als.Triplet p.n_triplets;
+  (* shift/delay *)
+  rect buf ~x:!x ~y:320 ~w:190 ~h:70 ~style:"fill:#efe;stroke:#000";
+  text buf ~x:(!x + 10) ~y:350 (Printf.sprintf "%d shift/delay" p.n_shift_delay);
+  text buf ~x:(!x + 10) ~y:370 "units";
+  line buf ~x1:(!x + 95) ~y1:320 ~x2:(!x + 95) ~y2:240 ~style:"stroke:#000";
+  (* vertical joins *)
+  line buf ~x1:410 ~y1:100 ~x2:410 ~y2:180 ~style:"stroke:#000";
+  line buf ~x1:780 ~y1:100 ~x2:780 ~y2:180 ~style:"stroke:#000";
+  line buf ~x1:110 ~y1:100 ~x2:110 ~y2:460 ~style:"stroke:#000";
+  text buf ~x:20 ~y:480
+    (Printf.sprintf "%d functional units, peak %.0f MFLOPS/node"
+       (Params.n_functional_units p) (Params.peak_mflops p));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf

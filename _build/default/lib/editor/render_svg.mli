@@ -1,0 +1,24 @@
+(** SVG rendering of pipeline diagrams — publication-quality counterparts
+    of the ASCII frames, scaled from the same character-cell geometry. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val cell_w : int
+val cell_h : int
+val sx : int -> int
+val sy : int -> int
+val esc : string -> string
+val rect :
+  Buffer.t -> x:int -> y:int -> w:int -> h:int -> style:string -> unit
+val line :
+  Buffer.t -> x1:int -> y1:int -> x2:int -> y2:int -> style:string -> unit
+val text : Buffer.t -> x:int -> y:int -> ?style:string -> string -> unit
+val circle : Buffer.t -> x:int -> y:int -> r:int -> style:string -> unit
+val unit_style : double:bool -> string
+val draw_icon : Nsc_arch.Params.t -> Buffer.t -> Nsc_diagram.Icon.t -> unit
+val draw_wire :
+  Buffer.t ->
+  Nsc_diagram.Geometry.point -> Nsc_diagram.Geometry.point -> unit
+val render_pipeline : Nsc_arch.Params.t -> Nsc_diagram.Pipeline.t -> string
+val render_datapath : Nsc_arch.Params.t -> string

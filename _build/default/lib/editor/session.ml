@@ -1,0 +1,59 @@
+(** Session recording and replay.
+
+    A session script is a text file of editor events (one per line, in the
+    {!Event} token syntax), comments, and [snapshot <name>] directives that
+    capture an ASCII render of the window.  Replay is deterministic, which
+    is how the figure-generation targets and the editor regression tests
+    reproduce interactive sessions without a display. *)
+
+type frame = { name : string; render : string }
+
+type replay = {
+  final : State.t;
+  frames : frame list;        (** in script order *)
+  applied : int;              (** events applied *)
+  errors : (int * string) list;  (** line number, problem *)
+}
+
+(** Replay a script over an initial state. *)
+let replay (st : State.t) (script : string) : replay =
+  let lines = String.split_on_char '\n' script in
+  let st = ref st in
+  let frames = ref [] and applied = ref 0 and errors = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let tokens =
+        String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+      in
+      match tokens with
+      | [] -> ()
+      | t :: _ when String.length t > 0 && t.[0] = '#' -> ()
+      | [ "snapshot"; name ] ->
+          frames := { name; render = Render_ascii.render !st } :: !frames
+      | tokens -> (
+          match Event.of_tokens tokens with
+          | Some ev ->
+              st := Editor.handle !st ev;
+              incr applied
+          | None -> errors := (lineno, "unparseable event: " ^ line) :: !errors))
+    lines;
+  {
+    final = !st;
+    frames = List.rev !frames;
+    applied = !applied;
+    errors = List.rev !errors;
+  }
+
+(** A recorder accumulating the events fed through it, for saving a session
+    as a replayable script. *)
+type recorder = { mutable events : Event.t list }
+
+let recorder () = { events = [] }
+
+let record (r : recorder) (st : State.t) (ev : Event.t) : State.t =
+  r.events <- ev :: r.events;
+  Editor.handle st ev
+
+let script_of (r : recorder) : string =
+  List.rev_map Event.to_tokens r.events |> String.concat "\n"

@@ -1,0 +1,27 @@
+(** Session recording and replay.
+
+    A session script is a text file of editor events (one per line, in the
+    {!Event} token syntax), comments, and [snapshot <name>] directives that
+    capture an ASCII render of the window.  Replay is deterministic, which
+    is how the figure-generation targets and the editor regression tests
+    reproduce interactive sessions without a display. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type frame = { name : string; render : string; }
+type replay = {
+  final : State.t;
+  frames : frame list;
+  applied : int;
+  errors : (int * string) list;
+}
+(** Replay a script (events, comments, [snapshot NAME] directives) over
+    an initial state, deterministically. *)
+val replay : State.t -> string -> replay
+type recorder = { mutable events : Event.t list; }
+(** Apply an event while logging it for {!script_of}. *)
+val recorder : unit -> recorder
+val record :
+  recorder -> State.t -> Event.t -> State.t
+val script_of : recorder -> string

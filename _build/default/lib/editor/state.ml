@@ -1,0 +1,100 @@
+(** Editor state: the program being edited plus the interaction mode.
+
+    All mutation goes through {!Editor.handle}; the state itself is a pure
+    value, which is what makes session replay and property testing of the
+    editor practical. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_checker
+
+(** Icon-placement requests, armed by the control-panel icon buttons; the
+    concrete hardware resource is bound when the icon is dropped. *)
+type place_request =
+  | Place_als of Als.kind * Als.bypass
+  | Place_memory of Resource.plane_id
+  | Place_cache of Resource.cache_id
+  | Place_shift_delay of Shift_delay.mode
+[@@deriving show { with_path = false }, eq]
+
+type mode =
+  | Idle
+  | Placing of { request : place_request; at : Geometry.point }
+      (** dragging an icon outline from the control panel (Figure 6) *)
+  | Moving of { icon : Icon.id; grab : Geometry.point }
+      (** repositioning a placed icon; [grab] is the in-icon grab offset *)
+  | Rubber of { from_icon : Icon.id; from_pad : Icon.pad; at : Geometry.point }
+      (** rubber-band wiring (Figure 8) *)
+  | Menu_open of Menu.t
+  | Form_open of Menu.form
+
+type t = {
+  kb : Knowledge.t;
+  program : Program.t;
+  current : int;  (** pipeline (instruction) number being edited *)
+  mode : mode;
+  selected : Icon.id option;
+  messages : string list;  (** newest first; head feeds the message strip *)
+  diagnostics : Diagnostic.t list;  (** current pipeline, refreshed on change *)
+  dirty : bool;
+}
+
+let create ?(name = "untitled") (kb : Knowledge.t) : t =
+  let program, current = Program.append_pipeline (Program.empty name) in
+  {
+    kb;
+    program;
+    current;
+    mode = Idle;
+    selected = None;
+    messages = [];
+    diagnostics = [];
+    dirty = false;
+  }
+
+(** Wrap an existing program for editing. *)
+let of_program (kb : Knowledge.t) (program : Program.t) : t =
+  let program, current =
+    if Program.pipeline_count program = 0 then Program.append_pipeline program
+    else (program, 1)
+  in
+  {
+    kb;
+    program;
+    current;
+    mode = Idle;
+    selected = None;
+    messages = [];
+    diagnostics = [];
+    dirty = false;
+  }
+
+(** The pipeline under edit. *)
+let current_pipeline (st : t) : Pipeline.t =
+  match Program.find_pipeline st.program st.current with
+  | Some pl -> pl
+  | None -> Pipeline.empty st.current (* unreachable under the editor's invariants *)
+
+let message st fmt =
+  Printf.ksprintf (fun m -> { st with messages = m :: st.messages }) fmt
+
+let latest_message st = match st.messages with [] -> "" | m :: _ -> m
+
+(* Refresh the interactive diagnostics of the current pipeline. *)
+let refresh (st : t) : t =
+  let lookup = Program.variable_base st.program in
+  let diagnostics =
+    Checker.check_pipeline st.kb ~lookup ~level:`Interactive (current_pipeline st)
+  in
+  { st with diagnostics }
+
+(** Store a modified current pipeline and re-check it. *)
+let put_pipeline (st : t) (pl : Pipeline.t) : t =
+  refresh { st with program = Program.update_pipeline st.program pl; dirty = true }
+
+(** Move the edit cursor to pipeline [n] (clamped). *)
+let goto (st : t) n : t =
+  let n = max 1 (min n (Program.pipeline_count st.program)) in
+  refresh { st with current = n; selected = None; mode = Idle }
+
+let error_count st = List.length (Diagnostic.errors st.diagnostics)

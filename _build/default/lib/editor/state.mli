@@ -1,0 +1,56 @@
+(** Editor state: the program being edited plus the interaction mode.
+
+    All mutation goes through {!Editor.handle}; the state itself is a pure
+    value, which is what makes session replay and property testing of the
+    editor practical. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type place_request =
+    Place_als of Nsc_arch.Als.kind * Nsc_arch.Als.bypass
+  | Place_memory of Nsc_arch.Resource.plane_id
+  | Place_cache of Nsc_arch.Resource.cache_id
+  | Place_shift_delay of Nsc_arch.Shift_delay.mode
+val pp_place_request :
+  Format.formatter ->
+  place_request -> unit
+val show_place_request : place_request -> string
+val equal_place_request :
+  place_request -> place_request -> bool
+type mode =
+    Idle
+  | Placing of { request : place_request; at : Nsc_diagram.Geometry.point; }
+  | Moving of { icon : Nsc_diagram.Icon.id;
+      grab : Nsc_diagram.Geometry.point;
+    }
+  | Rubber of { from_icon : Nsc_diagram.Icon.id;
+      from_pad : Nsc_diagram.Icon.pad; at : Nsc_diagram.Geometry.point;
+    }
+  | Menu_open of Menu.t
+  | Form_open of Menu.form
+type t = {
+  kb : Nsc_arch.Knowledge.t;
+  program : Nsc_diagram.Program.t;
+  current : int;
+  mode : mode;
+  selected : Nsc_diagram.Icon.id option;
+  messages : string list;
+  diagnostics : Nsc_checker.Diagnostic.t list;
+  dirty : bool;
+}
+(** A fresh editing session holding one empty pipeline. *)
+val create : ?name:string -> Nsc_arch.Knowledge.t -> t
+(** Wrap an existing program for editing. *)
+val of_program : Nsc_arch.Knowledge.t -> Nsc_diagram.Program.t -> t
+(** The pipeline under edit. *)
+val current_pipeline : t -> Nsc_diagram.Pipeline.t
+val message : t -> ('a, unit, string, t) format4 -> 'a
+val latest_message : t -> string
+val refresh : t -> t
+(** Store a modified current pipeline and re-run the interactive
+    checker. *)
+val put_pipeline : t -> Nsc_diagram.Pipeline.t -> t
+(** Move the edit cursor to a pipeline (clamped). *)
+val goto : t -> int -> t
+val error_count : t -> int

@@ -1,0 +1,1 @@
+lib/lang/ast.pp.ml: List Nsc_arch Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/lang/ast.pp.mli: Format Nsc_arch

@@ -1,0 +1,1 @@
+lib/lang/compile.pp.ml: Ast Balance Checker Diagnostic Hashtbl Interrupt Knowledge List Lower Nsc_arch Nsc_checker Nsc_diagram Option Params Parser Printf Program Resource String

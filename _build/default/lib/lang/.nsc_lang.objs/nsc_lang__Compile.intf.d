@@ -1,0 +1,1 @@
+lib/lang/compile.pp.mli: Ast Lower Nsc_arch Nsc_checker Nsc_diagram String

@@ -1,0 +1,1 @@
+lib/lang/dag.pp.ml: Array Ast Float Hashtbl List Nsc_arch Opcode Ppx_deriving_runtime

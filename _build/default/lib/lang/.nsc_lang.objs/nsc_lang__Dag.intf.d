@@ -1,0 +1,1 @@
+lib/lang/dag.pp.mli: Ast Format Hashtbl Nsc_arch

@@ -1,0 +1,1 @@
+lib/lang/lower.pp.ml: Als Ast Build Dag Fu_config Geometry Hashtbl Icon List Nsc_arch Nsc_diagram Opcode Params Pipeline Printf Resource

@@ -1,0 +1,1 @@
+lib/lang/lower.pp.mli: Ast Nsc_arch Nsc_diagram

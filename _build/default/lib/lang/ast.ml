@@ -1,0 +1,78 @@
+(** Abstract syntax of the textual pipeline language.
+
+    The paper judges a FORTRAN compiler for the NSC a three-year project of
+    doubtful payoff; this small vector language is the experiment behind
+    that judgement.  One vector assignment compiles to one pipeline
+    instruction; shifted references ([u[-1]]) become strided DMA streams;
+    [maxreduce] is the register-file feedback reduction used for residual
+    convergence checks; [repeat]/[while] map onto the sequencer. *)
+
+type unop = Neg | Abs [@@deriving show { with_path = false }, eq]
+
+type binop = Add | Sub | Mul | Div | Min | Max
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Const of float
+  | Ref of { name : string; shift : int }  (** array element, shifted *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Maxreduce of expr
+      (** running maximum over the vector — the residual-check reduction *)
+[@@deriving show { with_path = false }, eq]
+
+type relation = Gt | Ge | Lt | Le [@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Assign of { target : string; expr : expr }
+  | Scalar_assign of { scalar : string; expr : expr }
+      (** capture a reduction into a named scalar (no memory write) *)
+  | Repeat of { count : int; body : stmt list }
+  | While of {
+      scalar : string;
+      rel : relation;
+      threshold : float;
+      max_iters : int;
+      body : stmt list;
+    }
+[@@deriving show { with_path = false }, eq]
+
+type decl =
+  | Array of { name : string; length : int; plane : int }
+  | Scalar of string
+[@@deriving show { with_path = false }, eq]
+
+type program = { decls : decl list; body : stmt list }
+[@@deriving show { with_path = false }, eq]
+
+let unop_opcode = function
+  | Neg -> Nsc_arch.Opcode.Fneg
+  | Abs -> Nsc_arch.Opcode.Fabs
+
+let binop_opcode = function
+  | Add -> Nsc_arch.Opcode.Fadd
+  | Sub -> Nsc_arch.Opcode.Fsub
+  | Mul -> Nsc_arch.Opcode.Fmul
+  | Div -> Nsc_arch.Opcode.Fdiv
+  | Min -> Nsc_arch.Opcode.Min
+  | Max -> Nsc_arch.Opcode.Max
+
+let relation_to_arch = function
+  | Gt -> Nsc_arch.Interrupt.Rgt
+  | Ge -> Nsc_arch.Interrupt.Rge
+  | Lt -> Nsc_arch.Interrupt.Rlt
+  | Le -> Nsc_arch.Interrupt.Rle
+
+(** Largest |shift| appearing anywhere — determines array padding. *)
+let max_shift (p : program) =
+  let rec expr m = function
+    | Const _ -> m
+    | Ref { shift; _ } -> max m (abs shift)
+    | Unop (_, e) | Maxreduce e -> expr m e
+    | Binop (_, e1, e2) -> expr (expr m e1) e2
+  in
+  let rec stmt m = function
+    | Assign { expr = e; _ } | Scalar_assign { expr = e; _ } -> expr m e
+    | Repeat { body; _ } | While { body; _ } -> List.fold_left stmt m body
+  in
+  List.fold_left stmt 1 p.body

@@ -1,0 +1,66 @@
+(** Abstract syntax of the textual pipeline language.
+
+    The paper judges a FORTRAN compiler for the NSC a three-year project of
+    doubtful payoff; this small vector language is the experiment behind
+    that judgement.  One vector assignment compiles to one pipeline
+    instruction; shifted references ([u[-1]]) become strided DMA streams;
+    [maxreduce] is the register-file feedback reduction used for residual
+    convergence checks; [repeat]/[while] map onto the sequencer. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type unop = Neg | Abs
+val pp_unop :
+  Format.formatter -> unop -> unit
+val show_unop : unop -> string
+val equal_unop : unop -> unop -> bool
+type binop = Add | Sub | Mul | Div | Min | Max
+val pp_binop :
+  Format.formatter -> binop -> unit
+val show_binop : binop -> string
+val equal_binop : binop -> binop -> bool
+type expr =
+    Const of float
+  | Ref of { name : string; shift : int; }
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Maxreduce of expr
+val pp_expr :
+  Format.formatter -> expr -> unit
+val show_expr : expr -> string
+val equal_expr : expr -> expr -> bool
+type relation = Gt | Ge | Lt | Le
+val pp_relation :
+  Format.formatter ->
+  relation -> unit
+val show_relation : relation -> string
+val equal_relation : relation -> relation -> bool
+type stmt =
+    Assign of { target : string; expr : expr; }
+  | Scalar_assign of { scalar : string; expr : expr; }
+  | Repeat of { count : int; body : stmt list; }
+  | While of { scalar : string; rel : relation; threshold : float;
+      max_iters : int; body : stmt list;
+    }
+val pp_stmt :
+  Format.formatter -> stmt -> unit
+val show_stmt : stmt -> string
+val equal_stmt : stmt -> stmt -> bool
+type decl =
+    Array of { name : string; length : int; plane : int; }
+  | Scalar of string
+val pp_decl :
+  Format.formatter -> decl -> unit
+val show_decl : decl -> string
+val equal_decl : decl -> decl -> bool
+type program = { decls : decl list; body : stmt list; }
+val pp_program :
+  Format.formatter ->
+  program -> unit
+val show_program : program -> string
+val equal_program : program -> program -> bool
+val unop_opcode : unop -> Nsc_arch.Opcode.t
+val binop_opcode : binop -> Nsc_arch.Opcode.t
+val relation_to_arch : relation -> Nsc_arch.Interrupt.relation
+val max_shift : program -> int

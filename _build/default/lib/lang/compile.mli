@@ -1,0 +1,35 @@
+(** The compile driver: source text to a checked visual program.
+
+    Arrays are laid out plane by plane in declaration order, each padded by
+    the program's largest shift so stencil streams never leave their
+    variable; statements lower one-by-one to pipeline diagrams; [repeat]
+    and [while] become sequencer control; every generated diagram is
+    auto-balanced and the whole program is put through the checker. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type compiled = {
+  program : Nsc_diagram.Program.t;
+  captures : (string * Nsc_arch.Resource.fu_id) list;
+  units_per_pipeline : (int * int) list;
+  diagnostics : Nsc_checker.Diagnostic.t list;
+}
+type error = { message : string; at_statement : int option; }
+val err :
+  ?at_statement:int -> ('a, unit, string, ('b, error) result) format4 -> 'a
+val layout_arrays :
+  Nsc_arch.Params.t ->
+  Ast.program ->
+  pad:int -> ((string * Lower.array_info) list, error) result
+val scalar_names : Ast.program -> string list
+val refs_of : Ast.expr -> string list
+(** Compile source text: parse, lay out arrays plane by plane (padded by
+    the program's largest shift), lower each statement to a balanced
+    pipeline diagram, build the sequencer control, and run the checker.
+    [Error] carries the first problem with its statement number. *)
+val compile :
+  Nsc_arch.Knowledge.t -> ?name:string -> string -> (compiled, error) result
+(** Where an array lives in the compiled program: (plane, base of the
+    padded variable). *)
+val array_location : compiled -> String.t -> (int * int) option

@@ -1,0 +1,167 @@
+(** Expression DAGs with hash-consing, constant folding and chain
+    discovery.
+
+    Mapping "function units onto expression graphs" is one of the compiler
+    problems Section 3 calls out; the first step is a DAG with common
+    subexpressions shared, then a greedy packing of single-consumer
+    sequences into chains of up to three operations — candidates for the
+    hardwired ALS internal connections. *)
+
+open Nsc_arch
+
+type node_op =
+  | N_const of float
+  | N_ref of { name : string; shift : int }
+  | N_op of Opcode.t       (** ordinary operation; args in port order *)
+  | N_maxreduce            (** running max over the stream (feedback loop) *)
+[@@deriving show { with_path = false }, eq]
+
+type node = { id : int; op : node_op; args : int list }
+
+type t = {
+  nodes : node array;       (** in topological (construction) order *)
+  roots : int list;
+  fanout : int array;
+}
+
+let node t id = t.nodes.(id)
+
+let is_value_op = function N_const _ | N_ref _ -> false | N_op _ | N_maxreduce -> true
+
+(* Must the operation sit in the tail slot of its ALS (min/max circuitry)? *)
+let needs_minmax = function
+  | N_op (Opcode.Min | Opcode.Max) | N_maxreduce -> true
+  | N_op _ | N_const _ | N_ref _ -> false
+
+(* Operations whose operands may be swapped to enable chaining. *)
+let commutative = function
+  | N_op (Opcode.Fadd | Opcode.Fmul | Opcode.Min | Opcode.Max) -> true
+  | N_op _ | N_const _ | N_ref _ | N_maxreduce -> false
+
+type builder = {
+  mutable next : int;
+  mutable acc : node list;
+  table : (node_op * int list, int) Hashtbl.t;
+}
+
+let builder () = { next = 0; acc = []; table = Hashtbl.create 64 }
+
+let intern b op args =
+  match Hashtbl.find_opt b.table (op, args) with
+  | Some id -> id
+  | None ->
+      let id = b.next in
+      b.next <- id + 1;
+      b.acc <- { id; op; args } :: b.acc;
+      Hashtbl.replace b.table (op, args) id;
+      id
+
+(* Translate an AST expression, folding constants as we go. *)
+let rec of_expr b (e : Ast.expr) : int =
+  match e with
+  | Ast.Const c -> intern b (N_const c) []
+  | Ast.Ref { name; shift } -> intern b (N_ref { name; shift }) []
+  | Ast.Unop (u, e1) -> (
+      let a = of_expr b e1 in
+      match List.find_opt (fun n -> n.id = a) b.acc with
+      | Some { op = N_const c; _ } ->
+          intern b
+            (N_const (match u with Ast.Neg -> -.c | Ast.Abs -> Float.abs c))
+            []
+      | _ -> intern b (N_op (Ast.unop_opcode u)) [ a ])
+  | Ast.Binop (op, e1, e2) -> (
+      let a = of_expr b e1 and b2 = of_expr b e2 in
+      let const_of id =
+        match List.find_opt (fun n -> n.id = id) b.acc with
+        | Some { op = N_const c; _ } -> Some c
+        | _ -> None
+      in
+      match (const_of a, const_of b2) with
+      | Some c1, Some c2 ->
+          let v =
+            match op with
+            | Ast.Add -> c1 +. c2
+            | Ast.Sub -> c1 -. c2
+            | Ast.Mul -> c1 *. c2
+            | Ast.Div -> c1 /. c2
+            | Ast.Min -> Float.min c1 c2
+            | Ast.Max -> Float.max c1 c2
+          in
+          intern b (N_const v) []
+      | _ -> intern b (N_op (Ast.binop_opcode op)) [ a; b2 ])
+  | Ast.Maxreduce e1 ->
+      let a = of_expr b e1 in
+      intern b N_maxreduce [ a ]
+
+(** Build the DAG of one expression.  Returns the DAG and its root id. *)
+let of_ast (e : Ast.expr) : t * int =
+  let b = builder () in
+  let root = of_expr b e in
+  let nodes = Array.of_list (List.rev b.acc) in
+  let fanout = Array.make (Array.length nodes) 0 in
+  Array.iter (fun n -> List.iter (fun a -> fanout.(a) <- fanout.(a) + 1) n.args) nodes;
+  fanout.(root) <- fanout.(root) + 1;
+  ({ nodes; roots = [ root ]; fanout }, root)
+
+(** Operation nodes, in topological order. *)
+let op_nodes t = Array.to_list t.nodes |> List.filter (fun n -> is_value_op n.op)
+
+(** Chains: single-consumer runs of up to [max_len] operations where each
+    link feeds the next link's A operand (swapping commutative operands
+    when that enables a link), min/max operations only at the tail.
+    Returns chains as node-id lists in execution order. *)
+let chains ?(max_len = 3) (t : t) : int list list =
+  (* the chain each node currently tails, if any *)
+  let tail_of : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let ops = op_nodes t in
+  List.iter
+    (fun n ->
+      (* can we extend the chain tailed by arg [a]? *)
+      let extendable a =
+        is_value_op (node t a).op
+        && t.fanout.(a) = 1
+        && (not (needs_minmax (node t a).op))
+        && Hashtbl.mem tail_of a
+        && List.length (Hashtbl.find tail_of a) < max_len
+      in
+      let try_args =
+        match n.args with
+        | [ a ] -> if extendable a then Some (a, n.args) else None
+        | [ a; b ] ->
+            if extendable a then Some (a, n.args)
+            else if commutative n.op && extendable b then Some (b, [ b; a ])
+            else None
+        | _ -> None
+      in
+      (match try_args with
+      | Some (a, _) ->
+          let c = Hashtbl.find tail_of a in
+          Hashtbl.remove tail_of a;
+          let c' = c @ [ n.id ] in
+          Hashtbl.replace tail_of n.id c'
+      | None -> Hashtbl.replace tail_of n.id [ n.id ]))
+    ops;
+  Hashtbl.fold (fun _ c acc -> c :: acc) tail_of []
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
+(** The argument order of node [n] after chain-driven operand swapping:
+    if [n] is chained onto its second operand, the operands swap. *)
+let effective_args (_t : t) (chains_ : int list list) (n : node) : int list =
+  match n.args with
+  | [ a; b ] when commutative n.op ->
+      let chained_onto x =
+        List.exists
+          (fun c ->
+            let rec adjacent = function
+              | x' :: y :: _ when x' = x && y = n.id -> true
+              | _ :: rest -> adjacent rest
+              | [] -> false
+            in
+            adjacent c)
+          chains_
+      in
+      if (not (chained_onto a)) && chained_onto b then [ b; a ] else [ a; b ]
+  | args -> args
+
+(** Number of operation nodes (functional units the expression needs). *)
+let op_count t = List.length (op_nodes t)

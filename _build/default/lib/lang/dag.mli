@@ -1,0 +1,41 @@
+(** Expression DAGs with hash-consing, constant folding and chain
+    discovery.
+
+    Mapping "function units onto expression graphs" is one of the compiler
+    problems Section 3 calls out; the first step is a DAG with common
+    subexpressions shared, then a greedy packing of single-consumer
+    sequences into chains of up to three operations — candidates for the
+    hardwired ALS internal connections. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type node_op =
+    N_const of float
+  | N_ref of { name : string; shift : int; }
+  | N_op of Nsc_arch.Opcode.t
+  | N_maxreduce
+val pp_node_op :
+  Format.formatter ->
+  node_op -> unit
+val show_node_op : node_op -> string
+val equal_node_op : node_op -> node_op -> bool
+type node = { id : int; op : node_op; args : int list; }
+type t = { nodes : node array; roots : int list; fanout : int array; }
+val node : t -> int -> node
+val is_value_op : node_op -> bool
+val needs_minmax : node_op -> bool
+val commutative : node_op -> bool
+type builder = {
+  mutable next : int;
+  mutable acc : node list;
+  table : (node_op * int list, int) Hashtbl.t;
+}
+val builder : unit -> builder
+val intern : builder -> node_op -> int list -> int
+val of_expr : builder -> Ast.expr -> int
+val of_ast : Ast.expr -> t * int
+val op_nodes : t -> node list
+val chains : ?max_len:int -> t -> int list list
+val effective_args : t -> int list list -> node -> int list
+val op_count : t -> int

@@ -1,0 +1,138 @@
+(** Tokeniser for the pipeline language. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string     (** array, scalar, plane, repeat, while, max_iters *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQUAL
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | REL of Ast.relation
+  | EOF
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EQUAL -> "="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | COMMA -> ","
+  | REL Ast.Gt -> ">"
+  | REL Ast.Ge -> ">="
+  | REL Ast.Lt -> "<"
+  | REL Ast.Le -> "<="
+  | EOF -> "<eof>"
+
+let keywords = [ "array"; "scalar"; "plane"; "repeat"; "while"; "max_iters" ]
+
+exception Lex_error of int * string
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+(** Tokenise [src]; tokens are paired with their line numbers.  Comments
+    run from [#] to end of line. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = out := (tok, !line) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      let seen_dot = ref false and seen_exp = ref false in
+      while
+        !i < n
+        && (is_digit src.[!i]
+           || (src.[!i] = '.' && not !seen_dot)
+           || ((src.[!i] = 'e' || src.[!i] = 'E') && not !seen_exp)
+           || ((src.[!i] = '+' || src.[!i] = '-')
+              && !i > start
+              && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+      do
+        if src.[!i] = '.' then seen_dot := true;
+        if src.[!i] = 'e' || src.[!i] = 'E' then seen_exp := true;
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      if !seen_dot || !seen_exp then
+        match float_of_string_opt s with
+        | Some f -> push (FLOAT f)
+        | None -> raise (Lex_error (!line, "malformed number " ^ s))
+      else
+        match int_of_string_opt s with
+        | Some v -> push (INT v)
+        | None -> raise (Lex_error (!line, "malformed integer " ^ s))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (KW s) else push (IDENT s)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ">=" ->
+          push (REL Ast.Ge);
+          i := !i + 2
+      | "<=" ->
+          push (REL Ast.Le);
+          i := !i + 2
+      | _ ->
+          (match c with
+          | '+' -> push PLUS
+          | '-' -> push MINUS
+          | '*' -> push STAR
+          | '/' -> push SLASH
+          | '=' -> push EQUAL
+          | '(' -> push LPAREN
+          | ')' -> push RPAREN
+          | '[' -> push LBRACKET
+          | ']' -> push RBRACKET
+          | '{' -> push LBRACE
+          | '}' -> push RBRACE
+          | ',' -> push COMMA
+          | '>' -> push (REL Ast.Gt)
+          | '<' -> push (REL Ast.Lt)
+          | c -> raise (Lex_error (!line, Printf.sprintf "unexpected character '%c'" c)));
+          incr i
+    end
+  done;
+  push EOF;
+  List.rev !out

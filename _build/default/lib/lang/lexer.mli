@@ -1,0 +1,31 @@
+(** Tokeniser for the pipeline language. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type token =
+    INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQUAL
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | REL of Ast.relation
+  | EOF
+val token_to_string : token -> string
+val keywords : string list
+exception Lex_error of int * string
+val is_digit : char -> bool
+val is_ident_start : char -> bool
+val is_ident : char -> bool
+val tokenize : string -> (token * int) list

@@ -1,0 +1,268 @@
+(** Lowering expression DAGs onto the machine: ALS allocation and diagram
+    generation.
+
+    This is the paper's hard compiler problem in miniature: chains must
+    respect the hardwired ALS structures; integer and min/max operations
+    are only legal in particular slots; every array reference becomes a DMA
+    stream on the array's plane, limited by that plane's engines and read
+    ports.  Allocation failures surface as compile errors that tell the
+    programmer to restructure — exactly the "optimum layout for one
+    pipeline may be unworkable for the next" tension Section 3 describes. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+(** Where an array lives: resolved by the compile driver. *)
+type array_info = { plane : int; length : int; pad : int }
+
+type env = {
+  params : Params.t;
+  arrays : (string * array_info) list;
+}
+
+let array_info env name = List.assoc_opt name env.arrays
+
+(* Mutable allocation state over one pipeline. *)
+type alloc = {
+  mutable free_singlets : Resource.als_id list;
+  mutable free_doublets : Resource.als_id list;
+  mutable free_triplets : Resource.als_id list;
+  mutable placed : int;  (** icons placed so far, for layout positions *)
+}
+
+let fresh_alloc (p : Params.t) =
+  {
+    free_singlets = Als.ids_of_kind p Als.Singlet;
+    free_doublets = Als.ids_of_kind p Als.Doublet;
+    free_triplets = Als.ids_of_kind p Als.Triplet;
+    placed = 0;
+  }
+
+let next_position al =
+  let col = al.placed mod 4 and row = al.placed / 4 in
+  al.placed <- al.placed + 1;
+  Geometry.point (4 + (col * 22)) (2 + (row * 14))
+
+let take_singlet al =
+  match al.free_singlets with
+  | a :: rest ->
+      al.free_singlets <- rest;
+      Some a
+  | [] -> None
+
+let take_doublet al =
+  match al.free_doublets with
+  | a :: rest ->
+      al.free_doublets <- rest;
+      Some a
+  | [] -> None
+
+let take_triplet al =
+  match al.free_triplets with
+  | a :: rest ->
+      al.free_triplets <- rest;
+      Some a
+  | [] -> None
+
+(** A chain's home: the icon, its ALS, its bypass, and the slot of each
+    chain element in order. *)
+type home = { icon : Icon.id; als : Resource.als_id; bypass : Als.bypass; slots : int list }
+
+exception Lower_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Lower_error m)) fmt
+
+(* Allocate one chain; may split it.  Returns (pipeline, homes of the
+   sub-chains in order). *)
+let rec alloc_chain env al pl (chain : int list) ~tail_minmax :
+    Pipeline.t * (int list * home) list =
+  let place pl ~kind ~bypass =
+    let pos = next_position al in
+    match Pipeline.place_als env.params pl ~kind ~bypass ~pos () with
+    | Ok (icon, pl) -> (icon, pl)
+    | Error e -> fail "%s" e
+  in
+  let home_of pl icon slots =
+    match Pipeline.icon_kind pl icon with
+    | Some (Icon.Als_icon { als; bypass }) -> { icon; als; bypass; slots }
+    | _ -> assert false
+  in
+  let split () =
+    match chain with
+    | [] | [ _ ] -> fail "expression needs a min/max-capable structure but none is free"
+    | first :: rest ->
+        let pl, h1 = alloc_chain env al pl [ first ] ~tail_minmax:false in
+        let pl, h2 = alloc_chain env al pl rest ~tail_minmax in
+        (pl, h1 @ h2)
+  in
+  match (List.length chain, tail_minmax) with
+  | 3, _ -> (
+      match take_triplet al with
+      | Some _als_id ->
+          (* place_als binds the lowest free ALS of the kind; mirror that by
+             re-inserting and letting place_als choose *)
+          al.free_triplets <- al.free_triplets;
+          let icon, pl = place pl ~kind:Als.Triplet ~bypass:Als.No_bypass in
+          (pl, [ (chain, home_of pl icon [ 0; 1; 2 ]) ])
+      | None -> split ())
+  | 2, true -> (
+      match take_doublet al with
+      | Some _ ->
+          let icon, pl = place pl ~kind:Als.Doublet ~bypass:Als.No_bypass in
+          (pl, [ (chain, home_of pl icon [ 0; 1 ]) ])
+      | None -> split ())
+  | 2, false -> (
+      match take_doublet al with
+      | Some _ ->
+          let icon, pl = place pl ~kind:Als.Doublet ~bypass:Als.No_bypass in
+          (pl, [ (chain, home_of pl icon [ 0; 1 ]) ])
+      | None -> (
+          match take_triplet al with
+          | Some _ ->
+              let icon, pl = place pl ~kind:Als.Triplet ~bypass:Als.No_bypass in
+              (pl, [ (chain, home_of pl icon [ 0; 1 ]) ])
+          | None -> split ()))
+  | 1, true -> (
+      match take_doublet al with
+      | Some _ ->
+          let icon, pl = place pl ~kind:Als.Doublet ~bypass:Als.Keep_tail in
+          (pl, [ (chain, home_of pl icon [ 1 ]) ])
+      | None ->
+          fail "expression needs a min/max-capable structure but no doublet is free")
+  | 1, false -> (
+      match take_singlet al with
+      | Some _ ->
+          let icon, pl = place pl ~kind:Als.Singlet ~bypass:Als.No_bypass in
+          (pl, [ (chain, home_of pl icon [ 0 ]) ])
+      | None -> (
+          match take_doublet al with
+          | Some _ ->
+              let icon, pl = place pl ~kind:Als.Doublet ~bypass:Als.Keep_head in
+              (pl, [ (chain, home_of pl icon [ 0 ]) ])
+          | None -> (
+              match take_triplet al with
+              | Some _ ->
+                  let icon, pl = place pl ~kind:Als.Triplet ~bypass:Als.No_bypass in
+                  (pl, [ (chain, home_of pl icon [ 0 ]) ])
+              | None -> fail "the machine has no free structure for this expression")))
+  | n, _ -> fail "internal: chain of unexpected length %d" n
+
+(** Result of lowering one statement. *)
+type lowered = {
+  pipeline : Pipeline.t;
+  capture : Resource.fu_id option;
+      (** the unit whose last value a scalar assignment captures *)
+  units_used : int;
+}
+
+(** Lower one vector expression to a pipeline diagram.
+    [write_to]: the destination array, or [None] for a scalar capture. *)
+let lower_expr (env : env) ~index ~label ~vlen ~(write_to : (string * array_info) option)
+    (e : Ast.expr) : (lowered, string) result =
+  try
+    let dag, root = Dag.of_ast e in
+    (match Dag.node dag root with
+    | { Dag.op = Dag.N_const _ | Dag.N_ref _; _ } ->
+        fail "an assignment must compute something; use a 'pass' expression like x + 0.0"
+    | _ -> ());
+    let p = env.params in
+    let pl = Pipeline.empty ~label index in
+    let pl = Pipeline.with_vector_length pl vlen in
+    let al = fresh_alloc p in
+    let chains = Dag.chains dag in
+    (* only chains of operation nodes matter *)
+    let op_chains =
+      List.filter
+        (fun c -> Dag.is_value_op (Dag.node dag (List.hd c)).Dag.op)
+        chains
+    in
+    let pl = ref pl in
+    let homes : (int, home * int (* slot *)) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun chain ->
+        let tail = List.nth chain (List.length chain - 1) in
+        let tail_minmax = Dag.needs_minmax (Dag.node dag tail).Dag.op in
+        let pl', sub = alloc_chain env al !pl chain ~tail_minmax in
+        pl := pl';
+        List.iter
+          (fun (nodes, home) ->
+            List.iteri
+              (fun i nid -> Hashtbl.replace homes nid (home, List.nth home.slots i))
+              nodes)
+          sub)
+      op_chains;
+    (* wiring *)
+    let fu_of nid =
+      let home, slot = Hashtbl.find homes nid in
+      ({ Resource.als = home.als; slot }, home.icon)
+    in
+    let is_chained_pair a v =
+      (* does a feed v over the hardwired chain (same home, adjacent slots)? *)
+      let ha, sa = Hashtbl.find homes a and hv, sv = Hashtbl.find homes v in
+      ha.icon = hv.icon && sv = sa + 1
+    in
+    List.iter
+      (fun (n : Dag.node) ->
+        let home, slot = Hashtbl.find homes n.Dag.id in
+        let op =
+          match n.Dag.op with
+          | Dag.N_op op -> op
+          | Dag.N_maxreduce -> Opcode.Max
+          | Dag.N_const _ | Dag.N_ref _ -> assert false
+        in
+        let args = Dag.effective_args dag chains n in
+        let bind_port (port : Resource.port) arg_id : Fu_config.input_binding =
+          match (Dag.node dag arg_id).Dag.op with
+          | Dag.N_const c -> Fu_config.From_constant c
+          | Dag.N_ref { name; shift } -> (
+              match array_info env name with
+              | None -> fail "undeclared array '%s'" name
+              | Some info ->
+                  pl :=
+                    Build.mem_to_pad !pl ~plane:info.plane ~var:name
+                      ~offset:(info.pad + shift) ~icon:home.icon
+                      ~pad:(Icon.In_pad (slot, port)) ();
+                  Fu_config.From_switch)
+          | Dag.N_op _ | Dag.N_maxreduce ->
+              if Resource.equal_port port Resource.A && is_chained_pair arg_id n.Dag.id
+              then Fu_config.From_chain
+              else begin
+                let _, src_icon = fu_of arg_id in
+                let _, src_slot = Hashtbl.find homes arg_id in
+                pl :=
+                  Build.pad_to_pad !pl ~from_icon:src_icon
+                    ~from_pad:(Icon.Out_pad src_slot) ~to_icon:home.icon
+                    ~to_pad:(Icon.In_pad (slot, port));
+                Fu_config.From_switch
+              end
+        in
+        let a, b =
+          match (n.Dag.op, args) with
+          | Dag.N_maxreduce, [ a ] -> (bind_port Resource.A a, Fu_config.From_feedback 1)
+          | _, [ a ] -> (bind_port Resource.A a, Fu_config.Unbound)
+          | _, [ a; b ] -> (bind_port Resource.A a, bind_port Resource.B b)
+          | _, _ -> fail "internal: malformed node arity"
+        in
+        pl :=
+          Pipeline.set_config !pl ~id:home.icon ~slot
+            { Fu_config.op = Some op; a; b; delay_a = 0; delay_b = 0 })
+      (Dag.op_nodes dag);
+    (* the write stream *)
+    let root_fu, root_icon = fu_of root in
+    let _, root_slot = Hashtbl.find homes root in
+    (match write_to with
+    | Some (name, info) ->
+        pl :=
+          Build.pad_to_mem !pl ~icon:root_icon ~pad:(Icon.Out_pad root_slot)
+            ~plane:info.plane ~var:name ~offset:info.pad ()
+    | None -> ());
+    Ok
+      {
+        pipeline = !pl;
+        capture =
+          (match (Dag.node dag root).Dag.op with
+          | Dag.N_maxreduce -> Some root_fu
+          | _ -> if write_to = None then Some root_fu else None);
+        units_used = Dag.op_count dag;
+      }
+  with Lower_error m -> Error m

@@ -1,0 +1,57 @@
+(** Lowering expression DAGs onto the machine: ALS allocation and diagram
+    generation.
+
+    This is the paper's hard compiler problem in miniature: chains must
+    respect the hardwired ALS structures; integer and min/max operations
+    are only legal in particular slots; every array reference becomes a DMA
+    stream on the array's plane, limited by that plane's engines and read
+    ports.  Allocation failures surface as compile errors that tell the
+    programmer to restructure — exactly the "optimum layout for one
+    pipeline may be unworkable for the next" tension Section 3 describes. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type array_info = { plane : int; length : int; pad : int; }
+type env = {
+  params : Nsc_arch.Params.t;
+  arrays : (string * array_info) list;
+}
+val array_info : env -> string -> array_info option
+type alloc = {
+  mutable free_singlets : Nsc_arch.Resource.als_id list;
+  mutable free_doublets : Nsc_arch.Resource.als_id list;
+  mutable free_triplets : Nsc_arch.Resource.als_id list;
+  mutable placed : int;
+}
+val fresh_alloc : Nsc_arch.Params.t -> alloc
+val next_position : alloc -> Nsc_diagram.Geometry.point
+val take_singlet : alloc -> Nsc_arch.Resource.als_id option
+val take_doublet : alloc -> Nsc_arch.Resource.als_id option
+val take_triplet : alloc -> Nsc_arch.Resource.als_id option
+type home = {
+  icon : Nsc_diagram.Icon.id;
+  als : Nsc_arch.Resource.als_id;
+  bypass : Nsc_arch.Als.bypass;
+  slots : int list;
+}
+exception Lower_error of string
+val fail : ('a, unit, string, 'b) format4 -> 'a
+val alloc_chain :
+  env ->
+  alloc ->
+  Nsc_diagram.Pipeline.t ->
+  int list ->
+  tail_minmax:bool -> Nsc_diagram.Pipeline.t * (int list * home) list
+type lowered = {
+  pipeline : Nsc_diagram.Pipeline.t;
+  capture : Nsc_arch.Resource.fu_id option;
+  units_used : int;
+}
+val lower_expr :
+  env ->
+  index:int ->
+  label:string ->
+  vlen:int ->
+  write_to:(string * array_info) option ->
+  Ast.expr -> (lowered, string) result

@@ -1,0 +1,208 @@
+(** Recursive-descent parser for the pipeline language.
+
+    Grammar:
+    {v
+    program  := decl* stmt*
+    decl     := "array" IDENT "[" INT "]" "plane" INT
+              | "scalar" IDENT
+    stmt     := IDENT "=" expr
+              | "repeat" INT "{" stmt* "}"
+              | "while" IDENT rel NUMBER "max_iters" INT "{" stmt* "}"
+    expr     := term (("+" | "-") term)*
+    term     := factor (("*" | "/") factor)*
+    factor   := NUMBER | "-" factor | "(" expr ")"
+              | IDENT ("[" ("+"|"-") INT "]")?
+              | ("abs"|"maxreduce") "(" expr ")"
+              | ("min"|"max") "(" expr "," expr ")"
+    v} *)
+
+exception Parse_error of int * string
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+let line st = snd (peek st)
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error (line st, m))) fmt
+
+let expect st tok what =
+  let got, _ = peek st in
+  if got = tok then advance st
+  else fail st "expected %s but found '%s'" what (Lexer.token_to_string got)
+
+let expect_int st what =
+  match peek st with
+  | Lexer.INT n, _ ->
+      advance st;
+      n
+  | t, _ -> fail st "expected %s but found '%s'" what (Lexer.token_to_string t)
+
+let expect_number st what =
+  match peek st with
+  | Lexer.INT n, _ ->
+      advance st;
+      float_of_int n
+  | Lexer.FLOAT f, _ ->
+      advance st;
+      f
+  | t, _ -> fail st "expected %s but found '%s'" what (Lexer.token_to_string t)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT s, _ ->
+      advance st;
+      s
+  | t, _ -> fail st "expected %s but found '%s'" what (Lexer.token_to_string t)
+
+let rec parse_expr st : Ast.expr =
+  let lhs = parse_term st in
+  let rec loop lhs =
+    match fst (peek st) with
+    | Lexer.PLUS ->
+        advance st;
+        loop (Ast.Binop (Ast.Add, lhs, parse_term st))
+    | Lexer.MINUS ->
+        advance st;
+        loop (Ast.Binop (Ast.Sub, lhs, parse_term st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_term st : Ast.expr =
+  let lhs = parse_factor st in
+  let rec loop lhs =
+    match fst (peek st) with
+    | Lexer.STAR ->
+        advance st;
+        loop (Ast.Binop (Ast.Mul, lhs, parse_factor st))
+    | Lexer.SLASH ->
+        advance st;
+        loop (Ast.Binop (Ast.Div, lhs, parse_factor st))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_factor st : Ast.expr =
+  match fst (peek st) with
+  | Lexer.INT n ->
+      advance st;
+      Ast.Const (float_of_int n)
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Const f
+  | Lexer.MINUS ->
+      advance st;
+      Ast.Unop (Ast.Neg, parse_factor st)
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.IDENT ("abs" | "maxreduce" as fn) ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      if fn = "abs" then Ast.Unop (Ast.Abs, e) else Ast.Maxreduce e
+  | Lexer.IDENT ("min" | "max" as fn) ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e1 = parse_expr st in
+      expect st Lexer.COMMA ",";
+      let e2 = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      Ast.Binop ((if fn = "min" then Ast.Min else Ast.Max), e1, e2)
+  | Lexer.IDENT name -> (
+      advance st;
+      match fst (peek st) with
+      | Lexer.LBRACKET ->
+          advance st;
+          let sign =
+            match fst (peek st) with
+            | Lexer.PLUS ->
+                advance st;
+                1
+            | Lexer.MINUS ->
+                advance st;
+                -1
+            | _ -> 1
+          in
+          let n = expect_int st "a shift amount" in
+          expect st Lexer.RBRACKET "]";
+          Ast.Ref { name; shift = sign * n }
+      | _ -> Ast.Ref { name; shift = 0 })
+  | t -> fail st "unexpected token '%s' in expression" (Lexer.token_to_string t)
+
+let rec parse_stmts st ~terminator : Ast.stmt list =
+  let rec loop acc =
+    match fst (peek st) with
+    | t when t = terminator -> List.rev acc
+    | Lexer.EOF when terminator = Lexer.EOF -> List.rev acc
+    | Lexer.EOF -> fail st "unexpected end of input (missing '}')"
+    | Lexer.KW "repeat" ->
+        advance st;
+        let count = expect_int st "a repetition count" in
+        expect st Lexer.LBRACE "{";
+        let body = parse_stmts st ~terminator:Lexer.RBRACE in
+        expect st Lexer.RBRACE "}";
+        loop (Ast.Repeat { count; body } :: acc)
+    | Lexer.KW "while" ->
+        advance st;
+        let scalar = expect_ident st "a scalar name" in
+        let rel =
+          match fst (peek st) with
+          | Lexer.REL r ->
+              advance st;
+              r
+          | t -> fail st "expected a relation but found '%s'" (Lexer.token_to_string t)
+        in
+        let threshold = expect_number st "a threshold" in
+        expect st (Lexer.KW "max_iters") "max_iters";
+        let max_iters = expect_int st "an iteration bound" in
+        expect st Lexer.LBRACE "{";
+        let body = parse_stmts st ~terminator:Lexer.RBRACE in
+        expect st Lexer.RBRACE "}";
+        loop (Ast.While { scalar; rel; threshold; max_iters; body } :: acc)
+    | Lexer.IDENT target -> (
+        advance st;
+        expect st Lexer.EQUAL "=";
+        let e = parse_expr st in
+        match e with
+        | Ast.Maxreduce _ -> loop (Ast.Scalar_assign { scalar = target; expr = e } :: acc)
+        | e -> loop (Ast.Assign { target; expr = e } :: acc))
+    | t -> fail st "unexpected token '%s'" (Lexer.token_to_string t)
+  in
+  loop []
+
+let parse_decls st : Ast.decl list =
+  let rec loop acc =
+    match fst (peek st) with
+    | Lexer.KW "array" ->
+        advance st;
+        let name = expect_ident st "an array name" in
+        expect st Lexer.LBRACKET "[";
+        let length = expect_int st "an array length" in
+        expect st Lexer.RBRACKET "]";
+        expect st (Lexer.KW "plane") "plane";
+        let plane = expect_int st "a plane number" in
+        loop (Ast.Array { name; length; plane } :: acc)
+    | Lexer.KW "scalar" ->
+        advance st;
+        let name = expect_ident st "a scalar name" in
+        loop (Ast.Scalar name :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+(** Parse a full program.  [Error] carries "line N: message". *)
+let parse (src : string) : (Ast.program, string) result =
+  try
+    let st = { toks = Lexer.tokenize src } in
+    let decls = parse_decls st in
+    let body = parse_stmts st ~terminator:Lexer.EOF in
+    Ok { Ast.decls; body }
+  with
+  | Parse_error (l, m) -> Error (Printf.sprintf "line %d: %s" l m)
+  | Lexer.Lex_error (l, m) -> Error (Printf.sprintf "line %d: %s" l m)

@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the pipeline language.
+
+    Grammar:
+    {v
+    program  := decl* stmt*
+    decl     := "array" IDENT "[" INT "]" "plane" INT
+              | "scalar" IDENT
+    stmt     := IDENT "=" expr
+              | "repeat" INT "{" stmt* "}"
+              | "while" IDENT rel NUMBER "max_iters" INT "{" stmt* "}"
+    expr     := term (("+" | "-") term)*
+    term     := factor (("*" | "/") factor)*
+    factor   := NUMBER | "-" factor | "(" expr ")"
+              | IDENT ("[" ("+"|"-") INT "]")?
+              | ("abs"|"maxreduce") "(" expr ")"
+              | ("min"|"max") "(" expr "," expr ")"
+    v} *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+exception Parse_error of int * string
+type state = { mutable toks : (Lexer.token * int) list; }
+val peek : state -> Lexer.token * int
+val line : state -> int
+val advance : state -> unit
+val fail : state -> ('a, unit, string, 'b) format4 -> 'a
+val expect : state -> Lexer.token -> string -> unit
+val expect_int : state -> string -> int
+val expect_number : state -> string -> float
+val expect_ident : state -> string -> string
+val parse_expr : state -> Ast.expr
+val parse_term : state -> Ast.expr
+val parse_factor : state -> Ast.expr
+val parse_stmts :
+  state -> terminator:Lexer.token -> Ast.stmt list
+val parse_decls : state -> Ast.decl list
+val parse : string -> (Ast.program, string) result

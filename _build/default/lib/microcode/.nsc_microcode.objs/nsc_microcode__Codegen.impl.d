@@ -1,0 +1,1 @@
+lib/microcode/codegen.pp.ml: Checker Diagnostic Encode Fields Knowledge List Nsc_arch Nsc_checker Nsc_diagram Program Result Semantic

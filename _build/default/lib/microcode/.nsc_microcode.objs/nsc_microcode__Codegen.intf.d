@@ -1,0 +1,1 @@
+lib/microcode/codegen.pp.mli: Encode Fields Nsc_arch Nsc_checker Nsc_diagram

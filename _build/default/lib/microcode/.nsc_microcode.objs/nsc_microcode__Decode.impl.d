@@ -1,0 +1,1 @@
+lib/microcode/decode.pp.ml: Als Dma Encode Fields Fu_config Knowledge List Nsc_arch Nsc_diagram Opcode Printf Resource Semantic Shift_delay Switch Word

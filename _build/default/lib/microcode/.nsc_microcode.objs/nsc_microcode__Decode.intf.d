@@ -1,0 +1,1 @@
+lib/microcode/decode.pp.mli: Fields Nsc_diagram Word

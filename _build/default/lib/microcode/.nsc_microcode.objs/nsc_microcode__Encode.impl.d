@@ -1,0 +1,1 @@
+lib/microcode/encode.pp.ml: Als Dma Fields Fu_config List Nsc_arch Nsc_diagram Opcode Printf Resource Semantic Shift_delay Switch Word

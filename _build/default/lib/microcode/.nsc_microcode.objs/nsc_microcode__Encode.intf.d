@@ -1,0 +1,1 @@
+lib/microcode/encode.pp.mli: Fields Nsc_diagram Word

@@ -1,0 +1,1 @@
+lib/microcode/fields.pp.ml: Als Hashtbl Knowledge List Nsc_arch Params Printf Resource Seq String Word

@@ -1,0 +1,1 @@
+lib/microcode/fields.pp.mli: Hashtbl Nsc_arch Word

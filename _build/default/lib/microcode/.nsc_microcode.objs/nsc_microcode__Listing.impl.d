@@ -1,0 +1,1 @@
+lib/microcode/listing.pp.ml: Als Buffer Codegen Dma Encode Fields Fu_config Interrupt List Nsc_arch Nsc_diagram Opcode Printf Program Resource Semantic Shift_delay String Switch Word

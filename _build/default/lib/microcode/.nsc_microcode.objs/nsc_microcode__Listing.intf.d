@@ -1,0 +1,1 @@
+lib/microcode/listing.pp.mli: Codegen Nsc_arch Nsc_diagram

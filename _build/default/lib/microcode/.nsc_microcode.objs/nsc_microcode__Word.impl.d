@@ -1,0 +1,1 @@
+lib/microcode/word.pp.ml: Buffer Bytes Char Int64 Printf

@@ -1,0 +1,1 @@
+lib/microcode/word.pp.mli: Bytes

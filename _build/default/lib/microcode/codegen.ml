@@ -1,0 +1,77 @@
+(** Program-level code generation.
+
+    Runs the checker's thorough global pass, projects every pipeline to its
+    semantic structures, and encodes each into a microinstruction.  The
+    result bundles the machine words with the sequencer's control programme
+    and the semantic structures (retained for listings and the visual
+    debugger). *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_checker
+
+type compiled = {
+  program_name : string;
+  layout : Fields.t;
+  instructions : Encode.instruction list;  (** one per pipeline, in order *)
+  semantics : Semantic.t list;             (** parallel to [instructions] *)
+  control : Program.control list;          (** the sequencer programme *)
+  diagnostics : Diagnostic.t list;         (** surviving warnings/infos *)
+}
+
+(** Compile a visual program to microcode.  [Error] carries the checker
+    diagnostics when any error-severity finding blocks generation. *)
+let compile (kb : Knowledge.t) (prog : Program.t) : (compiled, Diagnostic.t list) result =
+  let p = Knowledge.params kb in
+  let ds = Checker.check_program kb prog in
+  if Diagnostic.has_errors ds then Error ds
+  else begin
+    let layout = Fields.make p in
+    let lookup = Program.variable_base prog in
+    let results =
+      List.map
+        (fun pl ->
+          let sem, _ = Semantic.of_pipeline p ~lookup pl in
+          (sem, Encode.encode layout sem))
+        prog.Program.pipelines
+    in
+    let encode_errors =
+      List.filter_map
+        (fun ((sem : Semantic.t), r) ->
+          match r with
+          | Ok _ -> None
+          | Error m ->
+              Some
+                (Diagnostic.error
+                   ~location:
+                     {
+                       Diagnostic.nowhere with
+                       Diagnostic.pipeline = Some sem.Semantic.index;
+                     }
+                   Diagnostic.Structural "encoding: %s" m))
+        results
+    in
+    if encode_errors <> [] then Error (ds @ encode_errors)
+    else
+      Ok
+        {
+          program_name = prog.Program.name;
+          layout;
+          instructions =
+            List.filter_map (fun (_, r) -> Result.to_option r) results;
+          semantics = List.map fst results;
+          control = Program.effective_control prog;
+          diagnostics = ds;
+        }
+  end
+
+(** Total size of the generated code in bits (the paper's "few thousand
+    bits per instruction" multiplied out). *)
+let code_bits c = List.length c.instructions * c.layout.Fields.total_bits
+
+(** Find the instruction generated for pipeline [index]. *)
+let instruction c ~index =
+  List.find_opt (fun (i : Encode.instruction) -> i.Encode.index = index) c.instructions
+
+let semantic c ~index =
+  List.find_opt (fun (s : Semantic.t) -> s.Semantic.index = index) c.semantics

@@ -1,0 +1,31 @@
+(** Program-level code generation.
+
+    Runs the checker's thorough global pass, projects every pipeline to its
+    semantic structures, and encodes each into a microinstruction.  The
+    result bundles the machine words with the sequencer's control programme
+    and the semantic structures (retained for listings and the visual
+    debugger). *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type compiled = {
+  program_name : string;
+  layout : Fields.t;
+  instructions : Encode.instruction list;
+  semantics : Nsc_diagram.Semantic.t list;
+  control : Nsc_diagram.Program.control list;
+  diagnostics : Nsc_checker.Diagnostic.t list;
+}
+(** Compile a visual program to microcode: the thorough checker pass,
+    semantic projection of every pipeline, and encoding.  [Error] carries
+    the diagnostics that block generation. *)
+val compile :
+  Nsc_arch.Knowledge.t ->
+  Nsc_diagram.Program.t -> (compiled, Nsc_checker.Diagnostic.t list) result
+(** Total generated code size in bits. *)
+val code_bits : compiled -> int
+(** The instruction generated for a pipeline number. *)
+val instruction :
+  compiled -> index:int -> Encode.instruction option
+val semantic : compiled -> index:int -> Nsc_diagram.Semantic.t option

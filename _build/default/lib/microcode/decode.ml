@@ -1,0 +1,169 @@
+(** The disassembler: microinstruction words back to semantic structures.
+
+    Decoding is the inverse of {!Encode.encode} up to
+    {!Encode.normalize}; the round trip is enforced by property tests and
+    gives confidence that the generated machine code means what the diagram
+    said. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+let decode_binding (layout : Fields.t) word ~g ~port_name : Fu_config.input_binding =
+  let f name = Printf.sprintf "fu%d.%s" g name in
+  let src = Fields.get layout word (f ("src_" ^ port_name)) in
+  if src = Fields.src_unbound then Fu_config.Unbound
+  else if src = Fields.src_switch then Fu_config.From_switch
+  else if src = Fields.src_chain then Fu_config.From_chain
+  else if src = Fields.src_const then
+    Fu_config.From_constant (Fields.get_float layout word (f "const_val"))
+  else if src = Fields.src_feedback then
+    Fu_config.From_feedback (Fields.get layout word (f ("fb_" ^ port_name)))
+  else Fu_config.Unbound
+
+(** Decode a microinstruction.  Fails with [Error] on a bad magic number or
+    an opcode the machine does not define. *)
+let decode (layout : Fields.t) (word : Word.t) : (Semantic.t, string) result =
+  let p = layout.Fields.params in
+  if Fields.get layout word "hdr.magic" <> Encode.magic then
+    Error "bad magic number: not an NSC microinstruction"
+  else begin
+    let index = Fields.get layout word "hdr.index" in
+    let vlen = Fields.get layout word "hdr.vlen" in
+    let errors = ref [] in
+    (* units *)
+    let units =
+      List.filter_map
+        (fun fu ->
+          let g = Resource.fu_global_index p fu in
+          let f name = Printf.sprintf "fu%d.%s" g name in
+          match Fields.get layout word (f "op") with
+          | 0 -> None
+          | code -> (
+              match Opcode.of_code code with
+              | None ->
+                  errors := Printf.sprintf "unit %d: undefined opcode %d" g code :: !errors;
+                  None
+              | Some op ->
+                  Some
+                    {
+                      Semantic.fu;
+                      op;
+                      a = decode_binding layout word ~g ~port_name:"a";
+                      b = decode_binding layout word ~g ~port_name:"b";
+                      delay_a = Fields.get layout word (f "delay_a");
+                      delay_b = Fields.get layout word (f "delay_b");
+                    }))
+        (Resource.all_fus p)
+    in
+    (* bypasses: engaged ALSs plus any ALS with an explicit bypass *)
+    let bypasses =
+      List.filter_map
+        (fun als ->
+          let code = Fields.get layout word (Printf.sprintf "als%d.bypass" als) in
+          match Fields.bypass_of_code code with
+          | None ->
+              errors := Printf.sprintf "ALS%d: undefined bypass code %d" als code :: !errors;
+              None
+          | Some bypass ->
+              let engaged =
+                List.exists
+                  (fun (u : Semantic.unit_program) -> u.Semantic.fu.Resource.als = als)
+                  units
+              in
+              if engaged || not (Als.equal_bypass bypass Als.No_bypass) then
+                Some (als, bypass)
+              else None)
+        (Resource.all_als p)
+    in
+    (* switch section *)
+    let kb = Knowledge.make_exn p in
+    let routes =
+      List.filter_map
+        (fun snk ->
+          let code = Fields.get layout word ("snk." ^ Resource.sink_to_string snk) in
+          if code = 0 then None
+          else
+            match Resource.source_of_code p code with
+            | Some src -> Some { Switch.src; snk }
+            | None ->
+                errors :=
+                  Printf.sprintf "sink %s: undefined source code %d"
+                    (Resource.sink_to_string snk) code
+                  :: !errors;
+                None)
+        (Knowledge.all_sinks kb)
+    in
+    (* DMA section *)
+    let streams =
+      let of_engine tag channel slot =
+        let f name = Printf.sprintf "dma.%s.e%d.%s" tag slot name in
+        if Fields.get layout word (f "active") = 0 then None
+        else begin
+          let direction = if Fields.get layout word (f "dir") = 0 then Dma.Read else Dma.Write in
+          let transfer =
+            {
+              Dma.channel;
+              direction;
+              base = Fields.get layout word (f "base");
+              stride = Fields.get_signed layout word (f "stride");
+              count = Fields.get layout word (f "count");
+            }
+          in
+          let engine =
+            match (direction, channel) with
+            | Dma.Read, Dma.Plane pl -> `Read (Resource.Src_memory (pl, slot))
+            | Dma.Read, Dma.Cache_chan c -> `Read (Resource.Src_cache (c, slot))
+            | Dma.Write, Dma.Plane pl -> `Write (Resource.Snk_memory (pl, slot))
+            | Dma.Write, Dma.Cache_chan c -> `Write (Resource.Snk_cache (c, slot))
+          in
+          Some { Semantic.transfer; engine }
+        end
+      in
+      List.concat_map
+        (fun pl ->
+          List.filter_map
+            (fun slot -> of_engine (Printf.sprintf "plane%d" pl) (Dma.Plane pl) slot)
+            (List.init p.plane_dma_slots (fun e -> e)))
+        (List.init p.n_memory_planes (fun i -> i))
+      @ List.concat_map
+          (fun c ->
+            List.filter_map
+              (fun slot -> of_engine (Printf.sprintf "cache%d" c) (Dma.Cache_chan c) slot)
+              (List.init p.cache_dma_slots (fun e -> e)))
+          (List.init p.n_caches (fun i -> i))
+    in
+    (* shift/delay section *)
+    let sds =
+      List.filter_map
+        (fun s ->
+          let f name = Printf.sprintf "sd%d.%s" s name in
+          let mode = Fields.get layout word (f "mode") in
+          if mode = Fields.sd_off then None
+          else
+            let amount = Fields.get_signed layout word (f "amount") in
+            if mode = Fields.sd_delay then
+              Some { Semantic.sd = s; mode = Shift_delay.Delay amount }
+            else if mode = Fields.sd_shift then
+              Some { Semantic.sd = s; mode = Shift_delay.Shift amount }
+            else begin
+              errors := Printf.sprintf "sd%d: undefined mode %d" s mode :: !errors;
+              None
+            end)
+        (List.init p.n_shift_delay (fun s -> s))
+    in
+    match !errors with
+    | e :: _ -> Error e
+    | [] ->
+        Ok
+          (Encode.normalize
+             {
+               Semantic.index;
+               label = "";
+               vector_length = vlen;
+               bypasses;
+               units;
+               sds;
+               routes;
+               streams;
+             })
+  end

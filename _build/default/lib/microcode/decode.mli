@@ -1,0 +1,19 @@
+(** The disassembler: microinstruction words back to semantic structures.
+
+    Decoding is the inverse of {!Encode.encode} up to
+    {!Encode.normalize}; the round trip is enforced by property tests and
+    gives confidence that the generated machine code means what the diagram
+    said. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+(** Disassemble a word back to (normalised) semantic structures; fails
+    on a bad magic number or undefined opcodes. *)
+val decode_binding :
+  Fields.t ->
+  Word.t ->
+  g:int -> port_name:string -> Nsc_diagram.Fu_config.input_binding
+val decode :
+  Fields.t ->
+  Word.t -> (Nsc_diagram.Semantic.t, string) result

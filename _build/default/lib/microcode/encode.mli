@@ -1,0 +1,24 @@
+(** Microcode generation: semantic data structures to machine words.
+
+    "Once a complete program (or consistent program fragment) has been
+    defined, the microcode generator uses the semantic data structures
+    created by the graphical editor to generate machine code for the NSC."
+    Switch settings are derived by interrogating the connection tables, DMA
+    programmes from the popup-subwindow data, unit control from the
+    per-unit configurations. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val magic : int
+type instruction = { index : int; word : Word.t; }
+(** Encode one semantic pipeline into a microinstruction.  Input is
+    assumed checked at [`Complete] level; residual representational
+    failures (e.g. two inline constants on one unit) come back as
+    [Error]. *)
+val encode :
+  Fields.t ->
+  Nsc_diagram.Semantic.t -> (instruction, string) result
+(** Canonical form for encode/decode round-trip comparison: lists
+    sorted, display-only fields cleared, implicit counts resolved. *)
+val normalize : Nsc_diagram.Semantic.t -> Nsc_diagram.Semantic.t

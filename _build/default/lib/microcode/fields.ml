@@ -1,0 +1,184 @@
+(** The microinstruction field layout.
+
+    The layout is derived from the machine parameters, so a revised machine
+    design regenerates it automatically.  An instruction completely
+    specifies "the pipeline configuration and function unit operations for
+    the entire machine":
+
+    - a header (magic, instruction number, vector length);
+    - per-ALS bypass configuration;
+    - per-functional-unit control: opcode, operand-source selectors,
+      alignment-queue depths, feedback-queue depths, one inline constant;
+    - the switch section: one source selector per network sink;
+    - the DMA section: one engine per memory plane and per cache;
+    - the shift/delay section.
+
+    With the default machine this comes to several thousand bits in several
+    hundred field instances of two dozen distinct kinds — the scale the
+    paper quotes as making hand-written microprograms impractical. *)
+
+open Nsc_arch
+
+type field = { name : string; offset : int; width : int }
+
+type t = {
+  params : Params.t;
+  total_bits : int;
+  fields : field list;  (** in layout order *)
+  by_name : (string, field) Hashtbl.t;
+}
+
+(* Operand-source selector encodings (fields fu<i>.src_a / src_b). *)
+let src_unbound = 0
+let src_switch = 1
+let src_chain = 2
+let src_const = 3
+let src_feedback = 4
+
+(* Constant-port encodings (field fu<i>.const_port). *)
+let const_none = 0
+let const_a = 1
+let const_b = 2
+
+(* Shift/delay mode encodings. *)
+let sd_off = 0
+let sd_delay = 1
+let sd_shift = 2
+
+(* Bypass encodings. *)
+let bypass_code = function
+  | Als.No_bypass -> 0
+  | Als.Keep_head -> 1
+  | Als.Keep_tail -> 2
+
+let bypass_of_code = function
+  | 0 -> Some Als.No_bypass
+  | 1 -> Some Als.Keep_head
+  | 2 -> Some Als.Keep_tail
+  | _ -> None
+
+let bits_for n =
+  (* bits needed to store values 0..n *)
+  let rec go b = if 1 lsl b > n then b else go (b + 1) in
+  go 1
+
+(** Build the layout for machine [p]. *)
+let make (p : Params.t) : t =
+  let fields = ref [] in
+  let cursor = ref 0 in
+  let field name width =
+    let f = { name; offset = !cursor; width } in
+    fields := f :: !fields;
+    cursor := !cursor + width;
+    f
+  in
+  let nfu = Params.n_functional_units p in
+  let src_width = bits_for (1 + nfu + p.n_memory_planes + p.n_caches + p.n_shift_delay) in
+  let delay_width = bits_for p.rf_max_delay in
+  let addr_width = bits_for (max p.memory_plane_words p.cache_words) in
+  let count_width = addr_width in
+  (* header *)
+  ignore (field "hdr.magic" 8);
+  ignore (field "hdr.index" 16);
+  ignore (field "hdr.vlen" 24);
+  (* per-ALS bypass *)
+  List.iter (fun a -> ignore (field (Printf.sprintf "als%d.bypass" a) 2)) (Resource.all_als p);
+  (* per-FU control *)
+  List.iter
+    (fun fu ->
+      let g = Resource.fu_global_index p fu in
+      let f name width = ignore (field (Printf.sprintf "fu%d.%s" g name) width) in
+      f "op" 6;
+      f "src_a" 3;
+      f "src_b" 3;
+      f "delay_a" delay_width;
+      f "delay_b" delay_width;
+      f "fb_a" delay_width;
+      f "fb_b" delay_width;
+      f "const_port" 2;
+      f "const_val" 64)
+    (Resource.all_fus p);
+  (* switch section: one source selector per sink *)
+  let kb = Knowledge.make_exn p in
+  List.iter
+    (fun snk ->
+      ignore (field ("snk." ^ Resource.sink_to_string snk) src_width))
+    (Knowledge.all_sinks kb);
+  (* DMA section: one engine per (channel, slot) *)
+  let dma_channel_fields tag n slots =
+    List.iter
+      (fun i ->
+        List.iter
+          (fun e ->
+            let f name width =
+              ignore (field (Printf.sprintf "dma.%s%d.e%d.%s" tag i e name) width)
+            in
+            f "active" 1;
+            f "dir" 1;
+            f "base" addr_width;
+            f "stride" 17;
+            f "count" count_width)
+          (List.init slots (fun e -> e)))
+      (List.init n (fun i -> i))
+  in
+  dma_channel_fields "plane" p.n_memory_planes p.plane_dma_slots;
+  dma_channel_fields "cache" p.n_caches p.cache_dma_slots;
+  (* shift/delay section *)
+  List.iter
+    (fun s ->
+      ignore (field (Printf.sprintf "sd%d.mode" s) 2);
+      ignore (field (Printf.sprintf "sd%d.amount" s) 9))
+    (List.init p.n_shift_delay (fun s -> s));
+  let fields = List.rev !fields in
+  let by_name = Hashtbl.create 512 in
+  List.iter (fun f -> Hashtbl.replace by_name f.name f) fields;
+  { params = p; total_bits = !cursor; fields; by_name }
+
+let find t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Fields.find: no field '%s'" name)
+
+let mem t name = Hashtbl.mem t.by_name name
+
+(** Number of field instances in the layout. *)
+let field_count t = List.length t.fields
+
+(** Number of distinct field kinds (names with indices stripped) — the
+    "dozens of separate fields" of the paper. *)
+let kind_count t =
+  let strip name =
+    String.to_seq name
+    |> Seq.filter (fun c -> not (c >= '0' && c <= '9'))
+    |> String.of_seq
+  in
+  List.map (fun f -> strip f.name) t.fields |> List.sort_uniq String.compare |> List.length
+
+(* field accessors over a word *)
+let get t word name =
+  let f = find t name in
+  Word.get_int word ~offset:f.offset ~width:f.width
+
+let set t word name v =
+  let f = find t name in
+  Word.set_int word ~offset:f.offset ~width:f.width v
+
+let get_signed t word name =
+  let f = find t name in
+  Word.get_signed word ~offset:f.offset ~width:f.width
+
+let set_signed t word name v =
+  let f = find t name in
+  Word.set_signed word ~offset:f.offset ~width:f.width v
+
+let get_float t word name =
+  let f = find t name in
+  if f.width <> 64 then invalid_arg "Fields.get_float: not a 64-bit field";
+  Word.get_float word ~offset:f.offset
+
+let set_float t word name v =
+  let f = find t name in
+  if f.width <> 64 then invalid_arg "Fields.set_float: not a 64-bit field";
+  Word.set_float word ~offset:f.offset v
+
+let fresh_word t = Word.create t.total_bits

@@ -1,0 +1,62 @@
+(** The microinstruction field layout.
+
+    The layout is derived from the machine parameters, so a revised machine
+    design regenerates it automatically.  An instruction completely
+    specifies "the pipeline configuration and function unit operations for
+    the entire machine":
+
+    - a header (magic, instruction number, vector length);
+    - per-ALS bypass configuration;
+    - per-functional-unit control: opcode, operand-source selectors,
+      alignment-queue depths, feedback-queue depths, one inline constant;
+    - the switch section: one source selector per network sink;
+    - the DMA section: one engine per memory plane and per cache;
+    - the shift/delay section.
+
+    With the default machine this comes to several thousand bits in several
+    hundred field instances of two dozen distinct kinds — the scale the
+    paper quotes as making hand-written microprograms impractical. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type field = { name : string; offset : int; width : int; }
+type t = {
+  params : Nsc_arch.Params.t;
+  total_bits : int;
+  fields : field list;
+  by_name : (string, field) Hashtbl.t;
+}
+val src_unbound : int
+val src_switch : int
+val src_chain : int
+val src_const : int
+val src_feedback : int
+val const_none : int
+val const_a : int
+val const_b : int
+val sd_off : int
+val sd_delay : int
+val sd_shift : int
+val bypass_code : Nsc_arch.Als.bypass -> int
+val bypass_of_code : int -> Nsc_arch.Als.bypass option
+val bits_for : int -> int
+(** Build the field layout for a machine — several thousand bits in
+    hundreds of field instances of ~30 kinds, derived entirely from the
+    parameters. *)
+val make : Nsc_arch.Params.t -> t
+val find : t -> string -> field
+val mem : t -> string -> bool
+(** Number of field instances in the layout. *)
+val field_count : t -> int
+(** Number of distinct field kinds (names with indices stripped) — the
+    paper's "dozens of separate fields". *)
+val kind_count : t -> int
+val get : t -> Word.t -> string -> int
+val set : t -> Word.t -> string -> int -> unit
+val get_signed : t -> Word.t -> string -> int
+val set_signed : t -> Word.t -> string -> int -> unit
+val get_float : t -> Word.t -> string -> float
+val set_float : t -> Word.t -> string -> float -> unit
+(** A zeroed word of the layout's width. *)
+val fresh_word : t -> Word.t

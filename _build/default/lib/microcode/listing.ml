@@ -1,0 +1,134 @@
+(** Human-readable listings: the "pseudo-code representation of the
+    instructions" the prototype emitted, plus optional hex dumps of the
+    encoded words. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+let binding_doc = function
+  | Fu_config.From_switch -> "switch"
+  | Fu_config.From_chain -> "chain"
+  | Fu_config.From_constant c -> Printf.sprintf "%g" c
+  | Fu_config.From_feedback n -> Printf.sprintf "feedback[%d]" n
+  | Fu_config.Unbound -> "?"
+
+let unit_line (u : Semantic.unit_program) =
+  let operand name b d =
+    let s = binding_doc b in
+    if d > 0 then Printf.sprintf "%s=%s (z^%d)" name s d else Printf.sprintf "%s=%s" name s
+  in
+  let operands =
+    match Opcode.arity u.Semantic.op with
+    | 1 -> [ operand "a" u.Semantic.a u.Semantic.delay_a ]
+    | _ ->
+        [
+          operand "a" u.Semantic.a u.Semantic.delay_a;
+          operand "b" u.Semantic.b u.Semantic.delay_b;
+        ]
+  in
+  Printf.sprintf "    %-10s %-6s %s"
+    (Resource.fu_to_string u.Semantic.fu)
+    (Opcode.mnemonic u.Semantic.op)
+    (String.concat "  " operands)
+
+let route_line (r : Switch.route) =
+  Printf.sprintf "    %s -> %s"
+    (Resource.source_to_string r.Switch.src)
+    (Resource.sink_to_string r.Switch.snk)
+
+let stream_line (s : Semantic.stream) =
+  let t = s.Semantic.transfer in
+  let engine =
+    match s.Semantic.engine with
+    | `Write snk -> "engine " ^ Resource.sink_to_string snk
+    | `Read src -> "engine " ^ Resource.source_to_string src
+  in
+  Printf.sprintf "    %s (%s)" (Dma.transfer_to_string t) engine
+
+(** Listing of one semantic pipeline. *)
+let semantic_to_string (sem : Semantic.t) =
+  let buf = Buffer.create 512 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt
+  in
+  line "instruction %d%s  (vector length %d)" sem.Semantic.index
+    (if sem.Semantic.label = "" then "" else ": " ^ sem.Semantic.label)
+    sem.Semantic.vector_length;
+  (match sem.Semantic.bypasses with
+  | [] -> ()
+  | bs ->
+      line "  structures: %s"
+        (String.concat ", "
+           (List.map
+              (fun (als, bypass) ->
+                Printf.sprintf "ALS%d%s" als
+                  (match bypass with
+                  | Als.No_bypass -> ""
+                  | Als.Keep_head -> " (bypass: keep head)"
+                  | Als.Keep_tail -> " (bypass: keep tail)"))
+              bs)));
+  if sem.Semantic.units <> [] then begin
+    line "  units:";
+    List.iter (fun u -> line "%s" (unit_line u)) sem.Semantic.units
+  end;
+  if sem.Semantic.sds <> [] then begin
+    line "  shift/delay:";
+    List.iter
+      (fun (s : Semantic.sd_program) ->
+        line "    sd%d %s" s.Semantic.sd (Shift_delay.mode_to_string s.Semantic.mode))
+      sem.Semantic.sds
+  end;
+  if sem.Semantic.routes <> [] then begin
+    line "  switch:";
+    List.iter (fun r -> line "%s" (route_line r)) sem.Semantic.routes
+  end;
+  if sem.Semantic.streams <> [] then begin
+    line "  dma:";
+    List.iter (fun s -> line "%s" (stream_line s)) sem.Semantic.streams
+  end;
+  Buffer.contents buf
+
+let rec control_to_lines ~indent (cs : Program.control list) =
+  let pad = String.make indent ' ' in
+  List.concat_map
+    (function
+      | Program.Exec n -> [ Printf.sprintf "%sexec %d" pad n ]
+      | Program.Halt -> [ pad ^ "halt" ]
+      | Program.Repeat { count; body } ->
+          (Printf.sprintf "%srepeat %d times:" pad count)
+          :: control_to_lines ~indent:(indent + 2) body
+      | Program.While { condition; max_iterations; body } ->
+          (Printf.sprintf "%swhile %s%s:" pad
+             (Interrupt.condition_to_string condition)
+             (if max_iterations > 0 then Printf.sprintf " (at most %d times)" max_iterations
+              else ""))
+          :: control_to_lines ~indent:(indent + 2) body)
+    cs
+
+(** Full program listing. *)
+let compiled_to_string ?(hex = false) (c : Codegen.compiled) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "program %s\n" c.Codegen.program_name);
+  Buffer.add_string buf
+    (Printf.sprintf "  %d instruction(s), %d bits each (%d fields)\n\n"
+       (List.length c.Codegen.instructions)
+       c.Codegen.layout.Fields.total_bits
+       (Fields.field_count c.Codegen.layout));
+  List.iter
+    (fun (sem : Semantic.t) ->
+      Buffer.add_string buf (semantic_to_string sem);
+      if hex then begin
+        match Codegen.instruction c ~index:sem.Semantic.index with
+        | Some i ->
+            Buffer.add_string buf "  code:\n";
+            String.split_on_char '\n' (Word.to_hex i.Encode.word)
+            |> List.iter (fun l -> Buffer.add_string buf ("    " ^ l ^ "\n"))
+        | None -> ()
+      end;
+      Buffer.add_char buf '\n')
+    c.Codegen.semantics;
+  Buffer.add_string buf "control:\n";
+  List.iter
+    (fun l -> Buffer.add_string buf (l ^ "\n"))
+    (control_to_lines ~indent:2 c.Codegen.control);
+  Buffer.contents buf

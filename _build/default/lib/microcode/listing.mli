@@ -1,0 +1,16 @@
+(** Human-readable listings: the "pseudo-code representation of the
+    instructions" the prototype emitted, plus optional hex dumps of the
+    encoded words. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val binding_doc : Nsc_diagram.Fu_config.input_binding -> string
+val unit_line : Nsc_diagram.Semantic.unit_program -> string
+val route_line : Nsc_arch.Switch.route -> string
+val stream_line : Nsc_diagram.Semantic.stream -> string
+val semantic_to_string : Nsc_diagram.Semantic.t -> string
+val control_to_lines :
+  indent:int -> Nsc_diagram.Program.control list -> string list
+val compiled_to_string :
+  ?hex:bool -> Codegen.compiled -> string

@@ -1,0 +1,93 @@
+(** Wide microinstruction words.
+
+    An NSC instruction "requires a few thousand bits of information ...
+    encoded in dozens of separate fields".  This module implements the raw
+    bit container: a fixed-width bit vector with arbitrary-offset field
+    access of up to 64 bits, plus hex dumps for listings. *)
+
+type t = { bits : int; bytes : Bytes.t }
+
+let create bits =
+  if bits <= 0 then invalid_arg "Word.create";
+  { bits; bytes = Bytes.make ((bits + 7) / 8) '\000' }
+
+let width t = t.bits
+let copy t = { t with bytes = Bytes.copy t.bytes }
+
+let equal a b = a.bits = b.bits && Bytes.equal a.bytes b.bytes
+
+let get_bit t i =
+  if i < 0 || i >= t.bits then invalid_arg "Word.get_bit";
+  Char.code (Bytes.get t.bytes (i lsr 3)) lsr (i land 7) land 1
+
+let set_bit t i v =
+  if i < 0 || i >= t.bits then invalid_arg "Word.set_bit";
+  let byte = Char.code (Bytes.get t.bytes (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.bytes (i lsr 3) (Char.chr byte)
+
+(** Read [width] bits starting at [offset] as an unsigned Int64
+    (little-endian bit order within the word). *)
+let get t ~offset ~width : int64 =
+  if width < 1 || width > 64 then invalid_arg "Word.get: width";
+  if offset < 0 || offset + width > t.bits then invalid_arg "Word.get: range";
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 1) (Int64.of_int (get_bit t (offset + i)))
+  done;
+  !v
+
+(** Write [width] bits of [v] at [offset]; excess high bits of [v] must be
+    zero. *)
+let set t ~offset ~width (v : int64) =
+  if width < 1 || width > 64 then invalid_arg "Word.set: width";
+  if offset < 0 || offset + width > t.bits then invalid_arg "Word.set: range";
+  if width < 64 && Int64.shift_right_logical v width <> 0L then
+    invalid_arg
+      (Printf.sprintf "Word.set: value %Ld does not fit in %d bits" v width);
+  for i = 0 to width - 1 do
+    set_bit t (offset + i)
+      (Int64.logand (Int64.shift_right_logical v i) 1L = 1L)
+  done
+
+let get_int t ~offset ~width = Int64.to_int (get t ~offset ~width)
+
+let set_int t ~offset ~width v =
+  if v < 0 then invalid_arg "Word.set_int: negative";
+  set t ~offset ~width (Int64.of_int v)
+
+(** Signed access with excess-2^(w-1) bias (used for strides/offsets). *)
+let get_signed t ~offset ~width =
+  get_int t ~offset ~width - (1 lsl (width - 1))
+
+let set_signed t ~offset ~width v =
+  let biased = v + (1 lsl (width - 1)) in
+  if biased < 0 || biased >= 1 lsl width then
+    invalid_arg
+      (Printf.sprintf "Word.set_signed: %d does not fit in %d signed bits" v width);
+  set_int t ~offset ~width biased
+
+let get_float t ~offset = Int64.float_of_bits (get t ~offset ~width:64)
+let set_float t ~offset v = set t ~offset ~width:64 (Int64.bits_of_float v)
+
+(** Count of bits set — a cheap "how much of the word is live" metric. *)
+let popcount t =
+  let n = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let rec pc x acc = if x = 0 then acc else pc (x lsr 1) (acc + (x land 1)) in
+      n := !n + pc (Char.code c) 0)
+    t.bytes;
+  !n
+
+(** Hex dump, 32 bytes per line, as used in listings. *)
+let to_hex t =
+  let buf = Buffer.create (Bytes.length t.bytes * 3) in
+  Bytes.iteri
+    (fun i c ->
+      if i > 0 then
+        if i mod 32 = 0 then Buffer.add_char buf '\n' else Buffer.add_char buf ' ';
+      Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+    t.bytes;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/sim/engine.pp.ml: Als Array Cache Dma Fu_config Fu_exec Hashtbl Interrupt List Node Nsc_arch Nsc_checker Nsc_diagram Opcode Option Params Resource Semantic Shift_delay Switch Timing

@@ -1,0 +1,1 @@
+lib/sim/engine.pp.mli: Hashtbl Node Nsc_arch Nsc_diagram

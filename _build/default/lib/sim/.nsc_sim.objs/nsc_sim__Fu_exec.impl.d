@@ -1,0 +1,1 @@
+lib/sim/fu_exec.pp.ml: Float Int64 Interrupt Nsc_arch Opcode

@@ -1,0 +1,1 @@
+lib/sim/fu_exec.pp.mli: Float Nsc_arch

@@ -1,0 +1,1 @@
+lib/sim/multinode.pp.ml: Array Hashtbl List Node Nsc_arch Option Params Router

@@ -1,0 +1,1 @@
+lib/sim/multinode.pp.mli: Node Nsc_arch

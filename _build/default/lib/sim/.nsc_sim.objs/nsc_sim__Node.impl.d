@@ -1,0 +1,1 @@
+lib/sim/node.pp.ml: Array Cache Memory Nsc_arch Params

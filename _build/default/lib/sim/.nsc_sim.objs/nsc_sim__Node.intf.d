@@ -1,0 +1,1 @@
+lib/sim/node.pp.mli: Nsc_arch

@@ -1,0 +1,1 @@
+lib/sim/sequencer.pp.ml: Codegen Decode Encode Engine Float Hashtbl Interrupt List Node Nsc_arch Nsc_diagram Nsc_microcode Option Printf Program Resource Semantic

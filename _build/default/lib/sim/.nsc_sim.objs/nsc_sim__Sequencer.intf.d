@@ -1,0 +1,1 @@
+lib/sim/sequencer.pp.mli: Engine Node Nsc_arch Nsc_diagram Nsc_microcode

@@ -1,0 +1,1 @@
+lib/sim/stats.pp.ml: Nsc_arch Params Printf Sequencer

@@ -1,0 +1,1 @@
+lib/sim/stats.pp.mli: Nsc_arch Sequencer

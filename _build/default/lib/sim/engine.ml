@@ -1,0 +1,457 @@
+(** Execution of one pipeline instruction on a node.
+
+    The engine combines a per-element functional dataflow evaluation (exact
+    numerics, including register-file feedback queues and shift/delay
+    streams) with a pipeline-accurate analytic timing model (fill to the
+    critical-path depth, then one element per cycle degraded by memory-plane
+    port contention — see {!Nsc_checker.Timing.estimated_cycles}).
+
+    When [honor_timing] is set (the default), misaligned operand streams are
+    paired exactly as the synchronous hardware would pair them — element
+    [e] of the late stream meets element [e + skew] of the early one — so a
+    diagram with a missing delay queue computes visibly wrong results, which
+    is what the paper's proposed visual debugger is for. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_checker
+
+(** Recorded values of every engaged unit at every element, kept for the
+    visual debugger's annotated diagrams. *)
+type trace = {
+  unit_values : (Resource.fu_id * int, float) Hashtbl.t;
+  vlen : int;
+}
+
+let trace_value tr ~fu ~element = Hashtbl.find_opt tr.unit_values (fu, element)
+
+type result = {
+  cycles : int;
+  flops : int;
+  elements : int;
+  writes : int;  (** words written to memory planes and caches *)
+  events : Interrupt.event list;
+  last_values : (Resource.fu_id * float) list;
+      (** final output of every engaged unit — the scalars condition
+          interrupts capture *)
+  trace : trace option;
+}
+
+let max_recorded_events = 1000
+
+(* The general evaluator: memoized recursion over (unit, element).  Handles
+   arbitrary element skew (misaligned streams), guarded switch cycles, and
+   shift/delay units fed by computed streams.  The fast path below covers
+   the common case — aligned, acyclic pipelines — an order of magnitude
+   quicker; [run] picks automatically and both must agree wherever the fast
+   path applies (property-tested). *)
+let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
+    (sem : Semantic.t) : result =
+  let p = node.Node.params in
+  let vlen = sem.Semantic.vector_length in
+  (* --- static tables ------------------------------------------------- *)
+  let unit_of = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Semantic.unit_program) -> Hashtbl.replace unit_of u.Semantic.fu u)
+    sem.Semantic.units;
+  let route_into = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Switch.route) -> Hashtbl.replace route_into r.Switch.snk r.Switch.src)
+    sem.Semantic.routes;
+  (* read streams keyed by their slotted switch source *)
+  let read_transfer : (Resource.source, Dma.transfer) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (src, t) -> Hashtbl.replace read_transfer src t)
+    (Semantic.read_streams sem);
+  let sd_of = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Semantic.sd_program) -> Hashtbl.replace sd_of s.Semantic.sd s.Semantic.mode)
+    sem.Semantic.sds;
+  let bypass_of als =
+    Option.value ~default:Als.No_bypass (List.assoc_opt als sem.Semantic.bypasses)
+  in
+  (* --- timing skew --------------------------------------------------- *)
+  let analysis = Timing.analyse p sem in
+  let leads = Hashtbl.create 16 in
+  (* lead of each port: how many elements ahead the early stream runs *)
+  if honor_timing then
+    List.iter
+      (fun (ut : Timing.unit_timing) ->
+        match Hashtbl.find_opt unit_of ut.Timing.fu with
+        | None -> ()
+        | Some u -> (
+            match (ut.Timing.arrival_a, ut.Timing.arrival_b) with
+            | Some ta, Some tb when Opcode.arity u.Semantic.op = 2 ->
+                let ea = ta + u.Semantic.delay_a and eb = tb + u.Semantic.delay_b in
+                let t_fire = max ea eb in
+                Hashtbl.replace leads (ut.Timing.fu, Resource.A) (t_fire - ea);
+                Hashtbl.replace leads (ut.Timing.fu, Resource.B) (t_fire - eb)
+            | _ -> ()))
+      analysis.Timing.units;
+  let lead fu port = Option.value ~default:0 (Hashtbl.find_opt leads (fu, port)) in
+  (* --- events -------------------------------------------------------- *)
+  let events = ref [] and n_events = ref 0 in
+  let record ev =
+    if !n_events < max_recorded_events then begin
+      events := ev :: !events;
+      incr n_events
+    end
+  in
+  (* --- per-element evaluation ---------------------------------------- *)
+  let memo : (Resource.fu_id * int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let in_progress : (Resource.fu_id * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let stream_read src e =
+    match Hashtbl.find_opt read_transfer src with
+    | None -> 0.0
+    | Some t ->
+        let count = if t.Dma.count = 0 then vlen else t.Dma.count in
+        if e < 0 || e >= count then 0.0
+        else begin
+          let addr = t.Dma.base + (e * t.Dma.stride) in
+          match t.Dma.channel with
+          | Dma.Plane pl -> Node.read_plane node ~plane:pl ~addr
+          | Dma.Cache_chan c -> Cache.read_pipeline (Node.cache node c) addr
+        end
+  in
+  let rec source_value (src : Resource.source) e : float =
+    if e < 0 || e >= vlen then 0.0
+    else
+      match src with
+      | Resource.Src_memory _ | Resource.Src_cache _ -> stream_read src e
+      | Resource.Src_shift_delay sd -> (
+          let input e' =
+            match Hashtbl.find_opt route_into (Resource.Snk_shift_delay sd) with
+            | None -> 0.0
+            | Some src' -> source_value src' e'
+          in
+          match Hashtbl.find_opt sd_of sd with
+          | Some (Shift_delay.Delay d) -> input (e - d)
+          | Some (Shift_delay.Shift o) -> input (e + o)
+          | None -> input e)
+      | Resource.Src_fu fu -> unit_out fu e
+  and port_value (u : Semantic.unit_program) (port : Resource.port) e : float =
+    let fu = u.Semantic.fu in
+    let binding =
+      match port with Resource.A -> u.Semantic.a | Resource.B -> u.Semantic.b
+    in
+    match binding with
+    | Fu_config.Unbound -> 0.0
+    | Fu_config.From_constant c -> c
+    | Fu_config.From_feedback n -> unit_out fu (e - n)
+    | Fu_config.From_chain -> (
+        let size = Resource.als_size p fu.Resource.als in
+        match
+          Als.chain_predecessor ~size (bypass_of fu.Resource.als) ~slot:fu.Resource.slot
+        with
+        | None -> 0.0
+        | Some pred_slot ->
+            unit_out
+              { Resource.als = fu.Resource.als; slot = pred_slot }
+              (e + lead fu port))
+    | Fu_config.From_switch -> (
+        match Hashtbl.find_opt route_into (Resource.Snk_fu (fu, port)) with
+        | None -> 0.0
+        | Some src -> source_value src (e + lead fu port))
+  and unit_out (fu : Resource.fu_id) e : float =
+    if e < 0 || e >= vlen then 0.0
+    else
+      match Hashtbl.find_opt memo (fu, e) with
+      | Some v -> v
+      | None ->
+          if Hashtbl.mem in_progress (fu, e) then 0.0 (* switch cycle: guarded *)
+          else begin
+            Hashtbl.add in_progress (fu, e) ();
+            let v =
+              match Hashtbl.find_opt unit_of fu with
+              | None -> 0.0 (* unprogrammed unit routes zeros *)
+              | Some u ->
+                  let a = port_value u Resource.A e in
+                  let b =
+                    if Opcode.arity u.Semantic.op = 2 then port_value u Resource.B e
+                    else 0.0
+                  in
+                  let v = Fu_exec.apply u.Semantic.op a b in
+                  (match Fu_exec.trapped u.Semantic.op a b v with
+                  | Some kind ->
+                      record
+                        (Interrupt.Exception_trapped
+                           { instruction = sem.Semantic.index; unit_ = fu; kind; element = e })
+                  | None -> ());
+                  v
+            in
+            Hashtbl.remove in_progress (fu, e);
+            Hashtbl.replace memo (fu, e) v;
+            v
+          end
+  in
+  (* --- drive the pipeline: writes ------------------------------------ *)
+  let writes = ref 0 in
+  List.iter
+    (fun (snk, (t : Dma.transfer)) ->
+      match Hashtbl.find_opt route_into snk with
+      | None -> ()
+      | Some src ->
+          let count = if t.Dma.count = 0 then vlen else t.Dma.count in
+          for e = 0 to count - 1 do
+            let v = source_value src e in
+            let addr = t.Dma.base + (e * t.Dma.stride) in
+            (match t.Dma.channel with
+            | Dma.Plane pl -> Node.write_plane node ~plane:pl ~addr v
+            | Dma.Cache_chan c -> Cache.write_pipeline (Node.cache node c) addr v);
+            incr writes
+          done)
+    (Semantic.write_streams sem);
+  (* --- force full evaluation: every engaged unit processes every
+         element, exactly as the hardware's clocked pipeline does -------- *)
+  List.iter
+    (fun (u : Semantic.unit_program) ->
+      for e = 0 to vlen - 1 do
+        ignore (unit_out u.Semantic.fu e)
+      done)
+    sem.Semantic.units;
+  let last_values =
+    List.map
+      (fun (u : Semantic.unit_program) -> (u.Semantic.fu, unit_out u.Semantic.fu (vlen - 1)))
+      sem.Semantic.units
+  in
+  let cycles = Timing.estimated_cycles p sem analysis ~vlen in
+  record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
+  let flops = Semantic.flops_per_element sem * vlen in
+  {
+    cycles;
+    flops;
+    elements = vlen;
+    writes = !writes;
+    events = List.rev !events;
+    last_values;
+    trace = (if record_trace then Some { unit_values = memo; vlen } else None);
+  }
+
+(* --- the fast path ---------------------------------------------------- *)
+
+(* Dense per-unit output arrays, filled element-major in topological order.
+   Preconditions (checked by [run]): no operand skew, no switch cycles, and
+   every shift/delay unit fed by a DMA stream. *)
+let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
+  let p = node.Node.params in
+  let vlen = sem.Semantic.vector_length in
+  let units = Array.of_list sem.Semantic.units in
+  let n_units = Array.length units in
+  let index_of : (Resource.fu_id, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri (fun k (u : Semantic.unit_program) -> Hashtbl.replace index_of u.Semantic.fu k) units;
+  let route_into = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Switch.route) -> Hashtbl.replace route_into r.Switch.snk r.Switch.src)
+    sem.Semantic.routes;
+  let read_transfer : (Resource.source, Dma.transfer) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (src, t) -> Hashtbl.replace read_transfer src t) (Semantic.read_streams sem);
+  let sd_of = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Semantic.sd_program) -> Hashtbl.replace sd_of s.Semantic.sd s.Semantic.mode)
+    sem.Semantic.sds;
+  let bypass_of als =
+    Option.value ~default:Als.No_bypass (List.assoc_opt als sem.Semantic.bypasses)
+  in
+  let stream_read src e =
+    match Hashtbl.find_opt read_transfer src with
+    | None -> 0.0
+    | Some t ->
+        let count = if t.Dma.count = 0 then vlen else t.Dma.count in
+        if e < 0 || e >= count then 0.0
+        else begin
+          let addr = t.Dma.base + (e * t.Dma.stride) in
+          match t.Dma.channel with
+          | Dma.Plane pl -> Node.read_plane node ~plane:pl ~addr
+          | Dma.Cache_chan c -> Cache.read_pipeline (Node.cache node c) addr
+        end
+  in
+  (* unit-level dependencies (same-element): chain predecessor and switch
+     sources that are functional units *)
+  let deps k =
+    let u = units.(k) in
+    let fu = u.Semantic.fu in
+    let of_binding port = function
+      | Fu_config.From_chain -> (
+          let size = Resource.als_size p fu.Resource.als in
+          match
+            Als.chain_predecessor ~size (bypass_of fu.Resource.als) ~slot:fu.Resource.slot
+          with
+          | Some pred ->
+              Option.to_list
+                (Hashtbl.find_opt index_of { Resource.als = fu.Resource.als; slot = pred })
+          | None -> [])
+      | Fu_config.From_switch -> (
+          match Hashtbl.find_opt route_into (Resource.Snk_fu (fu, port)) with
+          | Some (Resource.Src_fu f) -> Option.to_list (Hashtbl.find_opt index_of f)
+          | _ -> [])
+      | Fu_config.From_constant _ | Fu_config.From_feedback _ | Fu_config.Unbound -> []
+    in
+    of_binding Resource.A u.Semantic.a
+    @ (if Opcode.arity u.Semantic.op = 2 then of_binding Resource.B u.Semantic.b else [])
+  in
+  (* topological order (deps are acyclic by precondition) *)
+  let order = Array.make n_units 0 in
+  let mark = Array.make n_units 0 in
+  let pos = ref 0 in
+  let rec visit k =
+    if mark.(k) = 0 then begin
+      mark.(k) <- 1;
+      List.iter visit (deps k);
+      order.(!pos) <- k;
+      incr pos
+    end
+  in
+  for k = 0 to n_units - 1 do
+    visit k
+  done;
+  let out = Array.init n_units (fun _ -> Array.make (max vlen 1) 0.0) in
+  let events = ref [] and n_events = ref 0 in
+  let record ev =
+    if !n_events < max_recorded_events then begin
+      events := ev :: !events;
+      incr n_events
+    end
+  in
+  let source_value src e =
+    match src with
+    | Resource.Src_memory _ | Resource.Src_cache _ -> stream_read src e
+    | Resource.Src_shift_delay sd -> (
+        let input e' =
+          if e' < 0 || e' >= vlen then 0.0
+          else
+            match Hashtbl.find_opt route_into (Resource.Snk_shift_delay sd) with
+            | Some src' -> stream_read src' e' (* DMA-fed by precondition *)
+            | None -> 0.0
+        in
+        match Hashtbl.find_opt sd_of sd with
+        | Some (Shift_delay.Delay d) -> input (e - d)
+        | Some (Shift_delay.Shift o) -> input (e + o)
+        | None -> input e)
+    | Resource.Src_fu f -> (
+        match Hashtbl.find_opt index_of f with
+        | Some k -> out.(k).(e)
+        | None -> 0.0)
+  in
+  for e = 0 to vlen - 1 do
+    Array.iter
+      (fun k ->
+        let u = units.(k) in
+        let fu = u.Semantic.fu in
+        let port_value port binding =
+          match binding with
+          | Fu_config.Unbound -> 0.0
+          | Fu_config.From_constant c -> c
+          | Fu_config.From_feedback n -> if e - n >= 0 && n >= 1 then out.(k).(e - n) else 0.0
+          | Fu_config.From_chain -> (
+              let size = Resource.als_size p fu.Resource.als in
+              match
+                Als.chain_predecessor ~size (bypass_of fu.Resource.als)
+                  ~slot:fu.Resource.slot
+              with
+              | Some pred -> (
+                  match
+                    Hashtbl.find_opt index_of { Resource.als = fu.Resource.als; slot = pred }
+                  with
+                  | Some pk -> out.(pk).(e)
+                  | None -> 0.0)
+              | None -> 0.0)
+          | Fu_config.From_switch -> (
+              match Hashtbl.find_opt route_into (Resource.Snk_fu (fu, port)) with
+              | Some src -> source_value src e
+              | None -> 0.0)
+        in
+        let a = port_value Resource.A u.Semantic.a in
+        let b =
+          if Opcode.arity u.Semantic.op = 2 then port_value Resource.B u.Semantic.b
+          else 0.0
+        in
+        let v = Fu_exec.apply u.Semantic.op a b in
+        (match Fu_exec.trapped u.Semantic.op a b v with
+        | Some kind ->
+            record
+              (Interrupt.Exception_trapped
+                 { instruction = sem.Semantic.index; unit_ = fu; kind; element = e })
+        | None -> ());
+        out.(k).(e) <- v)
+      order
+  done;
+  (* writes *)
+  let writes = ref 0 in
+  List.iter
+    (fun (snk, (t : Dma.transfer)) ->
+      match Hashtbl.find_opt route_into snk with
+      | None -> ()
+      | Some src ->
+          let count = if t.Dma.count = 0 then vlen else t.Dma.count in
+          for e = 0 to count - 1 do
+            let v = if e < vlen then source_value src e else 0.0 in
+            let addr = t.Dma.base + (e * t.Dma.stride) in
+            (match t.Dma.channel with
+            | Dma.Plane pl -> Node.write_plane node ~plane:pl ~addr v
+            | Dma.Cache_chan c -> Cache.write_pipeline (Node.cache node c) addr v);
+            incr writes
+          done)
+    (Semantic.write_streams sem);
+  let last_values =
+    Array.to_list
+      (Array.mapi
+         (fun k (u : Semantic.unit_program) ->
+           (u.Semantic.fu, if vlen > 0 then out.(k).(vlen - 1) else 0.0))
+         units)
+  in
+  let analysis = Timing.analyse p sem in
+  let cycles = Timing.estimated_cycles p sem analysis ~vlen in
+  record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
+  let trace =
+    if record_trace then begin
+      let unit_values = Hashtbl.create (n_units * vlen) in
+      Array.iteri
+        (fun k (u : Semantic.unit_program) ->
+          for e = 0 to vlen - 1 do
+            Hashtbl.replace unit_values (u.Semantic.fu, e) out.(k).(e)
+          done)
+        units;
+      Some { unit_values; vlen }
+    end
+    else None
+  in
+  {
+    cycles;
+    flops = Semantic.flops_per_element sem * vlen;
+    elements = vlen;
+    writes = !writes;
+    events = List.rev !events;
+    last_values;
+    trace;
+  }
+
+(* Does the fast path apply?  All operand streams aligned (or timing not
+   honoured), no combinational cycles, every shift/delay unit DMA-fed. *)
+let fast_path_applies (p : Params.t) ~honor_timing (sem : Semantic.t) =
+  let analysis = Timing.analyse p sem in
+  let aligned =
+    (not honor_timing)
+    || List.for_all
+         (fun (ut : Timing.unit_timing) -> ut.Timing.misaligned = None)
+         analysis.Timing.units
+  in
+  let sd_pure =
+    List.for_all
+      (fun (s : Semantic.sd_program) ->
+        match Semantic.source_feeding sem (Resource.Snk_shift_delay s.Semantic.sd) with
+        | None | Some (Resource.Src_memory _ | Resource.Src_cache _) -> true
+        | Some (Resource.Src_fu _ | Resource.Src_shift_delay _) -> false)
+      sem.Semantic.sds
+  in
+  aligned && analysis.Timing.cyclic = [] && sd_pure
+
+(** Execute one pipeline instruction.  Dispatches to the dense
+    topological-order evaluator when the diagram is aligned and acyclic
+    (the checked, production case) and to the general memoized evaluator
+    otherwise; [force_general] pins the general path (used by the
+    equivalence property tests). *)
+let run (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
+    ?(force_general = false) (sem : Semantic.t) : result =
+  if (not force_general) && fast_path_applies node.Node.params ~honor_timing sem then
+    run_fast node ~record_trace sem
+  else run_general node ~record_trace ~honor_timing sem

@@ -1,0 +1,48 @@
+(** Execution of one pipeline instruction on a node.
+
+    The engine combines a per-element functional dataflow evaluation (exact
+    numerics, including register-file feedback queues and shift/delay
+    streams) with a pipeline-accurate analytic timing model (fill to the
+    critical-path depth, then one element per cycle degraded by memory-plane
+    port contention — see {!Nsc_checker.Timing.estimated_cycles}).
+
+    When [honor_timing] is set (the default), misaligned operand streams are
+    paired exactly as the synchronous hardware would pair them — element
+    [e] of the late stream meets element [e + skew] of the early one — so a
+    diagram with a missing delay queue computes visibly wrong results, which
+    is what the paper's proposed visual debugger is for. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type trace = {
+  unit_values : (Nsc_arch.Resource.fu_id * int, float) Hashtbl.t;
+  vlen : int;
+}
+val trace_value :
+  trace -> fu:Nsc_arch.Resource.fu_id -> element:int -> float option
+type result = {
+  cycles : int;
+  flops : int;
+  elements : int;
+  writes : int;
+  events : Nsc_arch.Interrupt.event list;
+  last_values : (Nsc_arch.Resource.fu_id * float) list;
+  trace : trace option;
+}
+val max_recorded_events : int
+val run_general :
+  Node.t ->
+  ?record_trace:bool ->
+  ?honor_timing:bool -> Nsc_diagram.Semantic.t -> result
+
+(** Execute one pipeline instruction.  Dispatches to a dense
+    topological-order evaluator when the diagram is aligned and acyclic
+    (the checked, production case) and to the general memoized evaluator
+    otherwise; [force_general] pins the general path (used by the
+    equivalence property tests). *)
+val run :
+  Node.t ->
+  ?record_trace:bool ->
+  ?honor_timing:bool ->
+  ?force_general:bool -> Nsc_diagram.Semantic.t -> result

@@ -1,0 +1,51 @@
+(** Functional-unit operation semantics.
+
+    Floating point is IEEE double throughout (the NSC's 64-bit words).
+    Integer/logical operations act on the integer part of the operands, as
+    the double-box units reuse the floating datapath's registers. *)
+
+open Nsc_arch
+
+let as_int x = Int64.of_float x
+let of_int i = Int64.to_float i
+
+(** Execute [op] on operands [a] (and [b]; ignored by unary operations). *)
+let apply (op : Opcode.t) a b =
+  match op with
+  | Opcode.Pass -> a
+  | Opcode.Fadd -> a +. b
+  | Opcode.Fsub -> a -. b
+  | Opcode.Fmul -> a *. b
+  | Opcode.Fdiv -> a /. b
+  | Opcode.Fneg -> -.a
+  | Opcode.Fabs -> Float.abs a
+  | Opcode.Fcmp c ->
+      let holds =
+        match c with
+        | Opcode.Lt -> a < b
+        | Opcode.Le -> a <= b
+        | Opcode.Eq -> a = b
+        | Opcode.Ne -> a <> b
+        | Opcode.Ge -> a >= b
+        | Opcode.Gt -> a > b
+      in
+      if holds then 1.0 else 0.0
+  | Opcode.Iadd -> of_int (Int64.add (as_int a) (as_int b))
+  | Opcode.Isub -> of_int (Int64.sub (as_int a) (as_int b))
+  | Opcode.Imul -> of_int (Int64.mul (as_int a) (as_int b))
+  | Opcode.Iand -> of_int (Int64.logand (as_int a) (as_int b))
+  | Opcode.Ior -> of_int (Int64.logor (as_int a) (as_int b))
+  | Opcode.Ixor -> of_int (Int64.logxor (as_int a) (as_int b))
+  | Opcode.Ishl -> of_int (Int64.shift_left (as_int a) (Int64.to_int (as_int b) land 63))
+  | Opcode.Ishr ->
+      of_int (Int64.shift_right (as_int a) (Int64.to_int (as_int b) land 63))
+  | Opcode.Max -> Float.max a b
+  | Opcode.Min -> Float.min a b
+
+(** Exception the execution would trap, if any. *)
+let trapped (op : Opcode.t) a b result =
+  ignore a;
+  let is_div = match op with Opcode.Fdiv -> true | _ -> false in
+  Interrupt.classify ~op_is_divide:is_div
+    ~divisor:(if is_div then Some b else None)
+    result

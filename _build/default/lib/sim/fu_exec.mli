@@ -1,0 +1,15 @@
+(** Functional-unit operation semantics.
+
+    Floating point is IEEE double throughout (the NSC's 64-bit words).
+    Integer/logical operations act on the integer part of the operands, as
+    the double-box units reuse the floating datapath's registers. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val as_int : float -> int64
+val of_int : int64 -> float
+val apply : Nsc_arch.Opcode.t -> Float.t -> Float.t -> Float.t
+val trapped :
+  Nsc_arch.Opcode.t ->
+  'a -> float -> float -> Nsc_arch.Interrupt.exception_kind option

@@ -1,0 +1,99 @@
+(** The multi-node machine: a hypercube of nodes joined by the hyperspace
+    router.
+
+    The paper scopes its environment to single-node internals and quotes the
+    machine-level figures (64 nodes, 128 Gbytes, 40 GFLOPS); this module
+    provides the machine so those figures can be exercised: per-node
+    simulation plus dimension-ordered message transfers whose cycle cost
+    follows {!Nsc_arch.Router.transfer_cycles}.  Compute across nodes is
+    synchronous-parallel: a step's cycle cost is the maximum over nodes. *)
+
+open Nsc_arch
+
+type t = {
+  params : Params.t;
+  dim : int;
+  nodes : Node.t array;
+  mutable cycles : int;         (** machine time elapsed, in cycles *)
+  mutable flops : int;          (** total useful flops across nodes *)
+  mutable comm_cycles : int;    (** portion of [cycles] spent communicating *)
+  mutable words_moved : int;
+}
+
+let create ?(dim : int option) (p : Params.t) =
+  let dim = Option.value ~default:p.hypercube_dim dim in
+  if dim < 0 || dim > 16 then invalid_arg "Multinode.create: unreasonable dimension";
+  {
+    params = { p with hypercube_dim = dim };
+    dim;
+    nodes = Array.init (Router.nodes_of_dim dim) (fun _ -> Node.create p);
+    cycles = 0;
+    flops = 0;
+    comm_cycles = 0;
+    words_moved = 0;
+  }
+
+let n_nodes t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= n_nodes t then invalid_arg "Multinode.node";
+  t.nodes.(i)
+
+(** Run one synchronous compute step: [f] produces per-node (cycles, flops)
+    — typically from {!Sequencer.run} on each node — and the machine
+    advances by the slowest node's cycles. *)
+let compute_step t (f : int -> Node.t -> int * int) =
+  let worst = ref 0 in
+  Array.iteri
+    (fun i node ->
+      let cycles, flops = f i node in
+      t.flops <- t.flops + flops;
+      if cycles > !worst then worst := cycles)
+    t.nodes;
+  t.cycles <- t.cycles + !worst
+
+(** One message of a communication phase. *)
+type message = { src : Router.node_id; dst : Router.node_id; words : int }
+
+(** Perform a communication phase.  Messages between distinct pairs proceed
+    in parallel (each node pair uses its own links under e-cube routing of a
+    balanced exchange); the phase costs the longest single transfer.
+    Congestion on shared links is approximated by serialising messages that
+    leave the same source node. *)
+let exchange_cycles t (msgs : message list) =
+  let per_source = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if m.src <> m.dst then begin
+        let c = Router.transfer_cycles t.params ~src:m.src ~dst:m.dst ~words:m.words in
+        let acc = Option.value ~default:0 (Hashtbl.find_opt per_source m.src) in
+        Hashtbl.replace per_source m.src (acc + c)
+      end)
+    msgs;
+  Hashtbl.fold (fun _ c acc -> max c acc) per_source 0
+
+(** Execute a communication phase: move the payloads between plane stores
+    and advance machine time. *)
+let exchange t (msgs : (message * (float array * int * int)) list) =
+  (* each message carries (payload, dst_plane, dst_base) *)
+  let cycles = exchange_cycles t (List.map fst msgs) in
+  List.iter
+    (fun (m, (payload, dst_plane, dst_base)) ->
+      if m.src <> m.dst then begin
+        Node.load_array t.nodes.(m.dst) ~plane:dst_plane ~base:dst_base payload;
+        t.words_moved <- t.words_moved + Array.length payload
+      end)
+    msgs;
+  t.cycles <- t.cycles + cycles;
+  t.comm_cycles <- t.comm_cycles + cycles
+
+(** Aggregate sustained GFLOPS of the machine so far. *)
+let gflops t =
+  if t.cycles = 0 then 0.0
+  else float_of_int t.flops *. t.params.clock_mhz /. float_of_int t.cycles /. 1000.0
+
+let reset_counters t =
+  t.cycles <- 0;
+  t.flops <- 0;
+  t.comm_cycles <- 0;
+  t.words_moved <- 0

@@ -1,0 +1,41 @@
+(** The multi-node machine: a hypercube of nodes joined by the hyperspace
+    router.
+
+    The paper scopes its environment to single-node internals and quotes the
+    machine-level figures (64 nodes, 128 Gbytes, 40 GFLOPS); this module
+    provides the machine so those figures can be exercised: per-node
+    simulation plus dimension-ordered message transfers whose cycle cost
+    follows {!Nsc_arch.Router.transfer_cycles}.  Compute across nodes is
+    synchronous-parallel: a step's cycle cost is the maximum over nodes. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type t = {
+  params : Nsc_arch.Params.t;
+  dim : int;
+  nodes : Node.t array;
+  mutable cycles : int;
+  mutable flops : int;
+  mutable comm_cycles : int;
+  mutable words_moved : int;
+}
+(** A hypercube of fresh nodes (default dimension from the parameters). *)
+val create : ?dim:int -> Nsc_arch.Params.t -> t
+val n_nodes : t -> int
+val node : t -> int -> Node.t
+(** One synchronous compute step: [f] yields per-node (cycles, flops);
+    the machine advances by the slowest node. *)
+val compute_step : t -> (int -> Node.t -> int * int) -> unit
+type message = {
+  src : Nsc_arch.Router.node_id;
+  dst : Nsc_arch.Router.node_id;
+  words : int;
+}
+(** A communication phase: move payloads between plane stores and charge
+    router time (per-source serialisation, cut-through latency). *)
+val exchange_cycles : t -> message list -> int
+val exchange : t -> (message * (float array * int * int)) list -> unit
+(** Aggregate sustained GFLOPS so far. *)
+val gflops : t -> float
+val reset_counters : t -> unit

@@ -1,0 +1,54 @@
+(** Simulated state of one NSC node: memory planes and caches.
+
+    Functional units and the switch are stateless between instructions (the
+    pipeline configuration is carried entirely by each microinstruction);
+    register-file queues are zero-primed at the start of every instruction,
+    so the only persistent state is storage. *)
+
+open Nsc_arch
+
+type t = {
+  params : Params.t;
+  planes : Memory.store array;
+  caches : Cache.t array;
+}
+
+let create (p : Params.t) =
+  {
+    params = p;
+    planes = Array.init p.n_memory_planes (fun _ -> Memory.make_store p.memory_plane_words);
+    caches = Array.init p.n_caches (fun i -> Cache.make p i);
+  }
+
+let plane t i =
+  if i < 0 || i >= Array.length t.planes then invalid_arg "Node.plane";
+  t.planes.(i)
+
+let cache t i =
+  if i < 0 || i >= Array.length t.caches then invalid_arg "Node.cache";
+  t.caches.(i)
+
+let read_plane t ~plane:i ~addr = Memory.read (plane t i) addr
+let write_plane t ~plane:i ~addr v = Memory.write (plane t i) addr v
+
+(** Bulk-load an array into a plane starting at [base] — how host data
+    reaches the simulated machine before a run. *)
+let load_array t ~plane:i ~base (xs : float array) =
+  let store = plane t i in
+  Array.iteri (fun k v -> Memory.write store (base + k) v) xs
+
+(** Read [len] consecutive words back out of a plane. *)
+let dump_array t ~plane:i ~base ~len =
+  let store = plane t i in
+  Array.init len (fun k -> Memory.read store (base + k))
+
+(** Load data into a cache's DMA-side buffer, then swap it to the pipeline
+    side (one double-buffer staging step). *)
+let stage_cache t ~cache:i ~base (xs : float array) =
+  let c = cache t i in
+  Array.iteri (fun k v -> Cache.write_dma c (base + k) v) xs;
+  Cache.swap c
+
+let clear t =
+  Array.iter Memory.clear t.planes;
+  Array.iter Cache.clear t.caches

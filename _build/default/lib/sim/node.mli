@@ -1,0 +1,28 @@
+(** Simulated state of one NSC node: memory planes and caches.
+
+    Functional units and the switch are stateless between instructions (the
+    pipeline configuration is carried entirely by each microinstruction);
+    register-file queues are zero-primed at the start of every instruction,
+    so the only persistent state is storage. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type t = {
+  params : Nsc_arch.Params.t;
+  planes : Nsc_arch.Memory.store array;
+  caches : Nsc_arch.Cache.t array;
+}
+(** A fresh node: zeroed memory planes and caches. *)
+val create : Nsc_arch.Params.t -> t
+val plane : t -> int -> Nsc_arch.Memory.store
+val cache : t -> int -> Nsc_arch.Cache.t
+val read_plane : t -> plane:int -> addr:int -> float
+val write_plane : t -> plane:int -> addr:int -> float -> unit
+(** Bulk-load host data into a plane — how problems reach the machine. *)
+val load_array : t -> plane:int -> base:int -> float array -> unit
+(** Read a contiguous range back out of a plane. *)
+val dump_array : t -> plane:int -> base:int -> len:int -> float array
+(** Load a cache's DMA-side buffer and swap it to the pipeline side. *)
+val stage_cache : t -> cache:int -> base:int -> float array -> unit
+val clear : t -> unit

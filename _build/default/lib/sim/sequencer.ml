@@ -1,0 +1,149 @@
+(** The central sequencer: high-level control flow over the pipelines.
+
+    "A central sequencer provides high-level control flow ... An elaborate
+    interrupt scheme is used to signal pipeline completions, evaluate
+    conditional expressions, and trap exceptions."  The sequencer executes
+    the compiled control programme, dispatching one microinstruction per
+    [Exec], charging a reconfiguration cost between instructions, and
+    branching on condition interrupts computed from captured unit scalars. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_microcode
+
+type stats = {
+  instructions_executed : int;
+  total_cycles : int;
+  total_flops : int;
+  total_writes : int;
+  events : Interrupt.event list;  (** capped; earliest first *)
+}
+
+type outcome = {
+  stats : stats;
+  halted : bool;  (** an explicit [Halt] was reached *)
+  last_values : (Resource.fu_id * float) list;
+      (** captured scalars at the end of the run *)
+}
+
+exception Halted
+
+let max_recorded_events = 2000
+
+(** Execute a compiled program on [node].
+
+    By default the machine words themselves are decoded and executed
+    ([from_microcode]); passing [~from_microcode:false] runs the retained
+    semantic structures directly (useful to isolate decoder faults).
+    [on_instruction] is invoked after each pipeline completes — the hook the
+    visual debugger attaches to. *)
+let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
+    ?(on_instruction = fun (_ : Semantic.t) (_ : Engine.result) -> ())
+    (c : Codegen.compiled) : (outcome, string) result =
+  let p = node.Node.params in
+  (* instruction table, decoded once *)
+  let table : (int, Semantic.t) Hashtbl.t = Hashtbl.create 16 in
+  let load_error = ref None in
+  (if from_microcode then
+     List.iter
+       (fun (i : Encode.instruction) ->
+         match Decode.decode c.Codegen.layout i.Encode.word with
+         | Ok sem -> Hashtbl.replace table i.Encode.index sem
+         | Error e ->
+             if !load_error = None then
+               load_error := Some (Printf.sprintf "instruction %d: %s" i.Encode.index e))
+       c.Codegen.instructions
+   else
+     List.iter
+       (fun (sem : Semantic.t) -> Hashtbl.replace table sem.Semantic.index sem)
+       c.Codegen.semantics);
+  match !load_error with
+  | Some e -> Error e
+  | None ->
+      let cycles = ref 0 and flops = ref 0 and writes = ref 0 in
+      let executed = ref 0 in
+      let events = ref [] and n_events = ref 0 in
+      let record ev =
+        if !n_events < max_recorded_events then begin
+          events := ev :: !events;
+          incr n_events
+        end
+      in
+      let captured : (Resource.fu_id, float) Hashtbl.t = Hashtbl.create 16 in
+      let exec_error = ref None in
+      let exec n =
+        match Hashtbl.find_opt table n with
+        | None ->
+            if !exec_error = None then
+              exec_error := Some (Printf.sprintf "control references missing pipeline %d" n);
+            raise Halted
+        | Some sem ->
+            let r = Engine.run node ~record_trace sem in
+            incr executed;
+            cycles := !cycles + r.Engine.cycles + p.reconfig_cycles;
+            flops := !flops + r.Engine.flops;
+            writes := !writes + r.Engine.writes;
+            List.iter record r.Engine.events;
+            List.iter (fun (fu, v) -> Hashtbl.replace captured fu v) r.Engine.last_values;
+            on_instruction sem r
+      in
+      let eval_condition instruction (cond : Interrupt.condition) =
+        let value =
+          Option.value ~default:Float.nan
+            (Hashtbl.find_opt captured cond.Interrupt.unit_watched)
+        in
+        let holds =
+          (not (Float.is_nan value))
+          && Interrupt.relation_holds cond.Interrupt.relation value
+               cond.Interrupt.threshold
+        in
+        record
+          (Interrupt.Condition_evaluated { instruction; condition = cond; value; holds });
+        holds
+      in
+      let halted = ref false in
+      let rec interp (cs : Program.control list) =
+        match cs with
+        | [] -> ()
+        | Program.Exec n :: rest ->
+            exec n;
+            interp rest
+        | Program.Halt :: _ ->
+            halted := true;
+            raise Halted
+        | Program.Repeat { count; body } :: rest ->
+            for _ = 1 to count do
+              interp body
+            done;
+            interp rest
+        | Program.While { condition; max_iterations; body } :: rest ->
+            let rec loop i =
+              if max_iterations > 0 && i >= max_iterations then ()
+              else begin
+                interp body;
+                if eval_condition (-1) condition then loop (i + 1)
+              end
+            in
+            (* run the body once, then continue while the condition holds *)
+            loop 0;
+            interp rest
+      in
+      (try interp c.Codegen.control with Halted -> ());
+      (match !exec_error with
+      | Some e -> Error e
+      | None ->
+          Ok
+            {
+              stats =
+                {
+                  instructions_executed = !executed;
+                  total_cycles = !cycles;
+                  total_flops = !flops;
+                  total_writes = !writes;
+                  events = List.rev !events;
+                };
+              halted = !halted;
+              last_values =
+                Hashtbl.fold (fun fu v acc -> (fu, v) :: acc) captured []
+                |> List.sort compare;
+            })

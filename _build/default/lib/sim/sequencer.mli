@@ -1,0 +1,38 @@
+(** The central sequencer: high-level control flow over the pipelines.
+
+    "A central sequencer provides high-level control flow ... An elaborate
+    interrupt scheme is used to signal pipeline completions, evaluate
+    conditional expressions, and trap exceptions."  The sequencer executes
+    the compiled control programme, dispatching one microinstruction per
+    [Exec], charging a reconfiguration cost between instructions, and
+    branching on condition interrupts computed from captured unit scalars. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+type stats = {
+  instructions_executed : int;
+  total_cycles : int;
+  total_flops : int;
+  total_writes : int;
+  events : Nsc_arch.Interrupt.event list;
+}
+type outcome = {
+  stats : stats;
+  halted : bool;
+  last_values : (Nsc_arch.Resource.fu_id * float) list;
+}
+exception Halted
+val max_recorded_events : int
+(** Execute a compiled program: decode each instruction (default) or run
+    the retained semantics ([~from_microcode:false]), interpret the
+    control programme (Exec/Repeat/While/Halt), charge reconfiguration
+    between instructions, and evaluate while-conditions from captured
+    scalars.  [on_instruction] is the hook the visual debugger attaches
+    to. *)
+val run :
+  Node.t ->
+  ?from_microcode:bool ->
+  ?record_trace:bool ->
+  ?on_instruction:(Nsc_diagram.Semantic.t -> Engine.result -> unit) ->
+  Nsc_microcode.Codegen.compiled -> (outcome, string) result

@@ -1,0 +1,45 @@
+(** Performance accounting: cycles to time, sustained versus peak rates.
+
+    The paper's headline figures — 640 MFLOPS peak per node, 40 GFLOPS for
+    a 64-node machine — are derived in {!Nsc_arch.Params}; this module turns
+    simulated cycle/flop counts into comparable sustained numbers. *)
+
+open Nsc_arch
+
+(** Seconds of machine time represented by [cycles]. *)
+let seconds (p : Params.t) ~cycles = float_of_int cycles /. (p.clock_mhz *. 1e6)
+
+(** Sustained MFLOPS over a run of [cycles] cycles performing [flops]
+    floating-point operations. *)
+let mflops (p : Params.t) ~cycles ~flops =
+  if cycles <= 0 then 0.0
+  else float_of_int flops *. p.clock_mhz /. float_of_int cycles
+
+(** Fraction of the node's peak the run sustained. *)
+let utilization (p : Params.t) ~cycles ~flops =
+  let peak = Params.peak_mflops p in
+  if peak <= 0.0 then 0.0 else mflops p ~cycles ~flops /. peak
+
+type summary = {
+  cycles : int;
+  flops : int;
+  seconds : float;
+  mflops : float;
+  utilization : float;
+}
+
+let summarize (p : Params.t) ~cycles ~flops =
+  {
+    cycles;
+    flops;
+    seconds = seconds p ~cycles;
+    mflops = mflops p ~cycles ~flops;
+    utilization = utilization p ~cycles ~flops;
+  }
+
+let of_sequencer (p : Params.t) (s : Sequencer.stats) =
+  summarize p ~cycles:s.Sequencer.total_cycles ~flops:s.Sequencer.total_flops
+
+let summary_to_string s =
+  Printf.sprintf "%d cycles, %d flops, %.3f ms, %.1f MFLOPS (%.1f%% of peak)" s.cycles
+    s.flops (s.seconds *. 1e3) s.mflops (100.0 *. s.utilization)

@@ -1,0 +1,22 @@
+(** Performance accounting: cycles to time, sustained versus peak rates.
+
+    The paper's headline figures — 640 MFLOPS peak per node, 40 GFLOPS for
+    a 64-node machine — are derived in {!Nsc_arch.Params}; this module turns
+    simulated cycle/flop counts into comparable sustained numbers. *)
+
+(* Interface generated from the implementation; detailed
+   documentation lives on the items in the .ml file. *)
+
+val seconds : Nsc_arch.Params.t -> cycles:int -> float
+val mflops : Nsc_arch.Params.t -> cycles:int -> flops:int -> float
+val utilization : Nsc_arch.Params.t -> cycles:int -> flops:int -> float
+type summary = {
+  cycles : int;
+  flops : int;
+  seconds : float;
+  mflops : float;
+  utilization : float;
+}
+val summarize : Nsc_arch.Params.t -> cycles:int -> flops:int -> summary
+val of_sequencer : Nsc_arch.Params.t -> Sequencer.stats -> summary
+val summary_to_string : summary -> string

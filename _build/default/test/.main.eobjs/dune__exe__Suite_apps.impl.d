@@ -1,0 +1,1 @@
+test/suite_apps.ml: Alcotest Array Float Grid Jacobi List Multigrid Nsc_apps Nsc_checker Nsc_sim Option Parallel Poisson Redblack Result Util

@@ -1,0 +1,1 @@
+test/suite_arch.ml: Alcotest Als Capability Knowledge List Nsc_arch Opcode Params Resource String Switch Util

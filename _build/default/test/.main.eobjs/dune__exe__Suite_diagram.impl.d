@@ -1,0 +1,1 @@
+test/suite_diagram.ml: Alcotest Als Build Connection Dma_spec Fu_config Geometry Icon List Nsc_arch Nsc_diagram Opcode Option Params Pipeline Program Resource Result Util

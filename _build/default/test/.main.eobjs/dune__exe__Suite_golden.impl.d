@@ -1,0 +1,1 @@
+test/suite_golden.ml: Alcotest Als Filename Geometry Nsc_apps Nsc_arch Nsc_diagram Nsc_editor Option Pipeline Program Sys Util

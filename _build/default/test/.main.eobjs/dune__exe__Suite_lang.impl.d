@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Array Ast Compile Dag List Nsc_arch Nsc_checker Nsc_diagram Nsc_lang Nsc_microcode Nsc_sim Opcode Parser Printf Result String Util

@@ -1,0 +1,1 @@
+test/suite_semantic.ml: Alcotest Als Build Connection Dma_spec Fu_config Geometry Icon List Nsc_apps Nsc_arch Nsc_diagram Pipeline Program Resource Result Semantic Serialize String Util Validate

@@ -1,0 +1,1 @@
+test/suite_storage.ml: Alcotest Cache List Memory Nsc_arch Params Register_file Shift_delay Util

@@ -1,0 +1,1 @@
+test/suite_switch.ml: Alcotest Dma Float Interrupt List Nsc_arch Params Resource Result Router Switch Util

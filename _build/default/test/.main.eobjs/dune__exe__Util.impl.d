@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Als Build Fu_config Geometry Icon Knowledge List Nsc_arch Nsc_diagram Opcode Option Pipeline Program QCheck2 QCheck_alcotest Resource Semantic

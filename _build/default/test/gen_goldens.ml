@@ -1,0 +1,62 @@
+(* regenerate the golden render files *)
+open Nsc_arch
+open Nsc_diagram
+
+let params = Knowledge.params Knowledge.default
+
+let write path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let () =
+  let dir = Sys.argv.(1) in
+  (* icon gallery *)
+  let pl = Pipeline.empty 1 in
+  let add pl kind bypass x =
+    match Pipeline.place_als params pl ~kind ~bypass ~pos:(Geometry.point x 2) () with
+    | Ok (_, pl) -> pl
+    | Error e -> failwith e
+  in
+  let pl = add pl Als.Singlet Als.No_bypass 4 in
+  let pl = add pl Als.Doublet Als.No_bypass 20 in
+  let pl = add pl Als.Doublet Als.Keep_head 36 in
+  let pl = add pl Als.Triplet Als.No_bypass 52 in
+  write (Filename.concat dir "icon_gallery.txt")
+    (Nsc_editor.Render_ascii.render_pipeline params pl);
+  (* jacobi sweep diagram, ASCII and SVG *)
+  let b = Nsc_apps.Jacobi.build Knowledge.default (Nsc_apps.Grid.cube 5) ~tol:1e-6 ~max_iters:10 in
+  let sweep = Option.get (Program.find_pipeline b.Nsc_apps.Jacobi.program 2) in
+  write (Filename.concat dir "jacobi_sweep.txt")
+    (Nsc_editor.Render_ascii.render_pipeline params sweep);
+  write (Filename.concat dir "jacobi_sweep.svg")
+    (Nsc_editor.Render_svg.render_pipeline params sweep);
+  (* shipped program assets for the CLI, when a second directory is given *)
+  if Array.length Sys.argv > 2 then begin
+    let adir = Sys.argv.(2) in
+    Serialize.save b.Nsc_apps.Jacobi.program
+      ~path:(Filename.concat adir "jacobi3d_5.nsc");
+    let mg =
+      Nsc_apps.Multigrid.build Knowledge.default (Nsc_apps.Multigrid.grid1 17)
+        ~cycles:2 ~nu1:2 ~nu2:2 ~nu_coarse:20
+    in
+    Serialize.save mg.Nsc_apps.Multigrid.program
+      ~path:(Filename.concat adir "multigrid_17.nsc");
+    let oc = open_out (Filename.concat adir "jacobi1d.lang") in
+    output_string oc
+      "# 1-D Jacobi relaxation in the pipeline language\n\
+       array u[62]    plane 0\n\
+       array g[62]    plane 1\n\
+       array mask[62] plane 2\n\
+       array unew[62] plane 3\n\
+       array f[62]    plane 4\n\
+       scalar r\n\
+       g = f * 0.000252518875785965\n\
+       while r > 0.000001 max_iters 4000 {\n\
+       unew = mask * ((u[-1] + u[+1] - g) * 0.5)\n\
+       r = maxreduce(abs(unew - u))\n\
+       u = unew + 0.0\n\
+       }\n";
+    close_out oc
+  end;
+  print_endline "goldens written"

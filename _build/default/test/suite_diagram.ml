@@ -1,0 +1,216 @@
+(* Diagram layer: geometry, icons, pipelines, programs. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Util
+
+let geometry_tests =
+  [
+    case "containment includes edges" (fun () ->
+        let r = Geometry.rect 0 0 10 10 in
+        check_bool "corner" true (Geometry.contains r (Geometry.point 10 10));
+        check_bool "outside" false (Geometry.contains r (Geometry.point 11 10)));
+    case "nearest respects the radius" (fun () ->
+        let cands = [ (Geometry.point 0 0, "a"); (Geometry.point 5 5, "b") ] in
+        check_bool "hit" true
+          (Geometry.nearest ~within:2 (Geometry.point 1 1) cands = Some "a");
+        check_bool "miss" true
+          (Geometry.nearest ~within:1 (Geometry.point 3 3) cands = None));
+    case "nearest picks the closest candidate" (fun () ->
+        let cands = [ (Geometry.point 0 0, "a"); (Geometry.point 2 0, "b") ] in
+        check_bool "closest" true
+          (Geometry.nearest ~within:5 (Geometry.point 3 0) cands = Some "b"));
+    case "translate and center" (fun () ->
+        let r = Geometry.translate (Geometry.rect 0 0 4 6) (Geometry.point 10 20) in
+        check_int "ox" 10 r.Geometry.ox;
+        let ctr = Geometry.center r in
+        check_int "cx" 12 ctr.Geometry.x;
+        check_int "cy" 23 ctr.Geometry.y);
+    case "negative extents are rejected" (fun () ->
+        Alcotest.check_raises "rect" (Invalid_argument "Geometry.rect: negative extent")
+          (fun () -> ignore (Geometry.rect 0 0 (-1) 2)));
+  ]
+
+let triplet_als = params.Params.n_singlets + params.Params.n_doublets
+
+let icon_tests =
+  [
+    case "a triplet icon exposes 4 input pads and 3 output taps" (fun () ->
+        let icon =
+          Icon.make params ~id:0
+            ~kind:(Icon.Als_icon { als = triplet_als; bypass = Als.No_bypass })
+            ~pos:(Geometry.point 0 0)
+        in
+        let pads = Icon.pads params icon in
+        let ins =
+          List.filter (fun (p, _) -> match p with Icon.In_pad _ -> true | _ -> false) pads
+        in
+        let outs =
+          List.filter (fun (p, _) -> match p with Icon.Out_pad _ -> true | _ -> false) pads
+        in
+        check_int "ins" 4 (List.length ins);
+        check_int "outs" 3 (List.length outs));
+    case "a bypassed doublet exposes one unit's pads" (fun () ->
+        let icon =
+          Icon.make params ~id:0
+            ~kind:(Icon.Als_icon { als = params.Params.n_singlets; bypass = Als.Keep_tail })
+            ~pos:(Geometry.point 0 0)
+        in
+        let pads = Icon.pads params icon in
+        check_int "pads" 3 (List.length pads) (* a, b, out *));
+    case "memory icons expose flow pads" (fun () ->
+        let icon = Icon.make params ~id:1 ~kind:(Icon.Memory_icon 3) ~pos:(Geometry.point 0 0) in
+        let pads = Icon.pads params icon in
+        check_bool "in" true (List.mem_assoc Icon.Flow_in pads);
+        check_bool "out" true (List.mem_assoc Icon.Flow_out pads));
+    case "pad names round-trip" (fun () ->
+        List.iter
+          (fun pad ->
+            match Icon.pad_of_string (Icon.pad_to_string pad) with
+            | Some pad' -> check_bool "roundtrip" true (Icon.equal_pad pad pad')
+            | None -> Alcotest.fail "parse failed")
+          [ Icon.In_pad (0, Resource.A); Icon.In_pad (2, Resource.B); Icon.Out_pad 1;
+            Icon.Flow_in; Icon.Flow_out ]);
+    case "pad directions" (fun () ->
+        check_bool "in consumes" true (Icon.pad_direction (Icon.In_pad (0, Resource.A)) = Icon.Consumes);
+        check_bool "out produces" true (Icon.pad_direction (Icon.Out_pad 0) = Icon.Produces);
+        check_bool "flow_out produces" true (Icon.pad_direction Icon.Flow_out = Icon.Produces));
+    case "pad positions stay inside the bounding box" (fun () ->
+        let icon =
+          Icon.make params ~id:0
+            ~kind:(Icon.Als_icon { als = triplet_als; bypass = Als.No_bypass })
+            ~pos:(Geometry.point 7 3)
+        in
+        let bb = Icon.bounding_box params icon in
+        List.iter
+          (fun (pad, _) ->
+            match Icon.pad_position params icon pad with
+            | Some p -> check_bool "inside" true (Geometry.contains bb p)
+            | None -> Alcotest.fail "pad has no position")
+          (Icon.pads params icon));
+  ]
+
+let pipeline_tests =
+  [
+    case "place_als binds the lowest free structure of the kind" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let i0, pl = Build.fail_on_error (Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 0 0) ()) in
+        let i1, pl = Build.fail_on_error (Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 12 0) ()) in
+        (match (Pipeline.icon_kind pl i0, Pipeline.icon_kind pl i1) with
+        | Some (Icon.Als_icon { als = 0; _ }), Some (Icon.Als_icon { als = 1; _ }) -> ()
+        | _ -> Alcotest.fail "unexpected binding"));
+    case "the supply of each ALS kind is finite" (fun () ->
+        let rec drain pl n =
+          match Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 0 0) () with
+          | Ok (_, pl) -> drain pl (n + 1)
+          | Error _ -> n
+        in
+        check_int "singlets" params.Params.n_singlets (drain (Pipeline.empty 1) 0));
+    case "bypass placement is doublet-only" (fun () ->
+        match
+          Pipeline.place_als params (Pipeline.empty 1) ~kind:Als.Triplet
+            ~bypass:Als.Keep_head ~pos:(Geometry.point 0 0) ()
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "triplet bypass accepted");
+    case "removing an icon removes its wires" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()
+        in
+        let pl = Pipeline.remove_icon pl icon in
+        check_int "no icons" 0 (List.length pl.Pipeline.icons);
+        check_int "no wires" 0 (List.length pl.Pipeline.connections));
+    case "set_config rejects bad slots" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        Alcotest.check_raises "slot" (Invalid_argument "Pipeline.set_config: slot out of range")
+          (fun () -> ignore (Pipeline.set_config pl ~id:icon ~slot:1 Fu_config.idle)));
+    case "pad_at hit-tests within the given radius" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let ic = Option.get (Pipeline.find_icon pl icon) in
+        let pos = Option.get (Icon.pad_position params ic (Icon.Out_pad 0)) in
+        (match Pipeline.pad_at params pl ~within:1 pos with
+        | Some (id, Icon.Out_pad 0) -> check_int "icon" icon id
+        | _ -> Alcotest.fail "missed pad");
+        check_bool "far away misses" true
+          (Pipeline.pad_at params pl ~within:1 (Geometry.point 500 500) = None));
+    case "vector length must be positive" (fun () ->
+        Alcotest.check_raises "vlen"
+          (Invalid_argument "Pipeline.with_vector_length: length must be >= 1") (fun () ->
+            ignore (Pipeline.with_vector_length (Pipeline.empty 1) 0)));
+    case "programmed_units counts configured slots" (fun () ->
+        let pl, icon = pipeline_with Als.Triplet in
+        check_int "none" 0 (Pipeline.programmed_units pl);
+        let pl = Pipeline.set_config pl ~id:icon ~slot:1 (Fu_config.make Opcode.Fabs ~a:Fu_config.From_switch) in
+        check_int "one" 1 (Pipeline.programmed_units pl));
+  ]
+
+let program_tests =
+  [
+    case "insert renumbers later pipelines" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline ~label:"a" prog in
+        let prog, _ = Program.append_pipeline ~label:"b" prog in
+        let prog, at = Program.insert_pipeline prog ~at:2 in
+        check_int "inserted at" 2 at;
+        check_int "count" 3 (Program.pipeline_count prog);
+        check_string "b moved" "b"
+          (Option.get (Program.find_pipeline prog 3)).Pipeline.label);
+    case "delete renumbers down" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline ~label:"a" prog in
+        let prog, _ = Program.append_pipeline ~label:"b" prog in
+        let prog = Program.delete_pipeline prog ~index:1 in
+        check_int "count" 1 (Program.pipeline_count prog);
+        check_string "b is 1" "b" (Option.get (Program.find_pipeline prog 1)).Pipeline.label);
+    case "copy inserts after the original" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline ~label:"a" prog in
+        let prog, _ = Program.append_pipeline ~label:"b" prog in
+        match Program.copy_pipeline prog ~index:1 with
+        | Ok (prog, at) ->
+            check_int "copy at 2" 2 at;
+            check_string "copy label" "a"
+              (Option.get (Program.find_pipeline prog 2)).Pipeline.label;
+            check_string "b pushed" "b"
+              (Option.get (Program.find_pipeline prog 3)).Pipeline.label
+        | Error e -> Alcotest.fail e);
+    case "move reorders" (fun () ->
+        let prog = Program.empty "p" in
+        let prog = List.fold_left (fun p l -> fst (Program.append_pipeline ~label:l p)) prog [ "a"; "b"; "c" ] in
+        match Program.move_pipeline prog ~index:3 ~to_:1 with
+        | Ok prog ->
+            check_string "c first" "c" (Option.get (Program.find_pipeline prog 1)).Pipeline.label;
+            check_string "a second" "a" (Option.get (Program.find_pipeline prog 2)).Pipeline.label
+        | Error e -> Alcotest.fail e);
+    case "duplicate declarations are refused" (fun () ->
+        let prog = Program.empty "p" in
+        let d = { Program.name = "x"; plane = 0; base = 0; length = 4 } in
+        let prog = Result.get_ok (Program.declare prog d) in
+        check_bool "dup" true (Result.is_error (Program.declare prog d)));
+    case "effective control defaults to straight-line execution" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline prog in
+        let prog, _ = Program.append_pipeline prog in
+        check_bool "default" true
+          (Program.effective_control prog
+          = [ Program.Exec 1; Program.Exec 2; Program.Halt ]));
+    case "referenced pipelines walks nested control" (fun () ->
+        let prog = Program.empty "p" in
+        let prog = List.fold_left (fun p _ -> fst (Program.append_pipeline p)) prog [ (); (); () ] in
+        let prog =
+          Program.set_control prog
+            [ Program.Repeat { count = 2; body = [ Program.Exec 3; Program.Exec 1 ] } ]
+        in
+        Alcotest.(check (list int)) "refs" [ 1; 3 ] (Program.referenced_pipelines prog));
+  ]
+
+let suite =
+  [
+    ("diagram:geometry", geometry_tests);
+    ("diagram:icon", icon_tests);
+    ("diagram:pipeline", pipeline_tests);
+    ("diagram:program", program_tests);
+  ]

@@ -1,0 +1,395 @@
+(* The editor: gestures, menus, forms, incremental checking, rendering,
+   session replay. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_editor
+open Util
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Build the vecadd diagram purely through gestures. *)
+let vecadd_by_gestures () =
+  let st = State.create ~name:"vecadd" kb in
+  let prog =
+    List.fold_left
+      (fun prog (name, plane) ->
+        Result.get_ok (Program.declare prog { Program.name; plane; base = 0; length = 64 }))
+      st.State.program
+      [ ("x", 0); ("y", 1); ("z", 2) ]
+  in
+  let st = State.refresh { st with State.program = prog } in
+  let st = Actions.press st Layout.B_vlen in
+  let st = Actions.fill_and_submit st [ ("length", "64") ] in
+  let st, icon = Actions.place st Layout.B_singlet ~x:30 ~y:8 in
+  let icon = Option.get icon in
+  let st = Actions.set_op st ~icon ~slot:0 Opcode.Fadd in
+  let st = Actions.wire_memory_to_pad st ~icon ~pad:(Icon.In_pad (0, Resource.A)) ~plane:0 ~variable:"x" () in
+  let st = Actions.wire_memory_to_pad st ~icon ~pad:(Icon.In_pad (0, Resource.B)) ~plane:1 ~variable:"y" () in
+  let st = Actions.wire_pad_to_memory st ~icon ~pad:(Icon.Out_pad 0) ~plane:2 ~variable:"z" () in
+  (st, icon)
+
+let gesture_tests =
+  [
+    case "dragging an icon button places an ALS (Figure 6)" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_triplet ~x:20 ~y:5 in
+        check_bool "placed" true (icon <> None);
+        let pl = State.current_pipeline st in
+        check_int "one icon" 1 (List.length pl.Pipeline.icons);
+        match Pipeline.icon_kind pl (Option.get icon) with
+        | Some (Icon.Als_icon { als; _ }) ->
+            check_int "first triplet" (params.Params.n_singlets + params.Params.n_doublets) als
+        | _ -> Alcotest.fail "not an ALS icon");
+    case "dropping outside the drawing area cancels placement" (fun () ->
+        let st = State.create kb in
+        let st =
+          Editor.run st
+            [ Event.Mouse_down (Actions.button_center Layout.B_singlet);
+              Event.Mouse_up (Geometry.point 0 0) ]
+        in
+        check_int "nothing placed" 0 (List.length (State.current_pipeline st).Pipeline.icons));
+    case "the supply of ALSs is enforced on drop" (fun () ->
+        let st = State.create kb in
+        let rec place_n st n =
+          if n = 0 then st else place_n (fst (Actions.place st Layout.B_singlet ~x:(n * 12) ~y:4)) (n - 1)
+        in
+        let st = place_n st 4 in
+        let st, _ = Actions.place st Layout.B_singlet ~x:70 ~y:4 in
+        check_int "only four" 4 (List.length (State.current_pipeline st).Pipeline.icons);
+        check_bool "explains" true
+          (contains (State.latest_message st) "already in use"));
+    case "vecadd by gestures checks clean and compiles" (fun () ->
+        let st, _ = vecadd_by_gestures () in
+        let st = Actions.press st Layout.B_check in
+        check_bool "clean" true (contains (State.latest_message st) "no findings");
+        check_bool "compiles" true
+          (Result.is_ok (Nsc_microcode.Codegen.compile kb st.State.program)));
+    case "a second writer to a plane is rejected at gesture time" (fun () ->
+        let st, icon = vecadd_by_gestures () in
+        let before = List.length (State.current_pipeline st).Pipeline.connections in
+        let st = Actions.wire_pad_to_memory st ~icon ~pad:(Icon.Out_pad 0) ~plane:2 ~variable:"z" () in
+        check_int "wire count unchanged" before
+          (List.length (State.current_pipeline st).Pipeline.connections);
+        check_bool "explains" true (contains (State.latest_message st) "rejected"));
+    case "rubber-band wiring connects two units (Figure 8)" (fun () ->
+        let st = State.create kb in
+        let st, i0 = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let st, i1 = Actions.place st Layout.B_singlet ~x:50 ~y:4 in
+        let i0 = Option.get i0 and i1 = Option.get i1 in
+        let st =
+          Actions.rubber_connect st ~from_icon:i0 ~from_pad:(Icon.Out_pad 0) ~to_icon:i1
+            ~to_pad:(Icon.In_pad (0, Resource.A))
+        in
+        check_int "one wire" 1 (List.length (State.current_pipeline st).Pipeline.connections));
+    case "op menus list only the unit's capabilities (Figure 10)" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let st = Actions.click_unit st ~icon:(Option.get icon) ~slot:0 in
+        (match st.State.mode with
+        | State.Menu_open menu ->
+            check_bool "no iadd" false
+              (List.exists (fun (i : Menu.item) -> i.Menu.label = "iadd") menu.Menu.items);
+            check_bool "fadd present" true
+              (List.exists (fun (i : Menu.item) -> i.Menu.label = "fadd") menu.Menu.items)
+        | _ -> Alcotest.fail "no menu opened"));
+    case "constants bind through the pad menu" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let icon = Option.get icon in
+        let st = Actions.set_op st ~icon ~slot:0 Opcode.Fmul in
+        let st = Actions.bind_constant st ~icon ~slot:0 ~port:Resource.B (1.0 /. 6.0) in
+        match Pipeline.config_of (State.current_pipeline st) ~id:icon ~slot:0 with
+        | Some cfg ->
+            check_bool "const" true
+              (Fu_config.equal_input_binding cfg.Fu_config.b
+                 (Fu_config.From_constant (1.0 /. 6.0)))
+        | None -> Alcotest.fail "no config");
+    case "feedback binds through the pad menu" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_doublet ~x:20 ~y:4 in
+        let icon = Option.get icon in
+        let st = Actions.set_op st ~icon ~slot:1 Opcode.Max in
+        let st = Actions.bind_feedback st ~icon ~slot:1 ~port:Resource.B 1 in
+        match Pipeline.config_of (State.current_pipeline st) ~id:icon ~slot:1 with
+        | Some cfg ->
+            check_bool "feedback" true
+              (Fu_config.equal_input_binding cfg.Fu_config.b (Fu_config.From_feedback 1))
+        | None -> Alcotest.fail "no config");
+    case "escape cancels menus, forms and placements" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_goto in
+        let st = Editor.handle st (Event.Key "Escape") in
+        check_bool "idle" true (match st.State.mode with State.Idle -> true | _ -> false));
+    case "selected icons are deleted with their wires" (fun () ->
+        let st, icon = vecadd_by_gestures () in
+        let st = { st with State.selected = Some icon } in
+        let st = Editor.handle st (Event.Key "x") in
+        let pl = State.current_pipeline st in
+        check_int "no icons" 0 (List.length pl.Pipeline.icons);
+        check_int "no wires" 0 (List.length pl.Pipeline.connections));
+    case "icons can be grabbed and moved" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let icon = Option.get icon in
+        (* grab the icon body (not a pad, not the unit box): the frame row *)
+        let pl = State.current_pipeline st in
+        let ic = Option.get (Pipeline.find_icon pl icon) in
+        let grab = Layout.of_drawing (Geometry.add ic.Icon.pos (Geometry.point 0 0)) in
+        ignore grab;
+        let from = Layout.of_drawing (Geometry.point 20 4) in
+        let to_ = Layout.of_drawing (Geometry.point 40 10) in
+        let st = Actions.drag st ~from ~to_ in
+        let ic = Option.get (Pipeline.find_icon (State.current_pipeline st) icon) in
+        check_int "moved x" 40 ic.Icon.pos.Geometry.x);
+  ]
+
+let panel_tests =
+  [
+    case "insert/copy/delete/goto drive the pipeline list" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_insert in
+        check_int "two pipelines" 2 (Program.pipeline_count st.State.program);
+        check_int "cursor on new" 2 st.State.current;
+        let st = Actions.press st Layout.B_copy in
+        check_int "three" 3 (Program.pipeline_count st.State.program);
+        let st = Actions.press st Layout.B_delete in
+        check_int "two again" 2 (Program.pipeline_count st.State.program);
+        let st = Actions.press st Layout.B_prev in
+        check_int "back to 1" 1 st.State.current;
+        let st = Actions.press st Layout.B_goto in
+        let st = Actions.fill_and_submit st [ ("pipeline", "2") ] in
+        check_int "goto 2" 2 st.State.current);
+    case "the only pipeline cannot be deleted" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_delete in
+        check_int "still one" 1 (Program.pipeline_count st.State.program));
+    case "the balance button inserts alignment queues" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_doublet ~x:20 ~y:4 in
+        let icon = Option.get icon in
+        let st = Actions.set_op st ~icon ~slot:0 Opcode.Fmul in
+        let st = Actions.bind_constant st ~icon ~slot:0 ~port:Resource.B 2.0 in
+        let st = Actions.wire_memory_to_pad st ~icon ~pad:(Icon.In_pad (0, Resource.A)) ~plane:0 () in
+        let st = Actions.set_op st ~icon ~slot:1 Opcode.Fadd in
+        let st = Actions.wire_memory_to_pad st ~icon ~pad:(Icon.In_pad (1, Resource.B)) ~plane:1 () in
+        let st = Actions.press st Layout.B_balance in
+        (match Pipeline.config_of (State.current_pipeline st) ~id:icon ~slot:1 with
+        | Some cfg ->
+            check_int "delay inserted" params.Params.latencies.Params.lat_fmul
+              cfg.Fu_config.delay_b
+        | None -> Alcotest.fail "no config"));
+    case "save writes a loadable program" (fun () ->
+        let st, _ = vecadd_by_gestures () in
+        let path = Filename.temp_file "nsc" ".nsc" in
+        let st = Actions.press st Layout.B_save in
+        let st = Actions.fill_and_submit st [ ("path", path) ] in
+        check_bool "saved" true (contains (State.latest_message st) "saved");
+        (match Serialize.load params ~path with
+        | Ok prog ->
+            check_string "same text"
+              (Serialize.to_string st.State.program)
+              (Serialize.to_string prog)
+        | Error e -> Alcotest.fail e);
+        Sys.remove path);
+  ]
+
+let render_tests =
+  [
+    case "the window shows panel, declarations and the message strip" (fun () ->
+        let st, _ = vecadd_by_gestures () in
+        let s = Render_ascii.render st in
+        check_bool "panel" true (contains s "[Singlet]");
+        check_bool "declaration" true (contains s "x: p0+0");
+        check_bool "op" true (contains s "fadd");
+        check_bool "status" true (contains s "vlen 64"));
+    case "menus are drawn over the window" (fun () ->
+        let st = State.create kb in
+        let st, icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let st = Actions.click_unit st ~icon:(Option.get icon) ~slot:0 in
+        check_bool "menu title" true (contains (Render_ascii.render st) "operation of"));
+    case "forms are drawn with their fields" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_goto in
+        check_bool "field" true (contains (Render_ascii.render st) "pipeline"));
+    case "SVG output is well-formed enough" (fun () ->
+        let st, _ = vecadd_by_gestures () in
+        let svg = Render_svg.render_pipeline params (State.current_pipeline st) in
+        check_bool "svg" true (contains svg "<svg");
+        check_bool "closes" true (contains svg "</svg>");
+        check_bool "has units" true (contains svg "fadd"));
+    case "the datapath figure renders (Figure 1)" (fun () ->
+        let svg = Render_svg.render_datapath params in
+        check_bool "router" true (contains svg "Hyperspace router");
+        check_bool "planes" true (contains svg "memory planes"));
+  ]
+
+let session_tests =
+  [
+    case "replay applies events and takes snapshots" (fun () ->
+        let script =
+          "# place a singlet\n"
+          ^ Printf.sprintf "down %d %d\n"
+              (Actions.button_center Layout.B_singlet).Geometry.x
+              (Actions.button_center Layout.B_singlet).Geometry.y
+          ^ "move 45 12\nup 45 12\nsnapshot placed\n"
+        in
+        let r = Session.replay (State.create kb) script in
+        check_int "events" 3 r.Session.applied;
+        check_int "frames" 1 (List.length r.Session.frames);
+        check_int "icon placed" 1
+          (List.length (State.current_pipeline r.Session.final).Pipeline.icons);
+        check_int "no errors" 0 (List.length r.Session.errors));
+    case "bad lines are reported with numbers" (fun () ->
+        let r = Session.replay (State.create kb) "gibberish here\n" in
+        check_int "one error" 1 (List.length r.Session.errors));
+    case "recording produces a replayable script" (fun () ->
+        let rec_ = Session.recorder () in
+        let st = State.create kb in
+        let st = Session.record rec_ st (Event.Mouse_down (Actions.button_center Layout.B_triplet)) in
+        let st = Session.record rec_ st (Event.Mouse_up (Layout.of_drawing (Geometry.point 30 6))) in
+        let script = Session.script_of rec_ in
+        let r = Session.replay (State.create kb) script in
+        check_int "same icon count"
+          (List.length (State.current_pipeline st).Pipeline.icons)
+          (List.length (State.current_pipeline r.Session.final).Pipeline.icons));
+    case "event tokens round-trip" (fun () ->
+        List.iter
+          (fun ev ->
+            let tokens = String.split_on_char ' ' (Event.to_tokens ev) in
+            match Event.of_tokens tokens with
+            | Some ev' -> check_bool "roundtrip" true (Event.equal ev ev')
+            | None -> Alcotest.fail "parse failed")
+          [
+            Event.Mouse_down (Geometry.point 3 4);
+            Event.Mouse_move (Geometry.point 0 0);
+            Event.Mouse_up (Geometry.point 99 1);
+            Event.Key "Escape";
+            Event.Menu_select 3;
+            Event.Menu_cancel;
+            Event.Form_set ("plane", "3");
+            Event.Form_submit;
+            Event.Form_cancel;
+          ]);
+  ]
+
+let suite =
+  [
+    ("editor:gestures", gesture_tests);
+    ("editor:panel", panel_tests);
+    ("editor:render", render_tests);
+    ("editor:session", session_tests);
+  ]
+
+(* appended: placed memory/cache icons in the wiring flows *)
+let device_icon_tests =
+  [
+    case "memory icons place through the panel form" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_memory in
+        let st = Actions.fill_and_submit st [ ("plane", "3") ] in
+        (* the form arms placement; drop it in the drawing area *)
+        let st = Editor.run st [ Event.Mouse_up (Layout.of_drawing (Geometry.point 50 20)) ] in
+        let pl = State.current_pipeline st in
+        (match pl.Pipeline.icons with
+        | [ ic ] -> (
+            match ic.Icon.kind with
+            | Icon.Memory_icon 3 -> ()
+            | _ -> Alcotest.fail "wrong icon kind")
+        | _ -> Alcotest.fail "expected one icon"));
+    case "wiring to a placed memory icon attaches to its pad" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_memory in
+        let st = Actions.fill_and_submit st [ ("plane", "2") ] in
+        let st = Editor.run st [ Event.Mouse_up (Layout.of_drawing (Geometry.point 50 20)) ] in
+        let mem_icon = Option.get st.State.selected in
+        let st, als_icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let als_icon = Option.get als_icon in
+        let st = Actions.set_op st ~icon:als_icon ~slot:0 Opcode.Fabs in
+        (* rubber band from the unit output onto the memory icon's flow-in *)
+        let st =
+          Actions.rubber_connect st ~from_icon:als_icon ~from_pad:(Icon.Out_pad 0)
+            ~to_icon:mem_icon ~to_pad:Icon.Flow_in
+        in
+        (* the DMA form opens, pre-filled with plane 2 *)
+        (match st.State.mode with
+        | State.Form_open f ->
+            check_bool "prefilled" true (Menu.field_value f "plane" = Some "2")
+        | _ -> Alcotest.fail "no form opened");
+        let st = Actions.fill_and_submit st [ ("offset", "0") ] in
+        let pl = State.current_pipeline st in
+        (match pl.Pipeline.connections with
+        | [ c ] -> (
+            match c.Connection.dst with
+            | Connection.Pad { icon; pad = Icon.Flow_in } -> check_int "icon pad" mem_icon icon
+            | _ -> Alcotest.fail "wire not attached to the icon")
+        | _ -> Alcotest.fail "expected one wire"));
+    case "a mismatched device number in the form is refused" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_memory in
+        let st = Actions.fill_and_submit st [ ("plane", "2") ] in
+        let st = Editor.run st [ Event.Mouse_up (Layout.of_drawing (Geometry.point 50 20)) ] in
+        let mem_icon = Option.get st.State.selected in
+        let st, als_icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let als_icon = Option.get als_icon in
+        let st = Actions.set_op st ~icon:als_icon ~slot:0 Opcode.Fabs in
+        let st =
+          Actions.rubber_connect st ~from_icon:als_icon ~from_pad:(Icon.Out_pad 0)
+            ~to_icon:mem_icon ~to_pad:Icon.Flow_in
+        in
+        let st = Actions.fill_and_submit st [ ("plane", "7") ] in
+        check_int "no wire created" 0
+          (List.length (State.current_pipeline st).Pipeline.connections);
+        check_bool "explains" true
+          (String.length (State.latest_message st) > 0));
+    case "a placed memory icon appears in input-pad source menus" (fun () ->
+        let st = State.create kb in
+        let st = Actions.press st Layout.B_memory in
+        let st = Actions.fill_and_submit st [ ("plane", "5") ] in
+        let st = Editor.run st [ Event.Mouse_up (Layout.of_drawing (Geometry.point 60 20)) ] in
+        let mem_icon = Option.get st.State.selected in
+        ignore mem_icon;
+        let st, als_icon = Actions.place st Layout.B_singlet ~x:20 ~y:4 in
+        let st = Actions.click_pad st ~icon:(Option.get als_icon) ~pad:(Icon.In_pad (0, Resource.A)) in
+        match st.State.mode with
+        | State.Menu_open menu ->
+            check_bool "MEM 5 offered" true
+              (List.exists
+                 (fun (it : Menu.item) ->
+                   String.length it.Menu.label >= 10
+                   && String.sub it.Menu.label 0 10 = "from MEM 5")
+                 menu.Menu.items)
+        | _ -> Alcotest.fail "no menu opened");
+  ]
+
+let suite = suite @ [ ("editor:device-icons", device_icon_tests) ]
+
+(* appended: save/load round trip through the panel *)
+let load_tests =
+  [
+    case "load restores a saved program through the panel" (fun () ->
+        let st, _ = vecadd_by_gestures () in
+        let path = Filename.temp_file "nsc" ".nsc" in
+        let st = Actions.press st Layout.B_save in
+        let st = Actions.fill_and_submit st [ ("path", path) ] in
+        let text = Serialize.to_string st.State.program in
+        (* a fresh editor loads it back *)
+        let st2 = State.create kb in
+        let st2 = Actions.press st2 Layout.B_load in
+        let st2 = Actions.fill_and_submit st2 [ ("path", path) ] in
+        check_string "same program" text (Serialize.to_string st2.State.program);
+        check_bool "announced" true (contains (State.latest_message st2) "loaded");
+        Sys.remove path);
+    case "loading a missing file reports and keeps the session" (fun () ->
+        let st = State.create kb in
+        let before = Serialize.to_string st.State.program in
+        let st = Actions.press st Layout.B_load in
+        let st = Actions.fill_and_submit st [ ("path", "/nonexistent/x.nsc") ] in
+        check_bool "reported" true (contains (State.latest_message st) "load failed");
+        check_string "unchanged" before (Serialize.to_string st.State.program));
+  ]
+
+let suite = suite @ [ ("editor:load", load_tests) ]

@@ -1,0 +1,52 @@
+(* Golden-file tests: the ASCII/SVG renders of reference diagrams are
+   pinned byte for byte.  Regenerate deliberately with
+   `dune exec test/gen_goldens.exe -- test/goldens` after an intentional
+   renderer change. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Util
+
+let read path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden name actual =
+  let path = Filename.concat "goldens" name in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden %s (run test/gen_goldens.exe)" path
+  else begin
+    let expected = read path in
+    if expected <> actual then
+      Alcotest.failf
+        "render of %s changed; if intentional, regenerate the goldens" name
+  end
+
+let tests =
+  [
+    case "the icon gallery render is stable" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let add pl kind bypass x =
+          match Pipeline.place_als params pl ~kind ~bypass ~pos:(Geometry.point x 2) () with
+          | Ok (_, pl) -> pl
+          | Error e -> failwith e
+        in
+        let pl = add pl Als.Singlet Als.No_bypass 4 in
+        let pl = add pl Als.Doublet Als.No_bypass 20 in
+        let pl = add pl Als.Doublet Als.Keep_head 36 in
+        let pl = add pl Als.Triplet Als.No_bypass 52 in
+        golden "icon_gallery.txt" (Nsc_editor.Render_ascii.render_pipeline params pl));
+    case "the Jacobi sweep diagram render is stable" (fun () ->
+        let b = Nsc_apps.Jacobi.build kb (Nsc_apps.Grid.cube 5) ~tol:1e-6 ~max_iters:10 in
+        let sweep = Option.get (Program.find_pipeline b.Nsc_apps.Jacobi.program 2) in
+        golden "jacobi_sweep.txt" (Nsc_editor.Render_ascii.render_pipeline params sweep));
+    case "the Jacobi sweep SVG is stable" (fun () ->
+        let b = Nsc_apps.Jacobi.build kb (Nsc_apps.Grid.cube 5) ~tol:1e-6 ~max_iters:10 in
+        let sweep = Option.get (Program.find_pipeline b.Nsc_apps.Jacobi.program 2) in
+        golden "jacobi_sweep.svg" (Nsc_editor.Render_svg.render_pipeline params sweep));
+  ]
+
+let suite = [ ("golden:renders", tests) ]

@@ -1,0 +1,204 @@
+(* The textual language and compiler. *)
+
+open Nsc_arch
+open Nsc_lang
+open Util
+
+let parse_ok src =
+  match Parser.parse src with Ok ast -> ast | Error e -> Alcotest.fail e
+
+let compile_ok src =
+  match Compile.compile kb src with
+  | Ok c -> c
+  | Error e -> Alcotest.fail e.Compile.message
+
+let compile_err src =
+  match Compile.compile kb src with
+  | Ok _ -> Alcotest.fail "expected a compile error"
+  | Error e -> e.Compile.message
+
+let parser_tests =
+  [
+    case "declarations, assignment, precedence" (fun () ->
+        let ast = parse_ok "array a[8] plane 0\narray b[8] plane 1\nb = a + a * 2.0" in
+        check_int "decls" 2 (List.length ast.Ast.decls);
+        match ast.Ast.body with
+        | [ Ast.Assign { expr = Ast.Binop (Ast.Add, _, Ast.Binop (Ast.Mul, _, _)); _ } ] -> ()
+        | _ -> Alcotest.fail "precedence wrong");
+    case "shifted references parse both signs" (fun () ->
+        let ast = parse_ok "array a[8] plane 0\narray b[8] plane 1\nb = a[-1] + a[+2]" in
+        match ast.Ast.body with
+        | [ Ast.Assign { expr = Ast.Binop (_, Ast.Ref { shift = -1; _ }, Ast.Ref { shift = 2; _ }); _ } ] -> ()
+        | _ -> Alcotest.fail "shifts wrong");
+    case "maxreduce becomes a scalar assignment" (fun () ->
+        let ast = parse_ok "array a[8] plane 0\nscalar r\nr = maxreduce(abs(a))" in
+        match ast.Ast.body with
+        | [ Ast.Scalar_assign _ ] -> ()
+        | _ -> Alcotest.fail "not a scalar assignment");
+    case "repeat and while nest" (fun () ->
+        let ast =
+          parse_ok
+            "array a[8] plane 0\narray b[8] plane 1\nscalar r\nrepeat 3 { b = a + 1.0 \
+             while r > 0.1 max_iters 9 { r = maxreduce(b) } }"
+        in
+        match ast.Ast.body with
+        | [ Ast.Repeat { count = 3; body = [ Ast.Assign _; Ast.While { max_iters = 9; _ } ] } ] -> ()
+        | _ -> Alcotest.fail "nesting wrong");
+    case "errors carry line numbers" (fun () ->
+        match Parser.parse "array a[8] plane 0\nb = = 3" with
+        | Error e -> check_bool "line 2" true (String.length e >= 6 && String.sub e 0 6 = "line 2")
+        | Ok _ -> Alcotest.fail "accepted garbage");
+    case "comments and floats lex" (fun () ->
+        let ast = parse_ok "# heading\narray a[4] plane 0\narray b[4] plane 1\nb = a * 1.5e-3 # trailing" in
+        match ast.Ast.body with
+        | [ Ast.Assign { expr = Ast.Binop (Ast.Mul, _, Ast.Const c); _ } ] ->
+            check_float "float" 1.5e-3 c
+        | _ -> Alcotest.fail "float wrong");
+  ]
+
+let dag_tests =
+  [
+    case "common subexpressions are shared" (fun () ->
+        let ast = parse_ok "array a[4] plane 0\narray b[4] plane 1\nb = (a + 1.0) * (a + 1.0)" in
+        (match ast.Ast.body with
+        | [ Ast.Assign { expr; _ } ] ->
+            let dag, _ = Dag.of_ast expr in
+            (* a, 1.0, a+1.0, mul = 4 nodes; op nodes = 2 *)
+            check_int "ops" 2 (Dag.op_count dag)
+        | _ -> Alcotest.fail "bad ast"));
+    case "constants fold" (fun () ->
+        let ast = parse_ok "array a[4] plane 0\narray b[4] plane 1\nb = a * (2.0 + 1.0)" in
+        (match ast.Ast.body with
+        | [ Ast.Assign { expr; _ } ] ->
+            let dag, root = Dag.of_ast expr in
+            check_int "one op" 1 (Dag.op_count dag);
+            (match (Dag.node dag root).Dag.op with
+            | Dag.N_op Opcode.Fmul -> ()
+            | _ -> Alcotest.fail "root not mul")
+        | _ -> Alcotest.fail "bad ast"));
+    case "chains pack up to three single-consumer ops" (fun () ->
+        let ast =
+          parse_ok "array a[4] plane 0\narray b[4] plane 1\nb = ((a + 1.0) * 2.0) - 3.0"
+        in
+        (match ast.Ast.body with
+        | [ Ast.Assign { expr; _ } ] ->
+            let dag, _ = Dag.of_ast expr in
+            let chains = Dag.chains dag in
+            check_int "one chain" 1 (List.length chains);
+            check_int "of three" 3 (List.length (List.hd chains))
+        | _ -> Alcotest.fail "bad ast"));
+    case "min/max terminate chains" (fun () ->
+        let ast =
+          parse_ok "array a[4] plane 0\narray b[4] plane 1\nb = max(a, 1.0) + 2.0"
+        in
+        (match ast.Ast.body with
+        | [ Ast.Assign { expr; _ } ] ->
+            let dag, _ = Dag.of_ast expr in
+            (* max cannot be mid-chain: the + must start a fresh chain *)
+            List.iter
+              (fun chain ->
+                List.iteri
+                  (fun i nid ->
+                    if i < List.length chain - 1 then
+                      check_bool "minmax only at tail" false
+                        (Dag.needs_minmax (Dag.node dag nid).Dag.op))
+                  chain)
+              (Dag.chains dag)
+        | _ -> Alcotest.fail "bad ast"));
+  ]
+
+let compile_tests =
+  [
+    case "a simple program compiles and the units count matches" (fun () ->
+        let c = compile_ok "array a[8] plane 0\narray b[8] plane 1\nb = (a + 1.0) * 0.5" in
+        check_int "pipelines" 1 (Nsc_diagram.Program.pipeline_count c.Compile.program);
+        Alcotest.(check (list (pair int int))) "units" [ (1, 2) ] c.Compile.units_per_pipeline);
+    case "compiled stencils execute correctly on the node" (fun () ->
+        let c =
+          compile_ok
+            "array a[8] plane 0\narray b[8] plane 1\nb = (a[-1] + a[+1]) * 0.5"
+        in
+        let compiled = Result.get_ok (Nsc_microcode.Codegen.compile kb c.Compile.program) in
+        let node = Nsc_sim.Node.create params in
+        (* pad = 1: element 0 at base 1 *)
+        Nsc_sim.Node.load_array node ~plane:0 ~base:1 (Array.init 8 (fun i -> float_of_int i));
+        ignore (Result.get_ok (Nsc_sim.Sequencer.run node compiled));
+        let b = Nsc_sim.Node.dump_array node ~plane:1 ~base:1 ~len:8 in
+        (* interior: (i-1 + i+1)/2 = i *)
+        for i = 1 to 6 do
+          check_float "avg" (float_of_int i) b.(i)
+        done);
+    case "in-place updates are refused with a helpful message" (fun () ->
+        let m = compile_err "array a[8] plane 0\na = a + 1.0" in
+        check_bool "mentions the race" true
+          (String.length m > 0
+          &&
+          let rec has i =
+            i + 4 <= String.length m && (String.sub m i 4 = "race" || has (i + 1))
+          in
+          has 0));
+    case "mismatched lengths are refused" (fun () ->
+        let m =
+          compile_err "array a[8] plane 0\narray b[4] plane 1\nb = a + 1.0"
+        in
+        check_bool "mentions length" true (String.length m > 0));
+    case "undeclared names are refused" (fun () ->
+        ignore (compile_err "array a[8] plane 0\nb = a + 1.0");
+        ignore (compile_err "array a[8] plane 0\narray b[8] plane 1\nb = c + 1.0"));
+    case "while without a maxreduce in its body is refused" (fun () ->
+        ignore
+          (compile_err
+             "array a[8] plane 0\narray b[8] plane 1\nscalar r\nwhile r > 0.1 max_iters 3 \
+              { b = a + 1.0 }"));
+    case "too many streams on one plane is a compile error" (fun () ->
+        (* five arrays on plane 0 referenced in one statement: engines exhausted *)
+        ignore
+          (compile_err
+             "array a[8] plane 0\narray b[8] plane 0\narray c[8] plane 0\narray d[8] \
+              plane 0\narray e[8] plane 0\narray z[8] plane 1\nz = a + b + c + d + e"));
+    case "an expression too large for the machine is refused" (fun () ->
+        (* 40+ operations exceed the 32 units *)
+        let big =
+          let rec build n = if n = 0 then "a" else Printf.sprintf "(%s + a[%d]) * 2.0" (build (n - 1)) n in
+          Printf.sprintf "array a[64] plane 0\narray z[64] plane 1\nz = %s" (build 20)
+        in
+        ignore (compile_err big));
+    case "a convergence loop compiles and terminates in simulation" (fun () ->
+        let c =
+          compile_ok
+            "array x[8] plane 0\narray y[8] plane 1\narray d[8] plane 2\narray y2[8] plane 3\n\
+             scalar r\n\
+             while r > 0.5 max_iters 10 {\n\
+             d = (x - y) * 0.5\n\
+             y2 = y + d\n\
+             y = y2 + 0.0\n\
+             r = maxreduce(abs(d))\n\
+             }"
+        in
+        let compiled = Result.get_ok (Nsc_microcode.Codegen.compile kb c.Compile.program) in
+        let node = Nsc_sim.Node.create params in
+        Nsc_sim.Node.load_array node ~plane:0 ~base:1 (Array.make 8 10.0);
+        (match Nsc_sim.Sequencer.run node compiled with
+        | Ok o ->
+            (* y converges halfway to x each pass: |d| halves every
+               iteration; 10.0/2^k <= 0.5 within the bound *)
+            check_bool "terminated early" true
+              (o.Nsc_sim.Sequencer.stats.Nsc_sim.Sequencer.instructions_executed < 30)
+        | Error e -> Alcotest.fail e));
+    case "compiled programs pass the checker with zero errors" (fun () ->
+        let c =
+          compile_ok
+            "array u[32] plane 0\narray g[32] plane 2\narray unew[32] plane 1\narray \
+             mask[32] plane 3\n\
+             unew = mask * ((u[-1] + u[+1] - g) * 0.5)"
+        in
+        check_int "no errors" 0
+          (List.length (Nsc_checker.Diagnostic.errors c.Compile.diagnostics)));
+  ]
+
+let suite =
+  [
+    ("lang:parser", parser_tests);
+    ("lang:dag", dag_tests);
+    ("lang:compile", compile_tests);
+  ]

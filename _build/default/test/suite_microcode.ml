@@ -1,0 +1,189 @@
+(* Microcode: words, field layout, encode/decode round trips, codegen. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_microcode
+open Util
+
+let layout = Fields.make params
+
+let word_tests =
+  [
+    case "bit set/get round-trips at arbitrary offsets" (fun () ->
+        let w = Word.create 100 in
+        Word.set_int w ~offset:13 ~width:7 97;
+        check_int "value" 97 (Word.get_int w ~offset:13 ~width:7);
+        check_int "neighbours untouched" 0 (Word.get_int w ~offset:0 ~width:13));
+    case "values too wide for their field are rejected" (fun () ->
+        let w = Word.create 64 in
+        Alcotest.check_raises "overflow"
+          (Invalid_argument "Word.set: value 256 does not fit in 8 bits") (fun () ->
+            Word.set w ~offset:0 ~width:8 256L));
+    case "signed fields bias around zero" (fun () ->
+        let w = Word.create 64 in
+        Word.set_signed w ~offset:3 ~width:17 (-5);
+        check_int "neg" (-5) (Word.get_signed w ~offset:3 ~width:17);
+        Word.set_signed w ~offset:3 ~width:17 1000;
+        check_int "pos" 1000 (Word.get_signed w ~offset:3 ~width:17));
+    case "floats are stored bit-exactly" (fun () ->
+        let w = Word.create 128 in
+        Word.set_float w ~offset:17 (1.0 /. 6.0);
+        check_bool "exact" true (Word.get_float w ~offset:17 = 1.0 /. 6.0));
+    case "popcount counts live bits" (fun () ->
+        let w = Word.create 32 in
+        Word.set_int w ~offset:0 ~width:8 0xFF;
+        check_int "8 bits" 8 (Word.popcount w));
+    case "hex dump covers every byte" (fun () ->
+        let w = Word.create 40 in
+        let hex = Word.to_hex w in
+        check_int "5 bytes = 14 chars" 14 (String.length hex));
+    qcheck "random field writes read back" ~count:500
+      QCheck2.Gen.(tup3 (int_range 0 900) (int_range 1 63) (int_range 0 1000000))
+      (fun (offset, width, v) ->
+        let w = Word.create 1024 in
+        let v = v land ((1 lsl width) - 1) in
+        Word.set_int w ~offset ~width v;
+        Word.get_int w ~offset ~width = v);
+  ]
+
+let fields_tests =
+  [
+    case "the instruction is a few thousand bits in hundreds of fields" (fun () ->
+        check_bool ">= 2000 bits" true (layout.Fields.total_bits >= 2000);
+        check_bool ">= 100 field instances" true (Fields.field_count layout >= 100);
+        check_bool ">= 24 distinct kinds" true (Fields.kind_count layout >= 24));
+    case "fields do not overlap and cover the word" (fun () ->
+        let sorted =
+          List.sort (fun a b -> compare a.Fields.offset b.Fields.offset) layout.Fields.fields
+        in
+        let rec walk expected = function
+          | [] -> check_int "total" layout.Fields.total_bits expected
+          | f :: rest ->
+              check_int ("offset of " ^ f.Fields.name) expected f.Fields.offset;
+              walk (expected + f.Fields.width) rest
+        in
+        walk 0 sorted);
+    case "every unit has its control fields" (fun () ->
+        List.iter
+          (fun fu ->
+            let g = Resource.fu_global_index params fu in
+            check_bool "op" true (Fields.mem layout (Printf.sprintf "fu%d.op" g));
+            check_bool "const" true (Fields.mem layout (Printf.sprintf "fu%d.const_val" g)))
+          (Resource.all_fus params));
+    case "every switch sink has a selector" (fun () ->
+        List.iter
+          (fun snk ->
+            check_bool "sink field" true
+              (Fields.mem layout ("snk." ^ Resource.sink_to_string snk)))
+          (Knowledge.all_sinks kb));
+    case "unknown fields raise" (fun () ->
+        Alcotest.check_raises "find" (Invalid_argument "Fields.find: no field 'nope'")
+          (fun () -> ignore (Fields.find layout "nope")));
+    case "a smaller machine yields a smaller word" (fun () ->
+        let small = Fields.make Params.subset_model in
+        check_bool "smaller" true (small.Fields.total_bits < layout.Fields.total_bits));
+  ]
+
+let roundtrip prog index =
+  let sem, issues = semantic_of_program prog index in
+  check_int "no issues" 0 (List.length issues);
+  match Encode.encode layout sem with
+  | Error e -> Alcotest.fail ("encode: " ^ e)
+  | Ok instr -> (
+      match Decode.decode layout instr.Encode.word with
+      | Error e -> Alcotest.fail ("decode: " ^ e)
+      | Ok sem' ->
+          let n = Encode.normalize sem in
+          if not (Semantic.equal n sem') then begin
+            print_endline (Semantic.show n);
+            print_endline (Semantic.show sem');
+            Alcotest.fail "round trip changed the semantics"
+          end)
+
+let encode_tests =
+  [
+    case "vecadd round-trips through machine code" (fun () ->
+        let prog, _ = vecadd_program () in
+        roundtrip prog 1);
+    case "the full Jacobi program round-trips" (fun () ->
+        let b = Nsc_apps.Jacobi.build kb (Nsc_apps.Grid.cube 5) ~tol:1e-6 ~max_iters:10 in
+        List.iter
+          (fun (pl : Pipeline.t) -> roundtrip b.Nsc_apps.Jacobi.program pl.Pipeline.index)
+          b.Nsc_apps.Jacobi.program.Program.pipelines);
+    case "the red-black program round-trips" (fun () ->
+        let b = Nsc_apps.Redblack.build kb (Nsc_apps.Grid.cube 5) ~tol:1e-6 ~max_iters:10 in
+        List.iter
+          (fun (pl : Pipeline.t) -> roundtrip b.Nsc_apps.Redblack.program pl.Pipeline.index)
+          b.Nsc_apps.Redblack.program.Program.pipelines);
+    case "the multigrid program round-trips" (fun () ->
+        let b =
+          Nsc_apps.Multigrid.build kb (Nsc_apps.Multigrid.grid1 17) ~cycles:1 ~nu1:1 ~nu2:1
+            ~nu_coarse:2
+        in
+        List.iter
+          (fun (pl : Pipeline.t) ->
+            roundtrip b.Nsc_apps.Multigrid.program pl.Pipeline.index)
+          b.Nsc_apps.Multigrid.program.Program.pipelines);
+    case "decoding a non-instruction fails on the magic number" (fun () ->
+        let w = Fields.fresh_word layout in
+        match Decode.decode layout w with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "decoded garbage");
+    case "two constants on one unit are unencodable" (fun () ->
+        let pl, icon = pipeline_with Nsc_arch.Als.Singlet in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:(Fu_config.From_constant 1.0) ~b:(Fu_config.From_constant 2.0)
+               Nsc_arch.Opcode.Fadd)
+        in
+        let sem, _ = Semantic.of_pipeline params pl in
+        match Encode.encode layout sem with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "encoded two constants");
+  ]
+
+let codegen_tests =
+  [
+    case "compile produces one instruction per pipeline" (fun () ->
+        let prog, _ = vecadd_program () in
+        match Codegen.compile kb prog with
+        | Ok c ->
+            check_int "instrs" 1 (List.length c.Codegen.instructions);
+            check_bool "bits" true (Codegen.code_bits c >= 2000)
+        | Error _ -> Alcotest.fail "compile failed");
+    case "compile refuses a program with errors" (fun () ->
+        let pl, icon = pipeline_with Nsc_arch.Als.Singlet in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:(Fu_config.From_constant 1.0) ~b:(Fu_config.From_constant 1.0)
+               Nsc_arch.Opcode.Iadd)
+        in
+        let prog = { (Program.empty "bad") with Program.pipelines = [ pl ] } in
+        check_bool "refused" true (Result.is_error (Codegen.compile kb prog)));
+    case "the listing names the operations and streams" (fun () ->
+        let prog, _ = vecadd_program () in
+        let c = Result.get_ok (Codegen.compile kb prog) in
+        let listing = Listing.compiled_to_string c in
+        let contains needle =
+          let nh = String.length listing and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub listing i nn = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "fadd" true (contains "fadd");
+        check_bool "mem0" true (contains "mem0");
+        check_bool "control" true (contains "control:"));
+    case "hex listings dump the words" (fun () ->
+        let prog, _ = vecadd_program () in
+        let c = Result.get_ok (Codegen.compile kb prog) in
+        check_bool "longer with hex" true
+          (String.length (Listing.compiled_to_string ~hex:true c)
+          > String.length (Listing.compiled_to_string c)));
+  ]
+
+let suite =
+  [
+    ("microcode:word", word_tests);
+    ("microcode:fields", fields_tests);
+    ("microcode:roundtrip", encode_tests);
+    ("microcode:codegen", codegen_tests);
+  ]

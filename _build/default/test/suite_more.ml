@@ -1,0 +1,389 @@
+(* Further coverage: scalar instructions, the subset machine, cache/SD
+   icons in projection, serializer edge cases, listing rendering, editor
+   boundary behaviour, language corner cases. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Util
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let scalar_tests =
+  [
+    case "scalars are treated as vectors of length one (paper, section 2)" (fun () ->
+        (* a vlen-1 instruction computing one scalar product *)
+        let pl, icon = pipeline_with Als.Singlet in
+        let pl = Pipeline.with_vector_length pl 1 in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()
+        in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:Fu_config.From_switch ~b:(Fu_config.From_constant 3.0)
+               Opcode.Fmul)
+        in
+        let _, pl =
+          Pipeline.add_connection pl
+            ~src:(Connection.Pad { icon; pad = Icon.Out_pad 0 })
+            ~dst:(Connection.Direct_memory 1)
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 1)) ()
+        in
+        let node = Nsc_sim.Node.create params in
+        Nsc_sim.Node.write_plane node ~plane:0 ~addr:0 7.0;
+        let sem, _ = Semantic.of_pipeline params pl in
+        let r = Nsc_sim.Engine.run node sem in
+        check_int "one element" 1 r.Nsc_sim.Engine.elements;
+        check_int "one write" 1 r.Nsc_sim.Engine.writes;
+        check_float "product" 21.0 (Nsc_sim.Node.read_plane node ~plane:1 ~addr:0);
+        (* fill-dominated: one element costs the full pipeline depth *)
+        check_int "fill cycles" params.Params.latencies.Params.lat_fmul
+          r.Nsc_sim.Engine.cycles);
+    case "a scalar condition drives the sequencer" (fun () ->
+        (* run a scalar pipeline under a While watching it *)
+        let prog, _ = vecadd_program ~n:1 () in
+        let prog =
+          Program.set_control prog
+            [
+              Program.While
+                {
+                  condition =
+                    {
+                      Interrupt.unit_watched = { Resource.als = 0; slot = 0 };
+                      relation = Interrupt.Rlt;
+                      threshold = 100.0;
+                    };
+                  max_iterations = 7;
+                  body = [ Program.Exec 1 ];
+                };
+              Program.Halt;
+            ]
+        in
+        let c = Result.get_ok (Nsc_microcode.Codegen.compile kb prog) in
+        let node = Nsc_sim.Node.create params in
+        (* x + y = 5 < 100 forever: the bound stops it *)
+        Nsc_sim.Node.write_plane node ~plane:0 ~addr:0 2.0;
+        Nsc_sim.Node.write_plane node ~plane:1 ~addr:0 3.0;
+        let o = Result.get_ok (Nsc_sim.Sequencer.run node c) in
+        check_int "bounded" 7 o.Nsc_sim.Sequencer.stats.Nsc_sim.Sequencer.instructions_executed);
+  ]
+
+let subset_tests =
+  [
+    case "the subset machine has a smaller instruction word" (fun () ->
+        let full = Nsc_microcode.Fields.make Params.default in
+        let sub = Nsc_microcode.Fields.make Params.subset_model in
+        check_bool "smaller" true
+          (sub.Nsc_microcode.Fields.total_bits < full.Nsc_microcode.Fields.total_bits));
+    case "programs compile and run on the subset machine" (fun () ->
+        let kb' = Knowledge.subset in
+        match
+          Nsc_lang.Compile.compile kb'
+            "array a[8] plane 0\narray b[8] plane 1\nb = (a[-1] + a[+1]) * 0.5"
+        with
+        | Error e -> Alcotest.fail e.Nsc_lang.Compile.message
+        | Ok c -> (
+            let compiled =
+              Result.get_ok (Nsc_microcode.Codegen.compile kb' c.Nsc_lang.Compile.program)
+            in
+            let node = Nsc_sim.Node.create (Knowledge.params kb') in
+            Nsc_sim.Node.load_array node ~plane:0 ~base:1
+              (Array.init 8 (fun i -> float_of_int (2 * i)));
+            match Nsc_sim.Sequencer.run node compiled with
+            | Ok _ -> check_float "stencil" 2.0 (Nsc_sim.Node.read_plane node ~plane:1 ~addr:2)
+            | Error e -> Alcotest.fail e));
+    case "triplet-shaped programs are refused by the subset machine" (fun () ->
+        (* a 3-op chain forces a triplet request somewhere; the subset has
+           none, but the allocator can split chains across doublets, so
+           instead exhaust it: 15 operations need more units than the
+           subset's 20-in-14-ALS layout can host as chains+singletons *)
+        let deep =
+          let rec build k = if k = 0 then "a" else Printf.sprintf "abs(%s + a[%d])" (build (k - 1)) k in
+          Printf.sprintf "array a[32] plane 0\narray z[32] plane 1\nz = %s" (build 19)
+        in
+        match Nsc_lang.Compile.compile Knowledge.subset deep with
+        | Error _ -> ()
+        | Ok _ -> (
+            (* acceptable if it fits; then the full machine must also fit *)
+            match Nsc_lang.Compile.compile kb deep with
+            | Ok _ -> ()
+            | Error _ -> Alcotest.fail "full machine refused what the subset accepted"));
+  ]
+
+let projection_tests =
+  [
+    case "cache icons project to slotted cache endpoints" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let cache_icon, pl =
+          Pipeline.add_icon params pl ~kind:(Icon.Cache_icon 4) ~pos:(Geometry.point 50 4)
+        in
+        let _, pl =
+          Pipeline.add_connection pl
+            ~src:(Connection.Pad { icon = cache_icon; pad = Icon.Flow_out })
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make (Dma_spec.To_cache 4)) ()
+        in
+        let sem, issues = Semantic.of_pipeline params pl in
+        check_int "no issues" 0 (List.length issues);
+        match Semantic.read_streams sem with
+        | [ (Resource.Src_cache (4, 0), _) ] -> ()
+        | _ -> Alcotest.fail "expected one cache stream");
+    case "shift/delay icons project to programmes and routes" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let sd_icon, pl =
+          Build.fail_on_error
+            (Pipeline.place_shift_delay params pl ~mode:(Shift_delay.Delay 4)
+               ~pos:(Geometry.point 10 4))
+        in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon = sd_icon; pad = Icon.Flow_in })
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()
+        in
+        let sem, issues = Semantic.of_pipeline params pl in
+        check_int "no issues" 0 (List.length issues);
+        check_int "one sd" 1 (List.length sem.Semantic.sds);
+        check_bool "route in" true
+          (Semantic.source_feeding sem (Resource.Snk_shift_delay 0) <> None));
+    case "a bypassed doublet executes end to end" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let pl = Pipeline.with_vector_length pl 4 in
+        let icon, pl =
+          Build.fail_on_error
+            (Pipeline.place_als params pl ~kind:Als.Doublet ~bypass:Als.Keep_head
+               ~pos:(Geometry.point 10 2) ())
+        in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()
+        in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:Fu_config.From_switch ~b:(Fu_config.From_constant 5.0)
+               Opcode.Iadd)
+        in
+        let _, pl =
+          Pipeline.add_connection pl
+            ~src:(Connection.Pad { icon; pad = Icon.Out_pad 0 })
+            ~dst:(Connection.Direct_memory 1)
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 1)) ()
+        in
+        (* integer op on the double-box head is legal *)
+        let ds = Nsc_checker.Checker.check_pipeline kb ~level:`Complete pl in
+        check_int "no errors" 0 (List.length (Nsc_checker.Diagnostic.errors ds));
+        let node = Nsc_sim.Node.create params in
+        Nsc_sim.Node.load_array node ~plane:0 ~base:0 [| 1.; 2.; 3.; 4. |];
+        let sem, _ = Semantic.of_pipeline params pl in
+        ignore (Nsc_sim.Engine.run node sem);
+        check_float "iadd" 8.0 (Nsc_sim.Node.read_plane node ~plane:1 ~addr:2));
+  ]
+
+let serializer_edge_tests =
+  [
+    case "labels with spaces and percent signs round-trip" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline ~label:"100% of a + b" prog in
+        let text = Serialize.to_string prog in
+        match Serialize.of_string params text with
+        | Ok prog' ->
+            check_string "label" "100% of a + b"
+              (Option.get (Program.find_pipeline prog' 1)).Pipeline.label
+        | Error e -> Alcotest.fail e);
+    case "negative offsets and strides round-trip" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make ~offset:(-3) ~stride:(-2) ~count:5 (Dma_spec.To_plane 0))
+            ()
+        in
+        let prog = { (Program.empty "p") with Program.pipelines = [ pl ] } in
+        let text = Serialize.to_string prog in
+        match Serialize.of_string params text with
+        | Ok prog' -> check_string "stable" text (Serialize.to_string prog')
+        | Error e -> Alcotest.fail e);
+    case "constants round-trip bit-exactly (hex floats)" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:(Fu_config.From_constant (1.0 /. 6.0)) Opcode.Fabs)
+        in
+        let prog = { (Program.empty "p") with Program.pipelines = [ pl ] } in
+        match Serialize.of_string params (Serialize.to_string prog) with
+        | Ok prog' -> (
+            let pl' = Option.get (Program.find_pipeline prog' 1) in
+            match Pipeline.config_of pl' ~id:icon ~slot:0 with
+            | Some cfg ->
+                check_bool "bit exact" true
+                  (Fu_config.equal_input_binding cfg.Fu_config.a
+                     (Fu_config.From_constant (1.0 /. 6.0)))
+            | None -> Alcotest.fail "config lost")
+        | Error e -> Alcotest.fail e);
+    case "nested repeat/while control round-trips" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline prog in
+        let prog =
+          Program.set_control prog
+            [
+              Program.Repeat
+                {
+                  count = 3;
+                  body =
+                    [
+                      Program.While
+                        {
+                          condition =
+                            {
+                              Interrupt.unit_watched = { Resource.als = 4; slot = 1 };
+                              relation = Interrupt.Rle;
+                              threshold = 1e-9;
+                            };
+                          max_iterations = 12;
+                          body = [ Program.Exec 1 ];
+                        };
+                    ];
+                };
+              Program.Halt;
+            ]
+        in
+        let text = Serialize.to_string prog in
+        match Serialize.of_string params text with
+        | Ok prog' ->
+            check_bool "control equal" true
+              (List.for_all2
+                 (fun a b -> Program.equal_control a b)
+                 prog.Program.control prog'.Program.control)
+        | Error e -> Alcotest.fail e);
+    case "truncated files fail cleanly" (fun () ->
+        check_bool "error" true
+          (Result.is_error (Serialize.of_string params "pipeline")));
+  ]
+
+let listing_tests =
+  [
+    case "control listings render nesting with indentation" (fun () ->
+        let lines =
+          Nsc_microcode.Listing.control_to_lines ~indent:0
+            [
+              Program.Repeat
+                { count = 2; body = [ Program.Exec 1; Program.Halt ] };
+            ]
+        in
+        check_int "three lines" 3 (List.length lines);
+        check_bool "indented" true (contains (List.nth lines 1) "  exec 1"));
+    case "semantic listings name feedback and delays" (fun () ->
+        let pl, icon = pipeline_with Als.Doublet in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:1
+            { Fu_config.op = Some Opcode.Max; a = Fu_config.From_chain;
+              b = Fu_config.From_feedback 2; delay_a = 5; delay_b = 0 }
+        in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:(Fu_config.From_constant 1.0) Opcode.Fabs)
+        in
+        let sem, _ = Semantic.of_pipeline params pl in
+        let s = Nsc_microcode.Listing.semantic_to_string sem in
+        check_bool "feedback" true (contains s "feedback[2]");
+        check_bool "delay" true (contains s "(z^5)"));
+  ]
+
+let editor_bounds_tests =
+  [
+    case "prev at the first pipeline stays put" (fun () ->
+        let st = Nsc_editor.State.create kb in
+        let st = Nsc_editor.Actions.press st Nsc_editor.Layout.B_prev in
+        check_int "still 1" 1 st.Nsc_editor.State.current);
+    case "next at the last pipeline stays put" (fun () ->
+        let st = Nsc_editor.State.create kb in
+        let st = Nsc_editor.Actions.press st Nsc_editor.Layout.B_next in
+        check_int "still 1" 1 st.Nsc_editor.State.current);
+    case "renumber moves the current pipeline" (fun () ->
+        let st = Nsc_editor.State.create kb in
+        let st = Nsc_editor.Actions.press st Nsc_editor.Layout.B_insert in
+        let st = Nsc_editor.Actions.press st Nsc_editor.Layout.B_renumber in
+        let st = Nsc_editor.Actions.fill_and_submit st [ ("to", "1") ] in
+        check_int "moved" 1 st.Nsc_editor.State.current;
+        check_int "two pipelines" 2 (Program.pipeline_count st.Nsc_editor.State.program));
+    case "the bypassed-doublet button places the figure-4 variant" (fun () ->
+        let st = Nsc_editor.State.create kb in
+        let st, icon = Nsc_editor.Actions.place st Nsc_editor.Layout.B_doublet_bypass ~x:20 ~y:4 in
+        match
+          Pipeline.icon_kind (Nsc_editor.State.current_pipeline st) (Option.get icon)
+        with
+        | Some (Icon.Als_icon { bypass = Als.Keep_head; _ }) -> ()
+        | _ -> Alcotest.fail "wrong bypass");
+    case "check button reports errors in the strip" (fun () ->
+        let st = Nsc_editor.State.create kb in
+        let st, icon = Nsc_editor.Actions.place st Nsc_editor.Layout.B_singlet ~x:20 ~y:4 in
+        let st = Nsc_editor.Actions.set_op st ~icon:(Option.get icon) ~slot:0 Opcode.Fadd in
+        let st = Nsc_editor.Actions.press st Nsc_editor.Layout.B_check in
+        check_bool "counts errors" true
+          (contains (Nsc_editor.State.latest_message st) "error"));
+  ]
+
+let lang_edge_tests =
+  [
+    case "unary minus binds tighter than multiplication" (fun () ->
+        match Nsc_lang.Parser.parse "array a[4] plane 0\narray b[4] plane 1\nb = -a * 2.0" with
+        | Ok { Nsc_lang.Ast.body = [ Nsc_lang.Ast.Assign { expr = Nsc_lang.Ast.Binop (Nsc_lang.Ast.Mul, Nsc_lang.Ast.Unop (Nsc_lang.Ast.Neg, _), _); _ } ]; _ } -> ()
+        | Ok _ -> Alcotest.fail "wrong precedence"
+        | Error e -> Alcotest.fail e);
+    case "commutative operand swap preserves numerics" (fun () ->
+        (* max(const, chainable) swaps operands to enable chaining; the
+           executed result must be the same *)
+        let src =
+          "array a[8] plane 0\narray z[8] plane 1\nz = max(1.5, abs(a) * 2.0)"
+        in
+        match Nsc_lang.Compile.compile kb src with
+        | Error e -> Alcotest.fail e.Nsc_lang.Compile.message
+        | Ok c -> (
+            let compiled =
+              Result.get_ok (Nsc_microcode.Codegen.compile kb c.Nsc_lang.Compile.program)
+            in
+            let node = Nsc_sim.Node.create params in
+            Nsc_sim.Node.load_array node ~plane:0 ~base:1
+              [| -3.; 0.; 0.5; 1.; -0.1; 2.; 0.2; -9. |];
+            match Nsc_sim.Sequencer.run node compiled with
+            | Ok _ ->
+                let z = Nsc_sim.Node.dump_array node ~plane:1 ~base:1 ~len:8 in
+                Array.iteri
+                  (fun i v ->
+                    let a = [| -3.; 0.; 0.5; 1.; -0.1; 2.; 0.2; -9. |].(i) in
+                    check_float "max" (Float.max 1.5 (Float.abs a *. 2.0)) v)
+                  z
+            | Error e -> Alcotest.fail e));
+    case "division compiles to the slow unit and executes" (fun () ->
+        let src = "array a[4] plane 0\narray z[4] plane 1\nz = 1.0 / a" in
+        match Nsc_lang.Compile.compile kb src with
+        | Error e -> Alcotest.fail e.Nsc_lang.Compile.message
+        | Ok c -> (
+            let compiled =
+              Result.get_ok (Nsc_microcode.Codegen.compile kb c.Nsc_lang.Compile.program)
+            in
+            let node = Nsc_sim.Node.create params in
+            Nsc_sim.Node.load_array node ~plane:0 ~base:0 [| 2.; 4.; 8.; 16. |];
+            match Nsc_sim.Sequencer.run node compiled with
+            | Ok _ -> check_float "recip" 0.25 (Nsc_sim.Node.read_plane node ~plane:1 ~addr:1)
+            | Error e -> Alcotest.fail e));
+    case "empty programs are legal (declarations only)" (fun () ->
+        match Nsc_lang.Compile.compile kb "array a[4] plane 0" with
+        | Ok c -> check_int "no pipelines" 0 (Program.pipeline_count c.Nsc_lang.Compile.program)
+        | Error e -> Alcotest.fail e.Nsc_lang.Compile.message);
+  ]
+
+let suite =
+  [
+    ("more:scalars", scalar_tests);
+    ("more:subset", subset_tests);
+    ("more:projection", projection_tests);
+    ("more:serializer", serializer_edge_tests);
+    ("more:listing", listing_tests);
+    ("more:editor-bounds", editor_bounds_tests);
+    ("more:lang-edges", lang_edge_tests);
+  ]

@@ -1,0 +1,203 @@
+(* Semantic projection and serialization. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Util
+
+let semantic_tests =
+  [
+    case "vecadd projects to 1 unit, 3 routes, 3 streams" (fun () ->
+        let prog, _ = vecadd_program () in
+        let sem, issues = semantic_of_program prog 1 in
+        check_int "issues" 0 (List.length issues);
+        check_int "units" 1 (List.length sem.Semantic.units);
+        check_int "routes" 3 (List.length sem.Semantic.routes);
+        check_int "streams" 3 (List.length sem.Semantic.streams);
+        check_int "flops/elem" 1 (Semantic.flops_per_element sem));
+    case "identical specs share a DMA engine (broadcast)" (fun () ->
+        let pl, i0 = pipeline_with Als.Singlet in
+        let i1, pl =
+          Build.fail_on_error
+            (Pipeline.place_als params pl ~kind:Als.Singlet ~pos:(Geometry.point 40 4) ())
+        in
+        let wire pl icon =
+          Build.mem_to_pad pl ~plane:0 ~var:"" ~offset:5 ~icon
+            ~pad:(Icon.In_pad (0, Resource.A)) ()
+        in
+        (* var "" resolves as absolute via no variable: use explicit spec *)
+        ignore wire;
+        let spec = Dma_spec.make ~offset:5 (Dma_spec.To_plane 0) in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon = i0; pad = Icon.In_pad (0, Resource.A) })
+            ~spec ()
+        in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon = i1; pad = Icon.In_pad (0, Resource.A) })
+            ~spec ()
+        in
+        let sem, issues = Semantic.of_pipeline params pl in
+        check_int "issues" 0 (List.length issues);
+        check_int "one stream" 1 (List.length sem.Semantic.streams);
+        check_int "two routes" 2 (List.length sem.Semantic.routes));
+    case "distinct specs get distinct engine slots" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make ~offset:0 (Dma_spec.To_plane 0)) ()
+        in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.B) })
+            ~spec:(Dma_spec.make ~offset:2 (Dma_spec.To_plane 0)) ()
+        in
+        let sem, _ = Semantic.of_pipeline params pl in
+        let slots =
+          List.filter_map
+            (fun (src, _) ->
+              match src with Resource.Src_memory (0, e) -> Some e | _ -> None)
+            (Semantic.read_streams sem)
+          |> List.sort compare
+        in
+        Alcotest.(check (list int)) "slots" [ 0; 1 ] slots);
+    case "a missing DMA spec is an issue" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ()
+        in
+        let _, issues = Semantic.of_pipeline params pl in
+        check_bool "flagged" true (issues <> []));
+    case "spec channel must match the wire's device" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 5)) ()
+        in
+        let _, issues = Semantic.of_pipeline params pl in
+        check_bool "flagged" true (issues <> []));
+    case "device-to-device wires are refused" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Direct_memory 1)
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()
+        in
+        let _, issues = Semantic.of_pipeline params pl in
+        check_bool "flagged" true (issues <> []));
+    case "a bypassed slot cannot be tapped" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let icon, pl =
+          Build.fail_on_error
+            (Pipeline.place_als params pl ~kind:Als.Doublet ~bypass:Als.Keep_tail
+               ~pos:(Geometry.point 0 0) ())
+        in
+        let _, pl =
+          Pipeline.add_connection pl
+            ~src:(Connection.Pad { icon; pad = Icon.Out_pad 0 })
+            ~dst:(Connection.Direct_memory 1)
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 1)) ()
+        in
+        let _, issues = Semantic.of_pipeline params pl in
+        check_bool "flagged" true (issues <> []));
+    case "undeclared variables are issues" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (0, Resource.A) })
+            ~spec:(Dma_spec.make ~variable:"ghost" (Dma_spec.To_plane 0)) ()
+        in
+        let _, issues = Semantic.of_pipeline params pl in
+        check_bool "flagged" true (issues <> []));
+    case "chained-port wires are issues" (fun () ->
+        let pl, icon = pipeline_with Als.Triplet in
+        let _, pl =
+          Pipeline.add_connection pl ~src:(Connection.Direct_memory 0)
+            ~dst:(Connection.Pad { icon; pad = Icon.In_pad (1, Resource.A) })
+            ~spec:(Dma_spec.make (Dma_spec.To_plane 0)) ()
+        in
+        let _, issues = Semantic.of_pipeline params pl in
+        check_bool "flagged" true (issues <> []));
+  ]
+
+let serialize_tests =
+  [
+    case "vecadd round-trips through the text format" (fun () ->
+        let prog, _ = vecadd_program () in
+        let text = Serialize.to_string prog in
+        match Serialize.of_string params text with
+        | Ok prog' -> check_string "stable" text (Serialize.to_string prog')
+        | Error e -> Alcotest.fail e);
+    case "the Jacobi program round-trips (icons, configs, control)" (fun () ->
+        let b = Nsc_apps.Jacobi.build kb (Nsc_apps.Grid.cube 5) ~tol:1e-6 ~max_iters:10 in
+        let text = Serialize.to_string b.Nsc_apps.Jacobi.program in
+        match Serialize.of_string params text with
+        | Ok prog' -> check_string "stable" text (Serialize.to_string prog')
+        | Error e -> Alcotest.fail e);
+    case "unknown directives are reported with their line" (fun () ->
+        match Serialize.of_string params "program p\nfrobnicate 3\n" with
+        | Error e -> check_bool "line 2" true (String.length e > 0 && String.sub e 0 6 = "line 2")
+        | Ok _ -> Alcotest.fail "accepted garbage");
+    case "bindings survive the text format" (fun () ->
+        List.iter
+          (fun b ->
+            match Serialize.binding_of_string (Serialize.binding_to_string b) with
+            | Some b' -> check_bool "roundtrip" true (Fu_config.equal_input_binding b b')
+            | None -> Alcotest.fail "parse failed")
+          [ Fu_config.From_switch; Fu_config.From_chain; Fu_config.From_constant 0.1666;
+            Fu_config.From_feedback 3; Fu_config.Unbound ]);
+    case "endpoints survive the text format" (fun () ->
+        List.iter
+          (fun ep ->
+            match Serialize.endpoint_of_string (Serialize.endpoint_to_string ep) with
+            | Some ep' -> check_bool "roundtrip" true (Connection.equal_endpoint ep ep')
+            | None -> Alcotest.fail "parse failed")
+          [ Connection.Direct_memory 3; Connection.Direct_cache 1;
+            Connection.Pad { icon = 2; pad = Icon.In_pad (1, Resource.B) };
+            Connection.Pad { icon = 0; pad = Icon.Out_pad 2 } ]);
+  ]
+
+let validate_tests =
+  [
+    case "an ALS bound twice is structural" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let _, pl = Pipeline.add_icon params pl ~kind:(Icon.Als_icon { als = 0; bypass = Als.No_bypass }) ~pos:(Geometry.point 0 0) in
+        let _, pl = Pipeline.add_icon params pl ~kind:(Icon.Als_icon { als = 0; bypass = Als.No_bypass }) ~pos:(Geometry.point 20 0) in
+        check_bool "flagged" true (Validate.pipeline params pl <> []));
+    case "nonexistent hardware is structural" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let _, pl = Pipeline.add_icon params pl ~kind:(Icon.Memory_icon 99) ~pos:(Geometry.point 0 0) in
+        check_bool "flagged" true (Validate.pipeline params pl <> []));
+    case "dangling connection endpoints are structural" (fun () ->
+        let pl = Pipeline.empty 1 in
+        let _, pl =
+          Pipeline.add_connection pl
+            ~src:(Connection.Pad { icon = 7; pad = Icon.Out_pad 0 })
+            ~dst:(Connection.Direct_memory 0) ()
+        in
+        check_bool "flagged" true (Validate.pipeline params pl <> []));
+    case "overlapping declarations are structural" (fun () ->
+        let prog = Program.empty "p" in
+        let prog = Result.get_ok (Program.declare prog { Program.name = "a"; plane = 0; base = 0; length = 10 }) in
+        let prog = Result.get_ok (Program.declare prog { Program.name = "b"; plane = 0; base = 5; length = 10 }) in
+        check_bool "flagged" true (Validate.program params prog <> []));
+    case "control referencing a missing pipeline is structural" (fun () ->
+        let prog = Program.empty "p" in
+        let prog, _ = Program.append_pipeline prog in
+        let prog = Program.set_control prog [ Program.Exec 9 ] in
+        check_bool "flagged" true (Validate.program params prog <> []));
+    case "a valid program has no structural findings" (fun () ->
+        let prog, _ = vecadd_program () in
+        check_int "clean" 0 (List.length (Validate.program params prog)));
+  ]
+
+let suite =
+  [
+    ("diagram:semantic", semantic_tests);
+    ("diagram:serialize", serialize_tests);
+    ("diagram:validate", validate_tests);
+  ]

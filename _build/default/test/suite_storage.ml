@@ -1,0 +1,139 @@
+(* Register files, memory planes, caches, shift/delay units. *)
+
+open Nsc_arch
+open Util
+
+let register_file_tests =
+  [
+    case "a depth-3 queue returns values three pushes late" (fun () ->
+        let q = Register_file.make_queue 3 in
+        check_float "prime 1" 0.0 (Register_file.push q 10.0);
+        check_float "prime 2" 0.0 (Register_file.push q 20.0);
+        check_float "prime 3" 0.0 (Register_file.push q 30.0);
+        check_float "first out" 10.0 (Register_file.push q 40.0);
+        check_float "second out" 20.0 (Register_file.push q 50.0));
+    case "a depth-0 queue is the identity" (fun () ->
+        let q = Register_file.make_queue 0 in
+        check_float "id" 7.5 (Register_file.push q 7.5));
+    case "reset re-primes the queue" (fun () ->
+        let q = Register_file.make_queue 2 in
+        ignore (Register_file.push q 1.0);
+        ignore (Register_file.push q 2.0);
+        Register_file.reset q;
+        check_float "primed" 0.0 (Register_file.push q 3.0));
+    case "usage validation accepts a sane configuration" (fun () ->
+        let u = { Register_file.constants = [ (0, 1.5) ]; delay_a = 4; delay_b = 0 } in
+        check_int "ok" 0 (List.length (Register_file.validate params u)));
+    case "usage validation rejects over-deep queues" (fun () ->
+        let u =
+          { Register_file.constants = []; delay_a = params.Params.rf_max_delay + 1; delay_b = 0 }
+        in
+        check_bool "flagged" true (Register_file.validate params u <> []));
+    case "usage validation rejects duplicate constant registers" (fun () ->
+        let u = { Register_file.constants = [ (0, 1.0); (0, 2.0) ]; delay_a = 0; delay_b = 0 } in
+        check_bool "flagged" true (Register_file.validate params u <> []));
+    case "usage validation rejects register-file overflow" (fun () ->
+        let u =
+          {
+            Register_file.constants = [];
+            delay_a = params.Params.rf_max_delay;
+            delay_b = params.Params.rf_max_delay;
+          }
+        in
+        (* 96 + 96 > 128 registers *)
+        check_bool "flagged" true (Register_file.validate params u <> []));
+  ]
+
+let memory_tests =
+  [
+    case "reads of untouched words return zero" (fun () ->
+        let st = Memory.make_store 1024 in
+        check_float "zero" 0.0 (Memory.read st 123));
+    case "writes read back" (fun () ->
+        let st = Memory.make_store 1024 in
+        Memory.write st 100 3.25;
+        check_float "value" 3.25 (Memory.read st 100));
+    case "sparse paging touches only written pages" (fun () ->
+        let st = Memory.make_store (1 lsl 24) in
+        Memory.write st 0 1.0;
+        Memory.write st ((1 lsl 24) - 1) 2.0;
+        check_int "pages" 2 (Memory.touched_pages st));
+    case "out-of-plane addresses are rejected" (fun () ->
+        let st = Memory.make_store 64 in
+        Alcotest.check_raises "read" (Invalid_argument "Memory: address 64 outside plane of 64 words")
+          (fun () -> ignore (Memory.read st 64)));
+    case "strided extents handle negative strides" (fun () ->
+        let e = Memory.strided_extent ~plane:0 ~base:100 ~stride:(-2) ~count:5 in
+        check_int "lo" 92 e.Memory.lo;
+        check_int "hi" 101 e.Memory.hi);
+    case "extent overlap detection" (fun () ->
+        let a = { Memory.plane = 0; lo = 0; hi = 10 } in
+        let b = { Memory.plane = 0; lo = 9; hi = 20 } in
+        let c = { Memory.plane = 0; lo = 10; hi = 20 } in
+        let d = { Memory.plane = 1; lo = 0; hi = 10 } in
+        check_bool "overlap" true (Memory.extents_overlap a b);
+        check_bool "touching is disjoint" false (Memory.extents_overlap a c);
+        check_bool "different planes" false (Memory.extents_overlap a d));
+    case "extent validation flags bad planes and ranges" (fun () ->
+        check_bool "bad plane" true
+          (Memory.validate_extent params { Memory.plane = 99; lo = 0; hi = 1 } <> []);
+        check_bool "beyond end" true
+          (Memory.validate_extent params
+             { Memory.plane = 0; lo = 0; hi = params.Params.memory_plane_words + 1 }
+          <> []));
+  ]
+
+let cache_tests =
+  [
+    case "pipeline and DMA sides address different buffers" (fun () ->
+        let c = Cache.make params 0 in
+        Cache.write_pipeline c 5 1.0;
+        Cache.write_dma c 5 2.0;
+        check_float "pipeline" 1.0 (Cache.read_pipeline c 5);
+        check_float "dma" 2.0 (Cache.read_dma c 5));
+    case "swap exchanges the buffers" (fun () ->
+        let c = Cache.make params 1 in
+        Cache.write_dma c 7 42.0;
+        Cache.swap c;
+        check_float "staged data visible" 42.0 (Cache.read_pipeline c 7));
+    case "clear resets both buffers and orientation" (fun () ->
+        let c = Cache.make params 2 in
+        Cache.write_pipeline c 0 1.0;
+        Cache.swap c;
+        Cache.clear c;
+        check_float "cleared" 0.0 (Cache.read_pipeline c 0));
+    case "bad cache ids are rejected" (fun () ->
+        Alcotest.check_raises "make" (Invalid_argument "Cache.make: bad cache id") (fun () ->
+            ignore (Cache.make params 99)));
+  ]
+
+let shift_delay_tests =
+  [
+    case "a delay unit shifts its stream" (fun () ->
+        let sd = Shift_delay.make params 0 (Shift_delay.Delay 2) in
+        check_float "0" 0.0 (Shift_delay.step sd 1.0);
+        check_float "0" 0.0 (Shift_delay.step sd 2.0);
+        check_float "first" 1.0 (Shift_delay.step sd 3.0));
+    case "validation bounds the delay depth" (fun () ->
+        check_bool "too deep" true
+          (Shift_delay.validate params (Shift_delay.Delay (params.Params.rf_max_delay + 1))
+          <> []);
+        check_bool "negative" true
+          (Shift_delay.validate params (Shift_delay.Delay (-1)) <> []));
+    case "validation bounds the shift offset" (fun () ->
+        check_bool "ok" true (Shift_delay.validate params (Shift_delay.Shift 4) = []);
+        check_bool "too far" true
+          (Shift_delay.validate params (Shift_delay.Shift (params.Params.rf_max_delay + 1))
+          <> []));
+    case "unit ids are bounded by the machine" (fun () ->
+        Alcotest.check_raises "make" (Invalid_argument "Shift_delay.make: bad id") (fun () ->
+            ignore (Shift_delay.make params 2 (Shift_delay.Delay 1))));
+  ]
+
+let suite =
+  [
+    ("arch:register-file", register_file_tests);
+    ("arch:memory", memory_tests);
+    ("arch:cache", cache_tests);
+    ("arch:shift-delay", shift_delay_tests);
+  ]

@@ -1,0 +1,200 @@
+(* The programmable switch network, DMA descriptors, interrupts, router. *)
+
+open Nsc_arch
+open Util
+
+let fu0 = { Resource.als = 0; slot = 0 }
+let fu1 = { Resource.als = 1; slot = 0 }
+
+let route src snk = { Switch.src; snk }
+
+let switch_tests =
+  [
+    case "adding a route succeeds on an empty table" (fun () ->
+        let t = Switch.empty params in
+        match Switch.add t (route (Resource.Src_memory (0, 0)) (Resource.Snk_fu (fu0, Resource.A))) with
+        | Ok t -> check_int "one route" 1 (Switch.route_count t)
+        | Error _ -> Alcotest.fail "rejected");
+    case "a sink may be driven only once" (fun () ->
+        let t = Switch.empty params in
+        let snk = Resource.Snk_fu (fu0, Resource.A) in
+        let t = Result.get_ok (Switch.add t (route (Resource.Src_memory (0, 0)) snk)) in
+        match Switch.add t (route (Resource.Src_memory (1, 0)) snk) with
+        | Error (Switch.Sink_already_driven _) -> ()
+        | _ -> Alcotest.fail "second driver accepted");
+    case "fanout is bounded" (fun () ->
+        let src = Resource.Src_fu fu0 in
+        let rec fill t i =
+          if i > params.Params.switch_fanout then t
+          else
+            match
+              Switch.add t (route src (Resource.Snk_fu ({ Resource.als = 4; slot = 0 },
+                (if i mod 2 = 0 then Resource.A else Resource.B))))
+            with
+            | Ok t -> fill t (i + 1)
+            | Error (Switch.Fanout_exceeded _) ->
+                check_int "at limit" params.Params.switch_fanout (Switch.fanout t src);
+                t
+            | Error e -> Alcotest.fail (Switch.error_to_string e)
+        in
+        (* drive distinct sinks: plane writes have plenty of slots *)
+        let t = ref (Switch.empty params) in
+        for i = 0 to params.Params.switch_fanout - 1 do
+          t := Result.get_ok (Switch.add !t (route src (Resource.Snk_memory (i, 0))))
+        done;
+        (match Switch.add !t (route src (Resource.Snk_memory (9, 0))) with
+        | Error (Switch.Fanout_exceeded _) -> ()
+        | _ -> Alcotest.fail "fanout not enforced");
+        ignore fill);
+    case "self loops through the switch are rejected" (fun () ->
+        let t = Switch.empty params in
+        match Switch.add t (route (Resource.Src_fu fu0) (Resource.Snk_fu (fu0, Resource.B))) with
+        | Error (Switch.Self_loop _) -> ()
+        | _ -> Alcotest.fail "self loop accepted");
+    case "capacity is enforced" (fun () ->
+        let small = { params with Params.switch_capacity = 2 } in
+        let t = Switch.empty small in
+        let t = Result.get_ok (Switch.add t (route (Resource.Src_memory (0, 0)) (Resource.Snk_fu (fu0, Resource.A)))) in
+        let t = Result.get_ok (Switch.add t (route (Resource.Src_memory (1, 0)) (Resource.Snk_fu (fu0, Resource.B)))) in
+        match Switch.add t (route (Resource.Src_memory (2, 0)) (Resource.Snk_fu (fu1, Resource.A))) with
+        | Error (Switch.Capacity_exceeded _) -> ()
+        | _ -> Alcotest.fail "capacity not enforced");
+    case "remove deletes exactly the given route" (fun () ->
+        let r1 = route (Resource.Src_memory (0, 0)) (Resource.Snk_fu (fu0, Resource.A)) in
+        let r2 = route (Resource.Src_memory (1, 0)) (Resource.Snk_fu (fu0, Resource.B)) in
+        let t = Switch.empty params in
+        let t = Result.get_ok (Switch.add t r1) in
+        let t = Result.get_ok (Switch.add t r2) in
+        let t = Switch.remove t r1 in
+        check_int "one left" 1 (Switch.route_count t);
+        check_bool "r2 intact" true (Switch.source_of_sink t r2.Switch.snk <> None));
+    case "plane_writers and plane_readers see slotted endpoints" (fun () ->
+        let t = Switch.empty params in
+        let t = Result.get_ok (Switch.add t (route (Resource.Src_fu fu0) (Resource.Snk_memory (3, 0)))) in
+        let t = Result.get_ok (Switch.add t (route (Resource.Src_memory (3, 1)) (Resource.Snk_fu (fu1, Resource.A)))) in
+        check_int "writers" 1 (List.length (Switch.plane_writers t 3));
+        check_int "readers" 1 (List.length (Switch.plane_readers t 3)));
+  ]
+
+let dma_tests =
+  [
+    case "addresses follow base and stride" (fun () ->
+        let t =
+          { Dma.channel = Dma.Plane 0; direction = Dma.Read; base = 10; stride = 3; count = 4 }
+        in
+        Alcotest.(check (list int)) "addrs" [ 10; 13; 16; 19 ]
+          (Dma.addresses t ~vector_length:99));
+    case "count 0 defers to the vector length" (fun () ->
+        let t =
+          { Dma.channel = Dma.Plane 0; direction = Dma.Read; base = 0; stride = 1; count = 0 }
+        in
+        check_int "len" 5 (List.length (Dma.addresses t ~vector_length:5)));
+    case "validation flags a nonexistent plane" (fun () ->
+        let t =
+          { Dma.channel = Dma.Plane 99; direction = Dma.Read; base = 0; stride = 1; count = 1 }
+        in
+        check_bool "flagged" true (Dma.validate params t ~vector_length:1 <> []));
+    case "validation flags running off the end of a plane" (fun () ->
+        let t =
+          {
+            Dma.channel = Dma.Plane 0;
+            direction = Dma.Write;
+            base = params.Params.memory_plane_words - 2;
+            stride = 1;
+            count = 4;
+          }
+        in
+        check_bool "flagged" true (Dma.validate params t ~vector_length:4 <> []));
+    case "validation flags negative-stride underflow" (fun () ->
+        let t =
+          { Dma.channel = Dma.Plane 0; direction = Dma.Read; base = 2; stride = -1; count = 5 }
+        in
+        check_bool "flagged" true (Dma.validate params t ~vector_length:5 <> []));
+    case "cache transfers are bounded by the buffer" (fun () ->
+        let t =
+          {
+            Dma.channel = Dma.Cache_chan 0;
+            direction = Dma.Read;
+            base = params.Params.cache_words - 1;
+            stride = 1;
+            count = 2;
+          }
+        in
+        check_bool "flagged" true (Dma.validate params t ~vector_length:2 <> []));
+  ]
+
+let interrupt_tests =
+  [
+    case "relations evaluate correctly" (fun () ->
+        check_bool "<" true (Interrupt.relation_holds Interrupt.Rlt 1.0 2.0);
+        check_bool "<=" true (Interrupt.relation_holds Interrupt.Rle 2.0 2.0);
+        check_bool "=" false (Interrupt.relation_holds Interrupt.Req 1.0 2.0);
+        check_bool "<>" true (Interrupt.relation_holds Interrupt.Rne 1.0 2.0);
+        check_bool ">=" false (Interrupt.relation_holds Interrupt.Rge 1.0 2.0);
+        check_bool ">" true (Interrupt.relation_holds Interrupt.Rgt 3.0 2.0));
+    case "classify traps division by zero" (fun () ->
+        check_bool "div0" true
+          (Interrupt.classify ~op_is_divide:true ~divisor:(Some 0.0) Float.infinity
+          = Some Interrupt.Divide_by_zero));
+    case "classify traps NaN and overflow" (fun () ->
+        check_bool "nan" true
+          (Interrupt.classify ~op_is_divide:false ~divisor:None Float.nan
+          = Some Interrupt.Invalid_operand);
+        check_bool "inf" true
+          (Interrupt.classify ~op_is_divide:false ~divisor:None Float.neg_infinity
+          = Some Interrupt.Overflow);
+        check_bool "finite ok" true
+          (Interrupt.classify ~op_is_divide:false ~divisor:None 1.0 = None));
+  ]
+
+let router_tests =
+  [
+    case "dim_for_nodes is the ceiling log" (fun () ->
+        check_int "1" 0 (Router.dim_for_nodes 1);
+        check_int "2" 1 (Router.dim_for_nodes 2);
+        check_int "63" 6 (Router.dim_for_nodes 63);
+        check_int "64" 6 (Router.dim_for_nodes 64));
+    case "every node has dim neighbours, each one bit away" (fun () ->
+        let dim = 4 in
+        List.iter
+          (fun id ->
+            let ns = Router.neighbours ~dim id in
+            check_int "count" dim (List.length ns);
+            List.iter (fun n -> check_int "distance" 1 (Router.distance id n)) ns)
+          (List.init (Router.nodes_of_dim dim) (fun i -> i)));
+    case "e-cube routes have Hamming-distance length and end at the target" (fun () ->
+        let dim = 5 in
+        let check_route src dst =
+          let path = Router.route ~dim ~src ~dst in
+          check_int "length" (Router.distance src dst) (List.length path);
+          if src <> dst then
+            check_int "ends at dst" dst (List.nth path (List.length path - 1))
+        in
+        check_route 0 31;
+        check_route 7 7;
+        check_route 12 19);
+    case "gray code inverse round-trips" (fun () ->
+        for i = 0 to 255 do
+          check_int "roundtrip" i (Router.gray_inverse (Router.gray i))
+        done);
+    case "gray-embedded chain neighbours are hypercube neighbours" (fun () ->
+        let dim = 4 in
+        for r = 0 to Router.nodes_of_dim dim - 2 do
+          check_int "one hop" 1
+            (Router.distance (Router.chain_to_node ~dim r) (Router.chain_to_node ~dim (r + 1)))
+        done);
+    case "transfer cycles: zero to self, bandwidth-dominated when large" (fun () ->
+        check_int "self" 0 (Router.transfer_cycles params ~src:3 ~dst:3 ~words:100);
+        let one_hop = Router.transfer_cycles params ~src:0 ~dst:1 ~words:1000 in
+        let two_hop = Router.transfer_cycles params ~src:0 ~dst:3 ~words:1000 in
+        check_int "cut-through adds latency only"
+          params.Params.hop_latency (two_hop - one_hop));
+  ]
+
+let suite =
+  [
+    ("arch:switch", switch_tests);
+    ("arch:dma", dma_tests);
+    ("arch:interrupt", interrupt_tests);
+    ("arch:router", router_tests);
+  ]
