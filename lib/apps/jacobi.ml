@@ -309,9 +309,11 @@ type outcome = {
   stats : Nsc_sim.Sequencer.stats;
 }
 
-(** Compile and execute the Jacobi program for [prob] on a fresh node. *)
-let solve (kb : Knowledge.t) ?layout ?strategy (prob : Poisson.problem) ~tol ~max_iters :
-    (outcome, string) result =
+(** Compile and execute the Jacobi program for [prob] on a fresh node.
+    [engine] selects the simulator path (plan-compiled by default;
+    [`Legacy] is the per-dispatch seed path, kept for benchmarking). *)
+let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Plan) (prob : Poisson.problem)
+    ~tol ~max_iters : (outcome, string) result =
   let b = build kb ?layout ?strategy prob.Poisson.grid ~tol ~max_iters in
   match Nsc_microcode.Codegen.compile kb b.program with
   | Error ds ->
@@ -320,7 +322,7 @@ let solve (kb : Knowledge.t) ?layout ?strategy (prob : Poisson.problem) ~tol ~ma
   | Ok compiled -> (
       let node = Nsc_sim.Node.create (Knowledge.params kb) in
       load node b prob;
-      match Nsc_sim.Sequencer.run node compiled with
+      match Nsc_sim.Sequencer.run node ~engine compiled with
       | Error e -> Error e
       | Ok outcome ->
           let stats = outcome.Nsc_sim.Sequencer.stats in

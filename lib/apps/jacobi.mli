@@ -88,10 +88,13 @@ type outcome = {
   final_change : float;
   stats : Nsc_sim.Sequencer.stats;
 }
-(** Compile and execute the program for a problem on a fresh node. *)
+(** Compile and execute the program for a problem on a fresh node.
+    [engine] selects the simulator path (plan-compiled by default;
+    [`Legacy] is the per-dispatch seed path, kept for benchmarking). *)
 val solve :
   Nsc_arch.Knowledge.t ->
   ?layout:layout ->
   ?strategy:[< `Ping_pong | `Refresh > `Refresh ] ->
+  ?engine:[ `Plan | `Legacy ] ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (outcome, string) result

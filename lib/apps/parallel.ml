@@ -49,11 +49,17 @@ let layer_base grid ~k = Grid.index grid ~i:0 ~j:0 ~k
 (** Run [iters] Jacobi iterations of an n x n x (n·P) problem on a
     [dim]-dimensional hypercube (P = 2^dim nodes), returning the scaling
     measurements.  The per-node slab thickness is [n], so this is weak
-    scaling: the global problem grows with the machine. *)
-let run_machine (p : Params.t) ~n ~iters ~dim :
+    scaling: the global problem grows with the machine.  [domains] fans
+    the per-node simulation across OCaml domains (results are
+    bit-identical to the sequential run). *)
+let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
     (point * Multinode.t * Jacobi.build * Grid.t, string) result =
   let machine = Multinode.create ~dim p in
   let nodes = Multinode.n_nodes machine in
+  (* one persistent plan cache per node: setup runs instruction 1, the
+     iteration body instructions 2 and 3 — disjoint, so a single cache
+     serves both programmes across all iterations *)
+  let caches = Array.init nodes (fun _ -> Plan.make_cache ()) in
   let kb = Knowledge.make_exn p in
   let grid = local_grid ~n ~nz_local:n in
   let b = Jacobi.build kb grid ~tol:0.0 ~max_iters:1 in
@@ -93,8 +99,8 @@ let run_machine (p : Params.t) ~n ~iters ~dim :
             (slab_mask grid ~first:(rank = 0) ~last:(rank = nodes - 1)))
         machine.Multinode.nodes;
       (* setup phase on every node *)
-      Multinode.compute_step machine (fun _ node ->
-          match Sequencer.run node c_setup with
+      Multinode.compute_step ~domains machine (fun i node ->
+          match Sequencer.run node ~plan_cache:caches.(i) c_setup with
           | Ok o ->
               (o.Sequencer.stats.Sequencer.total_cycles,
                o.Sequencer.stats.Sequencer.total_flops)
@@ -104,8 +110,8 @@ let run_machine (p : Params.t) ~n ~iters ~dim :
       Multinode.reset_counters machine;
       (* iterate: sweep + refresh, then halo exchange *)
       for _ = 1 to iters do
-        Multinode.compute_step machine (fun _ node ->
-            match Sequencer.run node c_iter with
+        Multinode.compute_step ~domains machine (fun i node ->
+            match Sequencer.run node ~plan_cache:caches.(i) c_iter with
             | Ok o ->
                 (o.Sequencer.stats.Sequencer.total_cycles,
                  o.Sequencer.stats.Sequencer.total_flops)
@@ -174,14 +180,14 @@ let run_machine (p : Params.t) ~n ~iters ~dim :
           grid )
 
 (** Run and return just the scaling point. *)
-let run (p : Params.t) ~n ~iters ~dim : (point, string) result =
-  Result.map (fun (pt, _, _, _) -> pt) (run_machine p ~n ~iters ~dim)
+let run ?domains (p : Params.t) ~n ~iters ~dim : (point, string) result =
+  Result.map (fun (pt, _, _, _) -> pt) (run_machine ?domains p ~n ~iters ~dim)
 
 (** Run and assemble the global field (interior z-layers of every node's
     centred u copy, in rank order) — used to verify that the decomposed
     iteration equals the single-machine iteration. *)
-let run_field (p : Params.t) ~n ~iters ~dim : (float array, string) result =
-  match run_machine p ~n ~iters ~dim with
+let run_field ?domains (p : Params.t) ~n ~iters ~dim : (float array, string) result =
+  match run_machine ?domains p ~n ~iters ~dim with
   | Error e -> Error e
   | Ok (_, machine, b, grid) ->
       let nodes = Multinode.n_nodes machine in
@@ -199,11 +205,11 @@ let run_field (p : Params.t) ~n ~iters ~dim : (float array, string) result =
 
 (** Weak-scaling sweep over hypercube dimensions, with efficiency relative
     to the single-node machine. *)
-let scaling (p : Params.t) ~n ~iters ~dims : (point list, string) result =
+let scaling ?domains (p : Params.t) ~n ~iters ~dims : (point list, string) result =
   let rec go acc base = function
     | [] -> Ok (List.rev acc)
     | dim :: rest -> (
-        match run p ~n ~iters ~dim with
+        match run ?domains p ~n ~iters ~dim with
         | Error e -> Error e
         | Ok pt ->
             let base = match base with None -> Some pt.gflops | s -> s in
@@ -258,9 +264,11 @@ type solve_outcome = {
     iteration runs the local sweep and refresh on each node, exchanges
     halos, all-reduces the per-node residual maxima over the hypercube,
     and stops when the global maximum change falls to [tol]. *)
-let solve (p : Params.t) ~n ~tol ~max_iters ~dim : (solve_outcome, string) result =
+let solve ?(domains = 1) (p : Params.t) ~n ~tol ~max_iters ~dim :
+    (solve_outcome, string) result =
   let machine = Multinode.create ~dim p in
   let nodes = Multinode.n_nodes machine in
+  let caches = Array.init nodes (fun _ -> Plan.make_cache ()) in
   let kb = Knowledge.make_exn p in
   let grid = local_grid ~n ~nz_local:n in
   let b = Jacobi.build kb grid ~tol:0.0 ~max_iters:1 in
@@ -298,8 +306,8 @@ let solve (p : Params.t) ~n ~tol ~max_iters ~dim : (solve_outcome, string) resul
           Node.load_array node ~plane:b.Jacobi.layout.Jacobi.mask ~base:0
             (slab_mask grid ~first:(rank = 0) ~last:(rank = nodes - 1)))
         machine.Multinode.nodes;
-      Multinode.compute_step machine (fun _ node ->
-          match Sequencer.run node c_setup with
+      Multinode.compute_step ~domains machine (fun i node ->
+          match Sequencer.run node ~plan_cache:caches.(i) c_setup with
           | Ok o ->
               (o.Sequencer.stats.Sequencer.total_cycles,
                o.Sequencer.stats.Sequencer.total_flops)
@@ -352,22 +360,27 @@ let solve (p : Params.t) ~n ~tol ~max_iters ~dim : (solve_outcome, string) resul
       let iterations = ref 0 in
       let global = ref Float.infinity in
       while !iterations < max_iters && !global > tol do
-        (* one local iteration per node, collecting the captured residual *)
+        (* one local iteration per node, collecting the captured residual;
+           counters accumulate in node order after the fan-in so a
+           domain-parallel run is bit-identical to a sequential one *)
+        let per_node =
+          Multinode.parallel_iter ~domains machine (fun id node ->
+              match Sequencer.run node ~plan_cache:caches.(id) c_iter with
+              | Ok o ->
+                  let st = o.Sequencer.stats in
+                  ( st.Sequencer.total_cycles,
+                    st.Sequencer.total_flops,
+                    Option.value ~default:Float.infinity
+                      (List.assoc_opt b.Jacobi.residual_unit o.Sequencer.last_values) )
+              | Error _ -> (0, 0, Float.infinity))
+        in
         let worst = ref 0 in
         Array.iteri
-          (fun id node ->
-            match Sequencer.run node c_iter with
-            | Ok o ->
-                let st = o.Sequencer.stats in
-                if st.Sequencer.total_cycles > !worst then
-                  worst := st.Sequencer.total_cycles;
-                machine.Multinode.flops <-
-                  machine.Multinode.flops + st.Sequencer.total_flops;
-                residuals.(id) <-
-                  Option.value ~default:Float.infinity
-                    (List.assoc_opt b.Jacobi.residual_unit o.Sequencer.last_values)
-            | Error _ -> residuals.(id) <- Float.infinity)
-          machine.Multinode.nodes;
+          (fun id (cycles, flops, residual) ->
+            if cycles > !worst then worst := cycles;
+            machine.Multinode.flops <- machine.Multinode.flops + flops;
+            residuals.(id) <- residual)
+          per_node;
         machine.Multinode.cycles <- machine.Multinode.cycles + !worst;
         halo_exchange ();
         global := allreduce_max machine residuals;

@@ -23,7 +23,10 @@ val slab_mask : Grid.t -> first:bool -> last:bool -> float array
 val read_face :
   Nsc_sim.Node.t -> plane:int -> grid:Grid.t -> k:int -> float array
 val layer_base : Grid.t -> k:int -> int
+(** [domains] (on every runner below) fans per-node simulation across
+    OCaml domains; results are bit-identical to the sequential run. *)
 val run_machine :
+  ?domains:int ->
   Nsc_arch.Params.t ->
   n:int ->
   iters:int ->
@@ -33,16 +36,19 @@ val run_machine :
   result
 (** Fixed-iteration weak-scaling run; returns the scaling point. *)
 val run :
+  ?domains:int ->
   Nsc_arch.Params.t ->
   n:int -> iters:int -> dim:int -> (point, string) result
 (** Like {!run} but returns the assembled global field, for verifying
     the decomposition against a single-machine iteration. *)
 val run_field :
+  ?domains:int ->
   Nsc_arch.Params.t ->
   n:int -> iters:int -> dim:int -> (float array, string) result
 (** Weak-scaling sweep over hypercube dimensions, efficiency relative to
     one node. *)
 val scaling :
+  ?domains:int ->
   Nsc_arch.Params.t ->
   n:int -> iters:int -> dims:int list -> (point list, string) result
 (** Hypercube recursive-doubling all-reduce (maximum) of one scalar per
@@ -56,6 +62,7 @@ type solve_outcome = {
 (** Iterate to global convergence: local sweeps, halo exchange, and an
     all-reduced residual check per iteration. *)
 val solve :
+  ?domains:int ->
   Nsc_arch.Params.t ->
   n:int ->
   tol:float -> max_iters:int -> dim:int -> (solve_outcome, string) result

@@ -54,6 +54,30 @@ let write_dma t addr v =
   check_addr t addr;
   (buf t (other t.pipeline_side)).(addr) <- v
 
+(* --- bulk pipeline-side paths ------------------------------------------ *)
+
+(* One bounds check per strided run; the extremes are the endpoints. *)
+let check_strided t ~base ~stride ~count =
+  if count > 0 then begin
+    check_addr t base;
+    check_addr t (base + (stride * (count - 1)))
+  end
+
+(** Bulk strided read from the pipeline-side buffer: one bounds check for
+    the whole run instead of one per word. *)
+let read_pipeline_strided t ~base ~stride ~count =
+  check_strided t ~base ~stride ~count;
+  if count <= 0 then [||]
+  else
+    let b = buf t t.pipeline_side in
+    Array.init count (fun i -> b.(base + (i * stride)))
+
+(** Bulk strided write to the pipeline-side buffer. *)
+let write_pipeline_strided t ~base ~stride (xs : float array) =
+  check_strided t ~base ~stride ~count:(Array.length xs);
+  let b = buf t t.pipeline_side in
+  Array.iteri (fun i v -> b.(base + (i * stride)) <- v) xs
+
 (** Swap buffers between instructions. *)
 let swap t = t.pipeline_side <- other t.pipeline_side
 

@@ -27,6 +27,12 @@ val buf : t -> buffer -> float array
 val check_addr : t -> int -> unit
 val read_pipeline : t -> int -> float
 val write_pipeline : t -> int -> float -> unit
+
+(** Bulk strided pipeline-side access: one bounds check per run. *)
+val read_pipeline_strided :
+  t -> base:int -> stride:int -> count:int -> float array
+val write_pipeline_strided :
+  t -> base:int -> stride:int -> float array -> unit
 val read_dma : t -> int -> float
 val write_dma : t -> int -> float -> unit
 val swap : t -> unit

@@ -61,20 +61,102 @@ let read st addr =
   | None -> 0.0
   | Some page -> page.(addr mod st.page_words)
 
+let page_for st key =
+  match Hashtbl.find_opt st.pages key with
+  | Some page -> page
+  | None ->
+      let page = Array.make st.page_words 0.0 in
+      Hashtbl.add st.pages key page;
+      page
+
 let write st addr v =
   check_addr st addr;
-  let key = addr / st.page_words in
-  let page =
-    match Hashtbl.find_opt st.pages key with
-    | Some page -> page
-    | None ->
-        let page = Array.make st.page_words 0.0 in
-        Hashtbl.add st.pages key page;
-        page
-  in
-  page.(addr mod st.page_words) <- v
+  (page_for st (addr / st.page_words)).(addr mod st.page_words) <- v
 
-(** Number of distinct words ever written (for footprint reporting). *)
+(* --- bulk strided paths ------------------------------------------------ *)
+
+(* Bounds of a strided run, checked once instead of once per word; with a
+   constant stride the extreme addresses are the two endpoints. *)
+let check_strided st ~base ~stride ~count =
+  if count > 0 then begin
+    check_addr st base;
+    check_addr st (base + (stride * (count - 1)))
+  end
+
+(** Read [count] words starting at [base] with step [stride] into a fresh
+    array, touching each page's hashtable entry once per page crossing
+    rather than once per word (unit-stride runs are blitted page by page).
+    Reads of untouched words return 0.0. *)
+let read_strided st ~base ~stride ~count =
+  check_strided st ~base ~stride ~count;
+  if count <= 0 then [||]
+  else begin
+    let out = Array.make count 0.0 in
+    if stride = 1 then begin
+      let i = ref 0 in
+      while !i < count do
+        let addr = base + !i in
+        let off = addr mod st.page_words in
+        let n = min (st.page_words - off) (count - !i) in
+        (match Hashtbl.find_opt st.pages (addr / st.page_words) with
+        | Some page -> Array.blit page off out !i n
+        | None -> ());
+        i := !i + n
+      done
+    end
+    else begin
+      let key = ref min_int and page = ref None in
+      for i = 0 to count - 1 do
+        let addr = base + (i * stride) in
+        let k = addr / st.page_words in
+        if k <> !key then begin
+          key := k;
+          page := Hashtbl.find_opt st.pages k
+        end;
+        match !page with
+        | Some pg -> out.(i) <- pg.(addr mod st.page_words)
+        | None -> ()
+      done
+    end;
+    out
+  end
+
+(** Write [xs] to the words starting at [base] with step [stride],
+    materialising and touching each page once per page crossing (unit
+    stride blits whole page spans). *)
+let write_strided st ~base ~stride (xs : float array) =
+  let count = Array.length xs in
+  check_strided st ~base ~stride ~count;
+  if stride = 1 then begin
+    let i = ref 0 in
+    while !i < count do
+      let addr = base + !i in
+      let off = addr mod st.page_words in
+      let n = min (st.page_words - off) (count - !i) in
+      Array.blit xs !i (page_for st (addr / st.page_words)) off n;
+      i := !i + n
+    done
+  end
+  else begin
+    let key = ref min_int and page = ref [||] in
+    for i = 0 to count - 1 do
+      let addr = base + (i * stride) in
+      let k = addr / st.page_words in
+      if k <> !key then begin
+        key := k;
+        page := page_for st k
+      end;
+      !page.(addr mod st.page_words) <- xs.(i)
+    done
+  end
+
+(** Number of pages ever materialised (for footprint reporting).  Each
+    page spans [page_words] words: this counts resident pages, not
+    distinct written words — see {!touched_words}. *)
 let touched_pages st = Hashtbl.length st.pages
+
+(** Resident footprint in words (materialised pages × page size) — an
+    upper bound on the number of distinct words ever written. *)
+let touched_words st = Hashtbl.length st.pages * st.page_words
 
 let clear st = Hashtbl.reset st.pages

@@ -32,5 +32,21 @@ val make_store : ?page_words:int -> int -> store
 val check_addr : store -> int -> unit
 val read : store -> int -> float
 val write : store -> int -> float -> unit
+
+(** Bulk strided read: [count] words from [base] stepping by [stride],
+    touching each backing page once per page crossing instead of once per
+    word.  Untouched words read as 0.0. *)
+val read_strided : store -> base:int -> stride:int -> count:int -> float array
+
+(** Bulk strided write of a whole array, one page lookup per page
+    crossing. *)
+val write_strided : store -> base:int -> stride:int -> float array -> unit
+
+(** Pages ever materialised; each spans [page_words] words. *)
 val touched_pages : store -> int
+
+(** Resident footprint in words (pages × page size) — an upper bound on
+    distinct words ever written. *)
+val touched_words : store -> int
+
 val clear : store -> unit

@@ -35,6 +35,13 @@ type t = {
           illegal; feedback must use the register file *)
 }
 
+(* Global count of analyses performed.  The plan compiler promises to
+   analyse each instruction exactly once per compiled plan; tests and the
+   bench harness observe this counter to hold it to that. *)
+let analysis_runs = Atomic.make 0
+
+let analysis_count () = Atomic.get analysis_runs
+
 let find_unit (sem : Semantic.t) fu = Semantic.unit_for sem fu
 
 let sd_mode (sem : Semantic.t) sd =
@@ -44,6 +51,7 @@ let sd_mode (sem : Semantic.t) sd =
 
 (** Analyse a semantic pipeline under parameters [p]. *)
 let analyse (p : Params.t) (sem : Semantic.t) : t =
+  Atomic.incr analysis_runs;
   let lat = p.latencies in
   let memo : (Resource.fu_id, int) Hashtbl.t = Hashtbl.create 16 in
   let visiting : (Resource.fu_id, unit) Hashtbl.t = Hashtbl.create 16 in

@@ -46,7 +46,7 @@ let max_recorded_events = 1000
    quicker; [run] picks automatically and both must agree wherever the fast
    path applies (property-tested). *)
 let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
-    (sem : Semantic.t) : result =
+    ?analysis (sem : Semantic.t) : result =
   let p = node.Node.params in
   let vlen = sem.Semantic.vector_length in
   (* --- static tables ------------------------------------------------- *)
@@ -71,7 +71,9 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
     Option.value ~default:Als.No_bypass (List.assoc_opt als sem.Semantic.bypasses)
   in
   (* --- timing skew --------------------------------------------------- *)
-  let analysis = Timing.analyse p sem in
+  let analysis =
+    match analysis with Some a -> a | None -> Timing.analyse p sem
+  in
   let leads = Hashtbl.create 16 in
   (* lead of each port: how many elements ahead the early stream runs *)
   if honor_timing then
@@ -445,13 +447,171 @@ let fast_path_applies (p : Params.t) ~honor_timing (sem : Semantic.t) =
   in
   aligned && analysis.Timing.cyclic = [] && sd_pure
 
-(** Execute one pipeline instruction.  Dispatches to the dense
-    topological-order evaluator when the diagram is aligned and acyclic
-    (the checked, production case) and to the general memoized evaluator
-    otherwise; [force_general] pins the general path (used by the
-    equivalence property tests). *)
-let run (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
+(** The seed dispatch, preserved verbatim for benchmarking against the
+    plan-based path: analyses timing on dispatch (and again inside the
+    evaluator) and rebuilds every lookup table per call. *)
+let run_legacy (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
     ?(force_general = false) (sem : Semantic.t) : result =
   if (not force_general) && fast_path_applies node.Node.params ~honor_timing sem then
     run_fast node ~record_trace sem
   else run_general node ~record_trace ~honor_timing sem
+
+(* --- the plan executor ------------------------------------------------- *)
+
+(** Execute a compiled {!Plan.t}.  The dense body prefetches every read
+    stream with one bulk strided transfer, then runs a pure array-indexing
+    inner loop — no hashtable lookups, no timing re-analysis (the plan
+    carries its analysis and cycle estimate).  Plans without a dense body
+    fall back to the general evaluator, reusing the cached analysis. *)
+let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
+  match pl.Plan.fast with
+  | None ->
+      run_general node ~record_trace ~honor_timing:pl.Plan.honor_timing
+        ~analysis:pl.Plan.analysis pl.Plan.sem
+  | Some f ->
+      let vlen = pl.Plan.vlen in
+      let sem = pl.Plan.sem in
+      let units = f.Plan.units in
+      let n_units = Array.length units in
+      (* prefetch read streams into dense element-indexed buffers;
+         elements beyond the stream's count read as 0.0, as on the wire *)
+      let rbuf =
+        Array.map
+          (fun (r : Plan.read_stream) ->
+            let t = r.Plan.transfer in
+            let n = min r.Plan.count vlen in
+            let buf = Array.make (max vlen 1) 0.0 in
+            if n > 0 then begin
+              let data =
+                match t.Dma.channel with
+                | Dma.Plane plid ->
+                    Memory.read_strided (Node.plane node plid) ~base:t.Dma.base
+                      ~stride:t.Dma.stride ~count:n
+                | Dma.Cache_chan c ->
+                    Cache.read_pipeline_strided (Node.cache node c) ~base:t.Dma.base
+                      ~stride:t.Dma.stride ~count:n
+              in
+              Array.blit data 0 buf 0 n
+            end;
+            buf)
+          f.Plan.reads
+      in
+      let out = Array.init n_units (fun _ -> Array.make (max vlen 1) 0.0) in
+      let events = ref [] and n_events = ref 0 in
+      let record ev =
+        if !n_events < max_recorded_events then begin
+          events := ev :: !events;
+          incr n_events
+        end
+      in
+      for e = 0 to vlen - 1 do
+        for k = 0 to n_units - 1 do
+          let u = units.(k) in
+          let operand = function
+            | Plan.Zero -> 0.0
+            | Plan.Const c -> c
+            | Plan.Unit j -> out.(j).(e)
+            | Plan.Self n -> if e >= n then out.(k).(e - n) else 0.0
+            | Plan.Stream s -> rbuf.(s).(e)
+            | Plan.Stream_at (s, off) ->
+                let e' = e + off in
+                if e' >= 0 && e' < vlen then rbuf.(s).(e') else 0.0
+          in
+          let a = operand u.Plan.a in
+          let b = if u.Plan.binary then operand u.Plan.b else 0.0 in
+          let v = Fu_exec.apply u.Plan.op a b in
+          (match Fu_exec.trapped u.Plan.op a b v with
+          | Some kind ->
+              record
+                (Interrupt.Exception_trapped
+                   { instruction = sem.Semantic.index; unit_ = u.Plan.fu; kind; element = e })
+          | None -> ());
+          out.(k).(e) <- v
+        done
+      done;
+      (* writes, stream-major in programme order; unit-fed streams drain in
+         one bulk transfer, direct memory-to-memory routes re-read live *)
+      let write_bulk (t : Dma.transfer) (vals : float array) =
+        match t.Dma.channel with
+        | Dma.Plane plid ->
+            Memory.write_strided (Node.plane node plid) ~base:t.Dma.base
+              ~stride:t.Dma.stride vals
+        | Dma.Cache_chan c ->
+            Cache.write_pipeline_strided (Node.cache node c) ~base:t.Dma.base
+              ~stride:t.Dma.stride vals
+      in
+      let writes = ref 0 in
+      Array.iter
+        (fun (w : Plan.write_stream) ->
+          let t = w.Plan.transfer in
+          let count = w.Plan.count in
+          if count > 0 then begin
+            (match w.Plan.wsrc with
+            | Plan.W_unit k ->
+                let vals = Array.make count 0.0 in
+                Array.blit out.(k) 0 vals 0 (min count vlen);
+                write_bulk t vals
+            | Plan.W_zero -> write_bulk t (Array.make count 0.0)
+            | Plan.W_live { transfer = rt; count = rcount; offset } ->
+                for e = 0 to count - 1 do
+                  let v =
+                    if e >= vlen then 0.0
+                    else
+                      let e' = e + offset in
+                      if e' < 0 || e' >= vlen || e' >= rcount then 0.0
+                      else begin
+                        let addr = rt.Dma.base + (e' * rt.Dma.stride) in
+                        match rt.Dma.channel with
+                        | Dma.Plane plid -> Node.read_plane node ~plane:plid ~addr
+                        | Dma.Cache_chan c -> Cache.read_pipeline (Node.cache node c) addr
+                      end
+                  in
+                  let addr = t.Dma.base + (e * t.Dma.stride) in
+                  match t.Dma.channel with
+                  | Dma.Plane plid -> Node.write_plane node ~plane:plid ~addr v
+                  | Dma.Cache_chan c -> Cache.write_pipeline (Node.cache node c) addr v
+                done);
+            writes := !writes + count
+          end)
+        f.Plan.writes;
+      let last_values =
+        List.mapi
+          (fun i (u : Semantic.unit_program) ->
+            let k = f.Plan.order_of_sem.(i) in
+            (u.Semantic.fu, if vlen > 0 then out.(k).(vlen - 1) else 0.0))
+          sem.Semantic.units
+      in
+      record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles = pl.Plan.cycles });
+      let trace =
+        if record_trace then begin
+          let unit_values = Hashtbl.create (max 16 (n_units * vlen)) in
+          List.iteri
+            (fun i (u : Semantic.unit_program) ->
+              let k = f.Plan.order_of_sem.(i) in
+              for e = 0 to vlen - 1 do
+                Hashtbl.replace unit_values (u.Semantic.fu, e) out.(k).(e)
+              done)
+            sem.Semantic.units;
+          Some { unit_values; vlen }
+        end
+        else None
+      in
+      {
+        cycles = pl.Plan.cycles;
+        flops = pl.Plan.flops;
+        elements = vlen;
+        writes = !writes;
+        events = List.rev !events;
+        last_values;
+        trace;
+      }
+
+(** Execute one pipeline instruction.  Compiles an execution plan (see
+    {!Plan.compile} — timing analysed exactly once) and runs it; callers
+    that replay an instruction should compile once, or use a {!Plan.cache},
+    and call {!run_plan} directly.  [force_general] pins the general
+    memoized evaluator (used by the equivalence property tests). *)
+let run (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
+    ?(force_general = false) (sem : Semantic.t) : result =
+  if force_general then run_general node ~record_trace ~honor_timing sem
+  else run_plan node ~record_trace (Plan.compile node.Node.params ~honor_timing sem)

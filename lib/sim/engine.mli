@@ -31,15 +31,33 @@ type result = {
   trace : trace option;
 }
 val max_recorded_events : int
+
+(** The general memoized evaluator.  [analysis] supplies a precomputed
+    timing analysis (from a compiled plan) so none is recomputed here. *)
 val run_general :
   Node.t ->
   ?record_trace:bool ->
-  ?honor_timing:bool -> Nsc_diagram.Semantic.t -> result
+  ?honor_timing:bool ->
+  ?analysis:Nsc_checker.Timing.t -> Nsc_diagram.Semantic.t -> result
 
-(** Execute one pipeline instruction.  Dispatches to a dense
-    topological-order evaluator when the diagram is aligned and acyclic
-    (the checked, production case) and to the general memoized evaluator
-    otherwise; [force_general] pins the general path (used by the
+(** The seed dispatch, preserved for benchmarking against the plan-based
+    path: re-analyses timing on every call and rebuilds every lookup
+    table per dispatch. *)
+val run_legacy :
+  Node.t ->
+  ?record_trace:bool ->
+  ?honor_timing:bool ->
+  ?force_general:bool -> Nsc_diagram.Semantic.t -> result
+
+(** Execute a compiled {!Plan.t}: bulk-prefetched read streams, a pure
+    array-indexing inner loop, no timing re-analysis.  Plans without a
+    dense body fall back to the general evaluator with the plan's cached
+    analysis. *)
+val run_plan : Node.t -> ?record_trace:bool -> Plan.t -> result
+
+(** Execute one pipeline instruction: compile a plan, run it.  Callers
+    replaying an instruction should use a {!Plan.cache} and {!run_plan}.
+    [force_general] pins the general memoized evaluator (used by the
     equivalence property tests). *)
 val run :
   Node.t ->

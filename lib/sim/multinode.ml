@@ -39,17 +39,43 @@ let node t i =
   if i < 0 || i >= n_nodes t then invalid_arg "Multinode.node";
   t.nodes.(i)
 
+(** Apply [f] to every node and collect the results in node order,
+    optionally fanning the calls across [domains] OCaml domains.  Nodes
+    are disjoint state (each has its own planes and caches) so per-node
+    work parallelises safely; each worker strides over the node array and
+    writes only its own result slots, and results are consumed in node
+    order after all domains join, so the outcome is deterministic.
+    [domains <= 1] (the default) runs sequentially. *)
+let parallel_iter ?(domains = 1) t (f : int -> Node.t -> 'a) : 'a array =
+  let n = Array.length t.nodes in
+  if domains <= 1 || n <= 1 then Array.init n (fun i -> f i t.nodes.(i))
+  else begin
+    let results = Array.make n None in
+    let d = min domains n in
+    let worker w () =
+      let i = ref w in
+      while !i < n do
+        results.(!i) <- Some (f !i t.nodes.(!i));
+        i := !i + d
+      done
+    in
+    List.init d (fun w -> Domain.spawn (worker w)) |> List.iter Domain.join;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
 (** Run one synchronous compute step: [f] produces per-node (cycles, flops)
     — typically from {!Sequencer.run} on each node — and the machine
-    advances by the slowest node's cycles. *)
-let compute_step t (f : int -> Node.t -> int * int) =
+    advances by the slowest node's cycles.  [domains] fans the per-node
+    work across OCaml domains; counters are accumulated in node order
+    after the fan-in, so results are identical to a sequential step. *)
+let compute_step ?domains t (f : int -> Node.t -> int * int) =
+  let per_node = parallel_iter ?domains t f in
   let worst = ref 0 in
-  Array.iteri
-    (fun i node ->
-      let cycles, flops = f i node in
+  Array.iter
+    (fun (cycles, flops) ->
       t.flops <- t.flops + flops;
       if cycles > !worst then worst := cycles)
-    t.nodes;
+    per_node;
   t.cycles <- t.cycles + !worst
 
 (** One message of a communication phase. *)

@@ -24,9 +24,15 @@ type t = {
 val create : ?dim:int -> Nsc_arch.Params.t -> t
 val n_nodes : t -> int
 val node : t -> int -> Node.t
+(** Apply [f] to every node, collecting results in node order;
+    [domains > 1] fans the calls across OCaml domains (deterministic —
+    nodes are disjoint state and fan-in is ordered). *)
+val parallel_iter : ?domains:int -> t -> (int -> Node.t -> 'a) -> 'a array
+
 (** One synchronous compute step: [f] yields per-node (cycles, flops);
-    the machine advances by the slowest node. *)
-val compute_step : t -> (int -> Node.t -> int * int) -> unit
+    the machine advances by the slowest node.  [domains] fans per-node
+    work across OCaml domains with bit-identical results. *)
+val compute_step : ?domains:int -> t -> (int -> Node.t -> int * int) -> unit
 type message = {
   src : Nsc_arch.Router.node_id;
   dst : Nsc_arch.Router.node_id;

@@ -34,13 +34,11 @@ let write_plane t ~plane:i ~addr v = Memory.write (plane t i) addr v
 (** Bulk-load an array into a plane starting at [base] — how host data
     reaches the simulated machine before a run. *)
 let load_array t ~plane:i ~base (xs : float array) =
-  let store = plane t i in
-  Array.iteri (fun k v -> Memory.write store (base + k) v) xs
+  Memory.write_strided (plane t i) ~base ~stride:1 xs
 
 (** Read [len] consecutive words back out of a plane. *)
 let dump_array t ~plane:i ~base ~len =
-  let store = plane t i in
-  Array.init len (fun k -> Memory.read store (base + k))
+  Memory.read_strided (plane t i) ~base ~stride:1 ~count:len
 
 (** Load data into a cache's DMA-side buffer, then swap it to the pipeline
     side (one double-buffer staging step). *)

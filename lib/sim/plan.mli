@@ -1,0 +1,79 @@
+(** Compiled execution plans.
+
+    A {!Nsc_diagram.Semantic.t} is one machine instruction replayed over
+    long vector streams, so everything static about it — operand bindings,
+    switch routes, chain predecessors, topological order, DMA transfers,
+    the timing analysis — is resolved once at compile time into an
+    immutable, int-indexed plan.  {!Engine.run_plan} then executes the plan
+    with a pure array-indexing inner loop. *)
+
+open Nsc_arch
+open Nsc_diagram
+open Nsc_checker
+
+(** Where a functional-unit operand comes from, resolved to plan indices. *)
+type operand =
+  | Zero                      (** unbound / unrouted: streams zeros *)
+  | Const of float
+  | Unit of int               (** same-element output of plan unit [k] *)
+  | Self of int               (** own output [n] elements back, [n >= 1] *)
+  | Stream of int             (** element [e] of prefetched read stream *)
+  | Stream_at of int * int    (** read stream at [e + offset] (shift/delay) *)
+
+type unit_plan = {
+  fu : Resource.fu_id;
+  op : Opcode.t;
+  binary : bool;
+  a : operand;
+  b : operand;
+}
+
+type read_stream = { src : Resource.source; transfer : Dma.transfer; count : int }
+
+type write_source =
+  | W_unit of int
+  | W_live of { transfer : Dma.transfer; count : int; offset : int }
+      (** element-by-element live re-read of a DMA stream at write time *)
+  | W_zero
+
+type write_stream = { wsrc : write_source; transfer : Dma.transfer; count : int }
+
+(** Dense executable body: units in topological order. *)
+type fast = {
+  units : unit_plan array;
+  reads : read_stream array;
+  writes : write_stream array;
+  order_of_sem : int array;
+      (** plan position of each unit of [sem.units], in original order *)
+}
+
+type t = {
+  sem : Semantic.t;
+  vlen : int;
+  analysis : Timing.t;  (** computed exactly once, at compile time *)
+  cycles : int;         (** {!Timing.estimated_cycles} at [vlen], cached *)
+  flops : int;
+  honor_timing : bool;
+  fast : fast option;   (** [None]: fall back to the general evaluator *)
+}
+
+(** Lower a semantic pipeline to an execution plan.  Runs
+    {!Nsc_checker.Timing.analyse} exactly once. *)
+val compile : Params.t -> ?honor_timing:bool -> Semantic.t -> t
+
+(** {2 Counters} — atomic, shared across domains. *)
+
+val compile_count : unit -> int
+val cache_hit_count : unit -> int
+val reset_counters : unit -> unit
+
+(** {2 Per-instruction plan cache}
+
+    Keyed by instruction index; a hit is validated against the incoming
+    semantics (and [honor_timing]) so the cache stays safe across runs
+    that re-decode the same microcode. *)
+
+type cache
+
+val make_cache : unit -> cache
+val cached : cache -> Params.t -> ?honor_timing:bool -> Semantic.t -> t

@@ -36,8 +36,15 @@ let max_recorded_events = 2000
     ([from_microcode]); passing [~from_microcode:false] runs the retained
     semantic structures directly (useful to isolate decoder faults).
     [on_instruction] is invoked after each pipeline completes — the hook the
-    visual debugger attaches to. *)
+    visual debugger attaches to.
+
+    Each [Exec] runs through a compiled execution plan; repeated [Exec]s of
+    the same instruction (loop bodies) reuse the plan from [plan_cache]
+    rather than recompiling.  Pass a persistent {!Plan.cache} to reuse
+    plans across runs of the same program; [~engine:`Legacy] restores the
+    seed per-dispatch path (benchmark baseline). *)
 let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
+    ?(engine = `Plan) ?(plan_cache = Plan.make_cache ())
     ?(on_instruction = fun (_ : Semantic.t) (_ : Engine.result) -> ())
     (c : Codegen.compiled) : (outcome, string) result =
   let p = node.Node.params in
@@ -78,7 +85,12 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
               exec_error := Some (Printf.sprintf "control references missing pipeline %d" n);
             raise Halted
         | Some sem ->
-            let r = Engine.run node ~record_trace sem in
+            let r =
+              match engine with
+              | `Plan ->
+                  Engine.run_plan node ~record_trace (Plan.cached plan_cache p sem)
+              | `Legacy -> Engine.run_legacy node ~record_trace sem
+            in
             incr executed;
             cycles := !cycles + r.Engine.cycles + p.reconfig_cycles;
             flops := !flops + r.Engine.flops;

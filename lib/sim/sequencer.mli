@@ -29,10 +29,17 @@ val max_recorded_events : int
     control programme (Exec/Repeat/While/Halt), charge reconfiguration
     between instructions, and evaluate while-conditions from captured
     scalars.  [on_instruction] is the hook the visual debugger attaches
-    to. *)
+    to.
+
+    Each [Exec] runs through a compiled execution plan; repeated [Exec]s
+    of the same instruction reuse the plan from [plan_cache] (pass a
+    persistent {!Plan.cache} to also reuse plans across runs).
+    [~engine:`Legacy] restores the seed per-dispatch path. *)
 val run :
   Node.t ->
   ?from_microcode:bool ->
   ?record_trace:bool ->
+  ?engine:[ `Plan | `Legacy ] ->
+  ?plan_cache:Plan.cache ->
   ?on_instruction:(Nsc_diagram.Semantic.t -> Engine.result -> unit) ->
   Nsc_microcode.Codegen.compiled -> (outcome, string) result

@@ -43,3 +43,13 @@ let of_sequencer (p : Params.t) (s : Sequencer.stats) =
 let summary_to_string s =
   Printf.sprintf "%d cycles, %d flops, %.3f ms, %.1f MFLOPS (%.1f%% of peak)" s.cycles
     s.flops (s.seconds *. 1e3) s.mflops (100.0 *. s.utilization)
+
+(** {2 Host-side execution counters}
+
+    Plan-compilation accounting, re-exported from {!Plan} so performance
+    reporting has one entry point.  These count host work (how often the
+    simulator lowered or reused a plan), not simulated machine work. *)
+
+let plan_compiles = Plan.compile_count
+let plan_cache_hits = Plan.cache_hit_count
+let reset_plan_counters = Plan.reset_counters

@@ -20,3 +20,11 @@ type summary = {
 val summarize : Nsc_arch.Params.t -> cycles:int -> flops:int -> summary
 val of_sequencer : Nsc_arch.Params.t -> Sequencer.stats -> summary
 val summary_to_string : summary -> string
+
+(** Host-side plan accounting (re-exported from {!Plan}): how often the
+    simulator lowered a pipeline to a plan, and how often a cached plan
+    was reused instead. *)
+
+val plan_compiles : unit -> int
+val plan_cache_hits : unit -> int
+val reset_plan_counters : unit -> unit

@@ -352,3 +352,62 @@ let engine_equivalence =
   ]
 
 let suite = suite @ [ ("property:engine-equivalence", engine_equivalence) ]
+
+(* appended: the compiled-plan executor against the seed dispatch and the
+   general memoized evaluator.  Against the legacy fast path the whole
+   result must match including event order (both run element-major in
+   topological order); the general evaluator discovers traps in memoized
+   recursion order, so it is compared without the event list. *)
+let plan_equivalence =
+  [
+    qcheck ~count:60 "compiled plans match the legacy and general evaluators"
+      valid_pipeline_gen
+      (fun pl ->
+        let sem, _ = Semantic.of_pipeline params pl in
+        let observe exec =
+          let node = Nsc_sim.Node.create params in
+          List.iter
+            (fun plane ->
+              Nsc_sim.Node.load_array node ~plane ~base:0
+                (Array.init 80 (fun i -> Float.of_int ((plane * 11) + i) /. 7.0)))
+            (List.init 16 (fun p -> p));
+          let r : Nsc_sim.Engine.result = exec node in
+          let mem =
+            List.map
+              (fun plane -> Nsc_sim.Node.dump_array node ~plane ~base:0 ~len:80)
+              (List.init 16 (fun p -> p))
+          in
+          ( (mem, List.sort compare r.Nsc_sim.Engine.last_values,
+             r.Nsc_sim.Engine.cycles, r.Nsc_sim.Engine.flops,
+             r.Nsc_sim.Engine.writes),
+            r.Nsc_sim.Engine.events )
+        in
+        let plan = observe (fun node -> Nsc_sim.Engine.run node sem) in
+        let legacy = observe (fun node -> Nsc_sim.Engine.run_legacy node sem) in
+        let general =
+          observe (fun node -> Nsc_sim.Engine.run node ~force_general:true sem)
+        in
+        plan = legacy && fst plan = fst general);
+    qcheck ~count:40 "cached plans replay identically to fresh compiles"
+      valid_pipeline_gen
+      (fun pl ->
+        let sem, _ = Semantic.of_pipeline params pl in
+        let node = Nsc_sim.Node.create params in
+        List.iter
+          (fun plane ->
+            Nsc_sim.Node.load_array node ~plane ~base:0
+              (Array.init 80 (fun i -> Float.of_int ((plane * 5) + i) /. 2.0)))
+          (List.init 16 (fun p -> p));
+        let cache = Nsc_sim.Plan.make_cache () in
+        let fresh = Nsc_sim.Engine.run_plan node (Nsc_sim.Plan.compile params sem) in
+        (* prime the cache, then the second lookup must hit and agree *)
+        ignore (Nsc_sim.Plan.cached cache params sem);
+        let hits_before = Nsc_sim.Plan.cache_hit_count () in
+        let cached = Nsc_sim.Engine.run_plan node (Nsc_sim.Plan.cached cache params sem) in
+        Nsc_sim.Plan.cache_hit_count () = hits_before + 1
+        && List.sort compare cached.Nsc_sim.Engine.last_values
+           = List.sort compare fresh.Nsc_sim.Engine.last_values
+        && cached.Nsc_sim.Engine.cycles = fresh.Nsc_sim.Engine.cycles);
+  ]
+
+let suite = suite @ [ ("property:plan-equivalence", plan_equivalence) ]

@@ -434,3 +434,70 @@ let cache_tests =
   ]
 
 let suite = suite @ [ ("sim:cache", cache_tests) ]
+
+(* appended: the plan compiler, its per-run instruction cache, and the
+   multinode domain fan-out *)
+let plan_tests =
+  [
+    case "sequencer compiles each instruction once and hits the cache after"
+      (fun () ->
+        let prog, _ = vecadd_program ~n:8 () in
+        let prog =
+          Program.set_control prog
+            [ Program.Repeat { count = 5; body = [ Program.Exec 1 ] }; Program.Halt ]
+        in
+        let c = Result.get_ok (Nsc_microcode.Codegen.compile kb prog) in
+        let node = Node.create params in
+        let c0 = Stats.plan_compiles () and h0 = Stats.plan_cache_hits () in
+        (match Sequencer.run node c with
+        | Ok o -> check_int "five" 5 o.Sequencer.stats.Sequencer.instructions_executed
+        | Error e -> Alcotest.fail e);
+        check_int "one compile" 1 (Stats.plan_compiles () - c0);
+        check_int "four hits" 4 (Stats.plan_cache_hits () - h0));
+    case "timing analysis runs exactly once per compiled plan" (fun () ->
+        let prog, _ = vecadd_program ~n:8 () in
+        let prog =
+          Program.set_control prog
+            [ Program.Repeat { count = 6; body = [ Program.Exec 1 ] }; Program.Halt ]
+        in
+        (* microcode compilation (which runs the checker) happens outside
+           the measurement window: only the simulator's own analyses count *)
+        let c = Result.get_ok (Nsc_microcode.Codegen.compile kb prog) in
+        let node = Node.create params in
+        let a0 = Nsc_checker.Timing.analysis_count () in
+        ignore (Result.get_ok (Sequencer.run node c));
+        check_int "analysed once for six executions" 1
+          (Nsc_checker.Timing.analysis_count () - a0));
+    case "plan and legacy engines agree on the Jacobi solve" (fun () ->
+        let prob = Nsc_apps.Poisson.manufactured 5 in
+        let go engine =
+          Result.get_ok
+            (Nsc_apps.Jacobi.solve kb ~engine prob ~tol:1e-4 ~max_iters:200)
+        in
+        let p = go `Plan and l = go `Legacy in
+        check_int "sweeps" l.Nsc_apps.Jacobi.sweeps p.Nsc_apps.Jacobi.sweeps;
+        check_bool "fields" true (p.Nsc_apps.Jacobi.u = l.Nsc_apps.Jacobi.u);
+        check_bool "residual" true
+          (p.Nsc_apps.Jacobi.final_change = l.Nsc_apps.Jacobi.final_change));
+    case "compute_step over domains matches the sequential fan-out" (fun () ->
+        let run domains =
+          let m = Multinode.create ~dim:3 params in
+          Multinode.compute_step ?domains m (fun i _ -> ((i + 1) * 10, 100 + i));
+          (m.Multinode.cycles, m.Multinode.flops)
+        in
+        let seq = run None in
+        check_bool "domains:4" true (run (Some 4) = seq);
+        check_bool "domains:64 (more than nodes)" true (run (Some 64) = seq);
+        check_int "cycles" 80 (fst seq));
+    case "run_field over domains is bit-identical to sequential" (fun () ->
+        let go domains =
+          Result.get_ok (Nsc_apps.Parallel.run_field ?domains params ~n:5 ~iters:2 ~dim:2)
+        in
+        let seq = go None and par = go (Some 4) in
+        check_int "length" (Array.length seq) (Array.length par);
+        Array.iteri
+          (fun i v -> check_bool "word" true (v = par.(i)))
+          seq);
+  ]
+
+let suite = suite @ [ ("sim:plan", plan_tests) ]

@@ -81,6 +81,55 @@ let memory_tests =
           (Memory.validate_extent params
              { Memory.plane = 0; lo = 0; hi = params.Params.memory_plane_words + 1 }
           <> []));
+    case "bulk strided writes read back word by word" (fun () ->
+        (* a small page size forces page crossings inside the span *)
+        let st = Memory.make_store ~page_words:16 1024 in
+        let xs = Array.init 40 (fun i -> float_of_int (i + 1)) in
+        Memory.write_strided st ~base:3 ~stride:1 xs;
+        Array.iteri (fun i v -> check_float "unit stride" v (Memory.read st (3 + i))) xs;
+        Memory.write_strided st ~base:100 ~stride:7 xs;
+        Array.iteri (fun i v -> check_float "stride 7" v (Memory.read st (100 + (7 * i)))) xs);
+    case "bulk strided reads match word-by-word reads" (fun () ->
+        let st = Memory.make_store ~page_words:16 1024 in
+        for a = 0 to 299 do
+          Memory.write st a (float_of_int (a * a))
+        done;
+        let direct ~base ~stride ~count =
+          Array.init count (fun i -> Memory.read st (base + (i * stride)))
+        in
+        check_bool "unit stride" true
+          (Memory.read_strided st ~base:5 ~stride:1 ~count:100
+          = direct ~base:5 ~stride:1 ~count:100);
+        check_bool "page-crossing stride" true
+          (Memory.read_strided st ~base:2 ~stride:17 ~count:17
+          = direct ~base:2 ~stride:17 ~count:17);
+        check_bool "untouched tail is zero" true
+          (Memory.read_strided st ~base:400 ~stride:3 ~count:8 = Array.make 8 0.0));
+    case "negative strides round-trip through the bulk path" (fun () ->
+        let st = Memory.make_store ~page_words:16 256 in
+        let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+        Memory.write_strided st ~base:100 ~stride:(-9) xs;
+        Array.iteri (fun i v -> check_float "word" v (Memory.read st (100 - (9 * i)))) xs;
+        check_bool "read back" true
+          (Memory.read_strided st ~base:100 ~stride:(-9) ~count:5 = xs));
+    case "strided accesses outside the plane are rejected" (fun () ->
+        let st = Memory.make_store 64 in
+        Alcotest.check_raises "read past end"
+          (Invalid_argument "Memory: address 64 outside plane of 64 words") (fun () ->
+            ignore (Memory.read_strided st ~base:60 ~stride:1 ~count:5));
+        Alcotest.check_raises "write before start"
+          (Invalid_argument "Memory: address -2 outside plane of 64 words") (fun () ->
+            Memory.write_strided st ~base:2 ~stride:(-2) [| 1.0; 2.0; 3.0 |]));
+    case "touched_words is the resident page footprint" (fun () ->
+        let st = Memory.make_store ~page_words:32 1024 in
+        check_int "empty" 0 (Memory.touched_words st);
+        Memory.write st 0 1.0;
+        Memory.write st 5 2.0;
+        check_int "one page" 32 (Memory.touched_words st);
+        Memory.write st 1000 3.0;
+        check_int "two pages" 64 (Memory.touched_words st);
+        check_int "consistent with touched_pages" (Memory.touched_pages st * 32)
+          (Memory.touched_words st));
   ]
 
 let cache_tests =
