@@ -9,7 +9,8 @@
      render        ASCII/SVG renderings of diagrams and the datapath
      replay        replay an editor session script
      compile       compile textual pipeline-language source to a program
-     debug         run with tracing and print annotated diagram frames *)
+     debug         run with tracing and print annotated diagram frames
+     stats         run under the trace instrument and print its counters *)
 
 open Nsc_arch
 open Nsc_diagram
@@ -197,6 +198,30 @@ let read_floats file =
    with End_of_file -> close_in ic);
   Array.of_list (List.rev !xs)
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a structured trace of the execution and write it as Chrome \
+               trace-event JSON to $(docv) (loadable in Perfetto or chrome://tracing); \
+               the counter summary is printed as well.")
+
+(* Run [f] under the trace instrument when [trace] names an output file.
+   Input loading happens before this, so the counters see exactly the
+   execution; the JSON export and the printed digest both read the same
+   counter registry, so their totals always agree. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some out ->
+      Nsc_trace.Trace.reset ();
+      Nsc_trace.Trace.enable ();
+      f ();
+      Nsc_trace.Trace.disable ();
+      let oc = open_out out in
+      output_string oc (Nsc_trace.Trace.to_chrome ());
+      close_out oc;
+      Printf.printf "wrote %s\n" out;
+      print_string (Nsc_trace.Trace.summary ())
+
 let run_cmd =
   let loads =
     Arg.(value & opt_all string [] & info [ "load" ] ~docv:"PLANE:BASE:FILE"
@@ -207,7 +232,7 @@ let run_cmd =
            ~doc:"Print a memory range after the run.")
   in
   let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the interrupt log.") in
-  let run subset path loads dumps events =
+  let run subset path loads dumps events trace =
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let c = compile_or_die kb (load_program kb path) in
@@ -220,24 +245,25 @@ let run_cmd =
             prerr_endline ("bad --load: " ^ s);
             exit 2)
       loads;
-    (match Nsc_sim.Sequencer.run node c with
-    | Error e ->
-        prerr_endline ("run error: " ^ e);
-        exit 1
-    | Ok o ->
-        let stats = o.Nsc_sim.Sequencer.stats in
-        Printf.printf "executed %d instruction(s)%s\n"
-          stats.Nsc_sim.Sequencer.instructions_executed
-          (if o.Nsc_sim.Sequencer.halted then " (halted)" else "");
-        let s =
-          Nsc_sim.Stats.summarize p ~cycles:stats.Nsc_sim.Sequencer.total_cycles
-            ~flops:stats.Nsc_sim.Sequencer.total_flops
-        in
-        Printf.printf "%s\n" (Nsc_sim.Stats.summary_to_string s);
-        if events then
-          List.iter
-            (fun e -> print_endline ("  " ^ Interrupt.event_to_string e))
-            stats.Nsc_sim.Sequencer.events);
+    with_trace trace (fun () ->
+        match Nsc_sim.Sequencer.run node c with
+        | Error e ->
+            prerr_endline ("run error: " ^ e);
+            exit 1
+        | Ok o ->
+            let stats = o.Nsc_sim.Sequencer.stats in
+            Printf.printf "executed %d instruction(s)%s\n"
+              stats.Nsc_sim.Sequencer.instructions_executed
+              (if o.Nsc_sim.Sequencer.halted then " (halted)" else "");
+            let s =
+              Nsc_sim.Stats.summarize p ~cycles:stats.Nsc_sim.Sequencer.total_cycles
+                ~flops:stats.Nsc_sim.Sequencer.total_flops
+            in
+            Printf.printf "%s\n" (Nsc_sim.Stats.summary_to_string s);
+            if events then
+              List.iter
+                (fun e -> print_endline ("  " ^ Interrupt.event_to_string e))
+                stats.Nsc_sim.Sequencer.events);
     List.iter
       (fun s ->
         match parse_dump s with
@@ -252,7 +278,7 @@ let run_cmd =
       dumps
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a program on the simulated node.")
-    Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events)
+    Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events $ trace_out)
 
 (* -- render ------------------------------------------------------------- *)
 
@@ -390,7 +416,7 @@ let debug_cmd =
            ~doc:"Load floats before the run.")
   in
   let limit = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Frames to display.") in
-  let run subset path element loads limit =
+  let run subset path element loads limit trace =
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let prog = load_program kb path in
@@ -404,20 +430,67 @@ let debug_cmd =
             prerr_endline ("bad --load: " ^ s);
             exit 2)
       loads;
-    match Nsc_debug.Stepper.run node ~limit c prog with
-    | Error e ->
-        prerr_endline ("run error: " ^ e);
-        exit 1
-    | Ok run ->
-        List.iter
-          (fun f ->
-            print_string (Nsc_debug.Stepper.render_frame p run f ~element);
-            print_newline ())
-          run.Nsc_debug.Stepper.frames
+    with_trace trace (fun () ->
+        match Nsc_debug.Stepper.run node ~limit c prog with
+        | Error e ->
+            prerr_endline ("run error: " ^ e);
+            exit 1
+        | Ok run ->
+            List.iter
+              (fun f ->
+                print_string (Nsc_debug.Stepper.render_frame p run f ~element);
+                print_newline ())
+              run.Nsc_debug.Stepper.frames)
   in
   Cmd.v
     (Cmd.info "debug" ~doc:"Execute with tracing; print annotated pipeline diagrams.")
-    Term.(const run $ subset_flag $ program_arg $ element $ loads $ limit)
+    Term.(const run $ subset_flag $ program_arg $ element $ loads $ limit $ trace_out)
+
+(* -- stats ----------------------------------------------------------------- *)
+
+let stats_cmd =
+  let loads =
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"PLANE:BASE:FILE"
+           ~doc:"Load floats (one per line) into a memory plane before the run.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Also write the Chrome trace-event JSON to $(docv).")
+  in
+  let run subset path loads out =
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    let c = compile_or_die kb (load_program kb path) in
+    let node = Nsc_sim.Node.create p in
+    List.iter
+      (fun s ->
+        match parse_load s with
+        | Some (plane, base, file) -> Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
+        | None ->
+            prerr_endline ("bad --load: " ^ s);
+            exit 2)
+      loads;
+    Nsc_trace.Trace.reset ();
+    Nsc_trace.Trace.enable ();
+    (match Nsc_sim.Sequencer.run node c with
+    | Error e ->
+        prerr_endline ("run error: " ^ e);
+        exit 1
+    | Ok _ -> ());
+    Nsc_trace.Trace.disable ();
+    print_string (Nsc_sim.Stats.trace_summary ());
+    match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Nsc_sim.Stats.trace_to_chrome ());
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a program under the trace instrument and print its counters.")
+    Term.(const run $ subset_flag $ program_arg $ loads $ out)
 
 let () =
   let doc = "A visual programming environment for the Navier-Stokes Computer." in
@@ -426,5 +499,5 @@ let () =
        (Cmd.group (Cmd.info "nscvp" ~doc)
           [
             info_cmd; check_cmd; codegen_cmd; disasm_cmd; run_cmd; render_cmd; replay_cmd;
-            compile_cmd; debug_cmd;
+            compile_cmd; debug_cmd; stats_cmd;
           ]))

@@ -9,6 +9,32 @@ type buffer = Front | Back [@@deriving show { with_path = false }, eq]
 
 let other = function Front -> Back | Back -> Front
 
+(* Observability: staging effectiveness of the double-buffered caches.  A
+   pipeline-side read of a word that was written (staged) since the buffer
+   was last cleared is a hit; reading a never-staged word returns the
+   priming zero — a miss.  Staleness is tracked in per-buffer bitmaps that
+   are only maintained while tracing is enabled, so the disabled path costs
+   one flag check per access (bulk paths: one per call). *)
+let c_reads =
+  Nsc_trace.Trace.counter ~name:"cache.reads" ~units:"words"
+    ~desc:"pipeline-side words read from cache buffers"
+
+let c_writes =
+  Nsc_trace.Trace.counter ~name:"cache.writes" ~units:"words"
+    ~desc:"pipeline-side words written to cache buffers"
+
+let c_hits =
+  Nsc_trace.Trace.counter ~name:"cache.hits" ~units:"words"
+    ~desc:"pipeline-side reads of previously staged words"
+
+let c_misses =
+  Nsc_trace.Trace.counter ~name:"cache.misses" ~units:"words"
+    ~desc:"pipeline-side reads of never-staged (priming-zero) words"
+
+let c_swaps =
+  Nsc_trace.Trace.counter ~name:"cache.swaps" ~units:"swaps"
+    ~desc:"double-buffer swaps between pipeline and DMA sides"
+
 (** Dynamic cache state: two word-addressed buffers plus the identity of the
     buffer currently attached to the pipeline side. *)
 type t = {
@@ -16,20 +42,33 @@ type t = {
   words : int;
   front : float array;
   back : float array;
+  staged_front : Bytes.t;  (** bitmap of staged words, tracing only *)
+  staged_back : Bytes.t;
   mutable pipeline_side : buffer;
 }
 
 let make (p : Params.t) id =
   if id < 0 || id >= p.n_caches then invalid_arg "Cache.make: bad cache id";
+  let bitmap_bytes = (p.cache_words + 7) / 8 in
   {
     id;
     words = p.cache_words;
     front = Array.make p.cache_words 0.0;
     back = Array.make p.cache_words 0.0;
+    staged_front = Bytes.make bitmap_bytes '\000';
+    staged_back = Bytes.make bitmap_bytes '\000';
     pipeline_side = Front;
   }
 
 let buf t = function Front -> t.front | Back -> t.back
+let staged t = function Front -> t.staged_front | Back -> t.staged_back
+
+let mark_staged bm addr =
+  let i = addr lsr 3 and bit = addr land 7 in
+  Bytes.set bm i (Char.chr (Char.code (Bytes.get bm i) lor (1 lsl bit)))
+
+let is_staged bm addr =
+  Char.code (Bytes.get bm (addr lsr 3)) land (1 lsl (addr land 7)) <> 0
 
 let check_addr t addr =
   if addr < 0 || addr >= t.words then
@@ -39,10 +78,19 @@ let check_addr t addr =
 (** Pipeline-side access (the buffer currently wired into the datapath). *)
 let read_pipeline t addr =
   check_addr t addr;
+  if Nsc_trace.Trace.enabled () then begin
+    Nsc_trace.Trace.add c_reads 1;
+    if is_staged (staged t t.pipeline_side) addr then Nsc_trace.Trace.add c_hits 1
+    else Nsc_trace.Trace.add c_misses 1
+  end;
   (buf t t.pipeline_side).(addr)
 
 let write_pipeline t addr v =
   check_addr t addr;
+  if Nsc_trace.Trace.enabled () then begin
+    Nsc_trace.Trace.add c_writes 1;
+    mark_staged (staged t t.pipeline_side) addr
+  end;
   (buf t t.pipeline_side).(addr) <- v
 
 (** DMA-side access (the buffer being staged behind the pipeline's back). *)
@@ -52,6 +100,7 @@ let read_dma t addr =
 
 let write_dma t addr v =
   check_addr t addr;
+  if Nsc_trace.Trace.enabled () then mark_staged (staged t (other t.pipeline_side)) addr;
   (buf t (other t.pipeline_side)).(addr) <- v
 
 (* --- bulk pipeline-side paths ------------------------------------------ *)
@@ -68,20 +117,40 @@ let check_strided t ~base ~stride ~count =
 let read_pipeline_strided t ~base ~stride ~count =
   check_strided t ~base ~stride ~count;
   if count <= 0 then [||]
-  else
+  else begin
+    (if Nsc_trace.Trace.enabled () then begin
+       Nsc_trace.Trace.add c_reads count;
+       let bm = staged t t.pipeline_side in
+       let hits = ref 0 in
+       for i = 0 to count - 1 do
+         if is_staged bm (base + (i * stride)) then incr hits
+       done;
+       Nsc_trace.Trace.add c_hits !hits;
+       Nsc_trace.Trace.add c_misses (count - !hits)
+     end);
     let b = buf t t.pipeline_side in
     Array.init count (fun i -> b.(base + (i * stride)))
+  end
 
 (** Bulk strided write to the pipeline-side buffer. *)
 let write_pipeline_strided t ~base ~stride (xs : float array) =
   check_strided t ~base ~stride ~count:(Array.length xs);
+  (if Nsc_trace.Trace.enabled () then begin
+     Nsc_trace.Trace.add c_writes (Array.length xs);
+     let bm = staged t t.pipeline_side in
+     Array.iteri (fun i _ -> mark_staged bm (base + (i * stride))) xs
+   end);
   let b = buf t t.pipeline_side in
   Array.iteri (fun i v -> b.(base + (i * stride)) <- v) xs
 
 (** Swap buffers between instructions. *)
-let swap t = t.pipeline_side <- other t.pipeline_side
+let swap t =
+  Nsc_trace.Trace.add c_swaps 1;
+  t.pipeline_side <- other t.pipeline_side
 
 let clear t =
   Array.fill t.front 0 t.words 0.0;
   Array.fill t.back 0 t.words 0.0;
+  Bytes.fill t.staged_front 0 (Bytes.length t.staged_front) '\000';
+  Bytes.fill t.staged_back 0 (Bytes.length t.staged_back) '\000';
   t.pipeline_side <- Front

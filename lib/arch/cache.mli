@@ -20,6 +20,9 @@ type t = {
   words : int;
   front : float array;
   back : float array;
+  staged_front : Bytes.t;
+      (** bitmap of staged words (hit/miss accounting, tracing only) *)
+  staged_back : Bytes.t;
   mutable pipeline_side : buffer;
 }
 val make : Params.t -> Resource.cache_id -> t

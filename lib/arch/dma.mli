@@ -42,3 +42,13 @@ val transfer_to_string : transfer -> string
 val addresses : transfer -> vector_length:int -> int list
 val validate :
   Params.t -> transfer -> vector_length:int -> string list
+
+(** Note an executed read stream of [words] elements on the trace
+    counters ([dma.transfers], [dma.read_words]).  No-op unless tracing
+    is enabled. *)
+val note_read : words:int -> unit
+
+(** Note an executed write stream of [words] elements on the trace
+    counters ([dma.transfers], [dma.write_words]).  No-op unless tracing
+    is enabled. *)
+val note_write : words:int -> unit

@@ -39,6 +39,21 @@ let strided_extent ~plane ~base ~stride ~count =
     let last = base + (stride * (count - 1)) in
     { plane; lo = min base last; hi = max base last + 1 }
 
+(* Observability: word traffic through the planes and the resident-page
+   footprint.  Counters accumulate only while tracing is enabled; every
+   site is gated on one flag check (bulk paths check once per run). *)
+let c_reads =
+  Nsc_trace.Trace.counter ~name:"mem.reads" ~units:"words"
+    ~desc:"words read from memory planes (streams, scalars and host dumps)"
+
+let c_writes =
+  Nsc_trace.Trace.counter ~name:"mem.writes" ~units:"words"
+    ~desc:"words written to memory planes (streams, scalars and host loads)"
+
+let c_pages =
+  Nsc_trace.Trace.counter ~name:"mem.pages_touched" ~units:"pages"
+    ~desc:"sparse plane pages materialised by a first write"
+
 (** Backing store for one plane: a paged sparse array so that 128 MB planes
     cost only what is touched.  Reads of untouched words return 0.0. *)
 type store = {
@@ -57,6 +72,7 @@ let check_addr st addr =
 
 let read st addr =
   check_addr st addr;
+  Nsc_trace.Trace.add c_reads 1;
   match Hashtbl.find_opt st.pages (addr / st.page_words) with
   | None -> 0.0
   | Some page -> page.(addr mod st.page_words)
@@ -67,10 +83,12 @@ let page_for st key =
   | None ->
       let page = Array.make st.page_words 0.0 in
       Hashtbl.add st.pages key page;
+      Nsc_trace.Trace.add c_pages 1;
       page
 
 let write st addr v =
   check_addr st addr;
+  Nsc_trace.Trace.add c_writes 1;
   (page_for st (addr / st.page_words)).(addr mod st.page_words) <- v
 
 (* --- bulk strided paths ------------------------------------------------ *)
@@ -91,6 +109,7 @@ let read_strided st ~base ~stride ~count =
   check_strided st ~base ~stride ~count;
   if count <= 0 then [||]
   else begin
+    Nsc_trace.Trace.add c_reads count;
     let out = Array.make count 0.0 in
     if stride = 1 then begin
       let i = ref 0 in
@@ -127,6 +146,7 @@ let read_strided st ~base ~stride ~count =
 let write_strided st ~base ~stride (xs : float array) =
   let count = Array.length xs in
   check_strided st ~base ~stride ~count;
+  Nsc_trace.Trace.add c_writes count;
   if stride = 1 then begin
     let i = ref 0 in
     while !i < count do

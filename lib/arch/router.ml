@@ -64,12 +64,37 @@ let node_to_chain ~dim node =
   if not (valid_node ~dim node) then invalid_arg "Router.node_to_chain";
   gray_inverse node
 
+(* Observability: inter-node traffic.  [router.contention_cycles] is
+   incremented by the multi-node machine when messages leaving one source
+   serialise on its links; the per-transfer counters accumulate here. *)
+let c_transfers =
+  Nsc_trace.Trace.counter ~name:"router.transfers" ~units:"messages"
+    ~desc:"inter-node messages costed by the hyperspace router"
+
+let c_hops =
+  Nsc_trace.Trace.counter ~name:"router.hops" ~units:"hops"
+    ~desc:"hypercube hops traversed, summed over messages"
+
+let c_words =
+  Nsc_trace.Trace.counter ~name:"router.words" ~units:"words"
+    ~desc:"payload words carried between nodes"
+
+let c_contention =
+  Nsc_trace.Trace.counter ~name:"router.contention_cycles" ~units:"cycles"
+    ~desc:"extra cycles from messages serialising on a shared source node"
+
 (** Cycles to move [words] 64-bit words between [src] and [dst]:
     per-hop latency plus bandwidth-limited transmission (cut-through — the
     payload streams behind the header, so distance adds latency only). *)
 let transfer_cycles (p : Params.t) ~src ~dst ~words =
   if src = dst then 0
-  else
+  else begin
     let hops = distance src dst in
+    if Nsc_trace.Trace.enabled () then begin
+      Nsc_trace.Trace.add c_transfers 1;
+      Nsc_trace.Trace.add c_hops hops;
+      Nsc_trace.Trace.add c_words words
+    end;
     (hops * p.hop_latency)
     + int_of_float (ceil (float_of_int words /. p.link_words_per_cycle))
+  end

@@ -27,3 +27,8 @@ val chain_to_node : dim:int -> int -> int
 val node_to_chain : dim:int -> int -> int
 val transfer_cycles :
   Params.t -> src:int -> dst:int -> words:int -> int
+
+(** Trace counter for serialisation delay on a shared source node;
+    bumped by the multi-node exchange when messages leaving one node
+    queue on its links. *)
+val c_contention : Nsc_trace.Trace.counter

@@ -13,6 +13,25 @@
 type route = { src : Resource.source; snk : Resource.sink }
 [@@deriving show { with_path = false }, eq]
 
+(* Observability: how often the network is reprogrammed at run time.  The
+   table in this module is built at edit time; the sequencer notes each
+   between-instruction reconfiguration here as it dispatches. *)
+let c_reconfigs =
+  Nsc_trace.Trace.counter ~name:"switch.reconfigurations" ~units:"events"
+    ~desc:"switch reprogrammings charged between dispatched instructions"
+
+let c_routes =
+  Nsc_trace.Trace.counter ~name:"switch.routes_programmed" ~units:"routes"
+    ~desc:"(source, sink) routes loaded across all reconfigurations"
+
+(** Note one run-time reconfiguration installing [routes] routes
+    (tracing only; called by the sequencer per dispatched instruction). *)
+let note_reconfig ~routes =
+  if Nsc_trace.Trace.enabled () then begin
+    Nsc_trace.Trace.add c_reconfigs 1;
+    Nsc_trace.Trace.add c_routes routes
+  end
+
 type error =
   | Sink_already_driven of Resource.sink * Resource.source
       (** the sink is already fed, and by which source *)

@@ -15,6 +15,12 @@ val pp_route : Format.formatter -> route -> unit
 val show_route : route -> string
 val equal_route : route -> route -> bool
 
+(** Note one run-time switch reconfiguration installing [routes] routes
+    on the trace counters ([switch.reconfigurations],
+    [switch.routes_programmed]).  Called by the sequencer per dispatched
+    instruction; no-op unless tracing is enabled. *)
+val note_reconfig : routes:int -> unit
+
 (** Reasons a route is illegal. *)
 type error =
   | Sink_already_driven of Resource.sink * Resource.source

@@ -39,6 +39,71 @@ type result = {
 
 let max_recorded_events = 1000
 
+(* Observability: whole-run totals and one span per executed instruction.
+   All sites are gated on the trace-enabled flag; the disabled path costs
+   one branch per instruction, not per element. *)
+module Trace = Nsc_trace.Trace
+
+let c_instructions =
+  Trace.counter ~name:"sim.instructions" ~units:"instructions"
+    ~desc:"pipeline instructions executed by the engine"
+
+let c_cycles =
+  Trace.counter ~name:"sim.cycles" ~units:"cycles"
+    ~desc:"simulated cycles charged to pipeline execution"
+
+let c_flops =
+  Trace.counter ~name:"sim.flops" ~units:"flops"
+    ~desc:"floating-point operations performed by engaged units"
+
+let c_elements =
+  Trace.counter ~name:"sim.elements" ~units:"elements"
+    ~desc:"vector elements streamed through pipelines"
+
+let c_traps =
+  Trace.counter ~name:"sim.traps" ~units:"events"
+    ~desc:"arithmetic exceptions trapped during execution"
+
+(* Record one executed instruction as a span on the node timeline (tid 0)
+   and fold its totals into the [sim.*] counters.  The clock advances by
+   the instruction's cycle estimate, so consecutive instructions lie
+   end-to-end in the exported trace. *)
+let note_run ~kind ~index (r : result) =
+  if Trace.enabled () then begin
+    let traps =
+      List.fold_left
+        (fun n ev ->
+          match ev with Interrupt.Exception_trapped _ -> n + 1 | _ -> n)
+        0 r.events
+    in
+    let ts = Trace.now () in
+    Trace.advance r.cycles;
+    Trace.span ~cat:"engine"
+      ~name:(Printf.sprintf "exec:i%d" index)
+      ~ts ~dur:r.cycles
+      ~args:
+        [ ("kind", Trace.Str kind);
+          ("flops", Trace.Int r.flops);
+          ("elements", Trace.Int r.elements);
+          ("writes", Trace.Int r.writes) ]
+      ();
+    Trace.add c_instructions 1;
+    Trace.add c_cycles r.cycles;
+    Trace.add c_flops r.flops;
+    Trace.add c_elements r.elements;
+    if traps > 0 then Trace.add c_traps traps
+  end
+
+(* Note the instruction's declared read-stream descriptors on the DMA
+   counters (one transfer per stream, [count = 0] meaning the vector
+   length, exactly as the hardware descriptors resolve). *)
+let note_read_streams ~vlen streams =
+  if Trace.enabled () then
+    List.iter
+      (fun (_, (t : Dma.transfer)) ->
+        Dma.note_read ~words:(if t.Dma.count = 0 then vlen else t.Dma.count))
+      streams
+
 (* The general evaluator: memoized recursion over (unit, element).  Handles
    arbitrary element skew (misaligned streams), guarded switch cycles, and
    shift/delay units fed by computed streams.  The fast path below covers
@@ -60,9 +125,9 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
     sem.Semantic.routes;
   (* read streams keyed by their slotted switch source *)
   let read_transfer : (Resource.source, Dma.transfer) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun (src, t) -> Hashtbl.replace read_transfer src t)
-    (Semantic.read_streams sem);
+  let read_streams = Semantic.read_streams sem in
+  List.iter (fun (src, t) -> Hashtbl.replace read_transfer src t) read_streams;
+  note_read_streams ~vlen read_streams;
   let sd_of = Hashtbl.create 4 in
   List.iter
     (fun (s : Semantic.sd_program) -> Hashtbl.replace sd_of s.Semantic.sd s.Semantic.mode)
@@ -194,6 +259,7 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
       | None -> ()
       | Some src ->
           let count = if t.Dma.count = 0 then vlen else t.Dma.count in
+          Dma.note_write ~words:count;
           for e = 0 to count - 1 do
             let v = source_value src e in
             let addr = t.Dma.base + (e * t.Dma.stride) in
@@ -219,15 +285,19 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
   let cycles = Timing.estimated_cycles p sem analysis ~vlen in
   record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
   let flops = Semantic.flops_per_element sem * vlen in
-  {
-    cycles;
-    flops;
-    elements = vlen;
-    writes = !writes;
-    events = List.rev !events;
-    last_values;
-    trace = (if record_trace then Some { unit_values = memo; vlen } else None);
-  }
+  let r =
+    {
+      cycles;
+      flops;
+      elements = vlen;
+      writes = !writes;
+      events = List.rev !events;
+      last_values;
+      trace = (if record_trace then Some { unit_values = memo; vlen } else None);
+    }
+  in
+  note_run ~kind:"general" ~index:sem.Semantic.index r;
+  r
 
 (* --- the fast path ---------------------------------------------------- *)
 
@@ -246,7 +316,9 @@ let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
     (fun (r : Switch.route) -> Hashtbl.replace route_into r.Switch.snk r.Switch.src)
     sem.Semantic.routes;
   let read_transfer : (Resource.source, Dma.transfer) Hashtbl.t = Hashtbl.create 8 in
-  List.iter (fun (src, t) -> Hashtbl.replace read_transfer src t) (Semantic.read_streams sem);
+  let read_streams = Semantic.read_streams sem in
+  List.iter (fun (src, t) -> Hashtbl.replace read_transfer src t) read_streams;
+  note_read_streams ~vlen read_streams;
   let sd_of = Hashtbl.create 4 in
   List.iter
     (fun (s : Semantic.sd_program) -> Hashtbl.replace sd_of s.Semantic.sd s.Semantic.mode)
@@ -385,6 +457,7 @@ let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
       | None -> ()
       | Some src ->
           let count = if t.Dma.count = 0 then vlen else t.Dma.count in
+          Dma.note_write ~words:count;
           for e = 0 to count - 1 do
             let v = if e < vlen then source_value src e else 0.0 in
             let addr = t.Dma.base + (e * t.Dma.stride) in
@@ -417,15 +490,19 @@ let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
     end
     else None
   in
-  {
-    cycles;
-    flops = Semantic.flops_per_element sem * vlen;
-    elements = vlen;
-    writes = !writes;
-    events = List.rev !events;
-    last_values;
-    trace;
-  }
+  let r =
+    {
+      cycles;
+      flops = Semantic.flops_per_element sem * vlen;
+      elements = vlen;
+      writes = !writes;
+      events = List.rev !events;
+      last_values;
+      trace;
+    }
+  in
+  note_run ~kind:"fast" ~index:sem.Semantic.index r;
+  r
 
 (* Does the fast path apply?  All operand streams aligned (or timing not
    honoured), no combinational cycles, every shift/delay unit DMA-fed. *)
@@ -491,7 +568,8 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
                     Cache.read_pipeline_strided (Node.cache node c) ~base:t.Dma.base
                       ~stride:t.Dma.stride ~count:n
               in
-              Array.blit data 0 buf 0 n
+              Array.blit data 0 buf 0 n;
+              Dma.note_read ~words:n
             end;
             buf)
           f.Plan.reads
@@ -546,6 +624,7 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
           let t = w.Plan.transfer in
           let count = w.Plan.count in
           if count > 0 then begin
+            Dma.note_write ~words:count;
             (match w.Plan.wsrc with
             | Plan.W_unit k ->
                 let vals = Array.make count 0.0 in
@@ -596,15 +675,19 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
         end
         else None
       in
-      {
-        cycles = pl.Plan.cycles;
-        flops = pl.Plan.flops;
-        elements = vlen;
-        writes = !writes;
-        events = List.rev !events;
-        last_values;
-        trace;
-      }
+      let r =
+        {
+          cycles = pl.Plan.cycles;
+          flops = pl.Plan.flops;
+          elements = vlen;
+          writes = !writes;
+          events = List.rev !events;
+          last_values;
+          trace;
+        }
+      in
+      note_run ~kind:"plan" ~index:sem.Semantic.index r;
+      r
 
 (** Execute one pipeline instruction.  Compiles an execution plan (see
     {!Plan.compile} — timing analysed exactly once) and runs it; callers

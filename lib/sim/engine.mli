@@ -12,24 +12,35 @@
     diagram with a missing delay queue computes visibly wrong results, which
     is what the paper's proposed visual debugger is for. *)
 
-(* Interface generated from the implementation; detailed
-   documentation lives on the items in the .ml file. *)
-
+(** Recorded values of every engaged unit at every element, kept for the
+    visual debugger's annotated diagrams (only when [record_trace] was
+    passed — recording costs a hashtable write per unit-element). *)
 type trace = {
   unit_values : (Nsc_arch.Resource.fu_id * int, float) Hashtbl.t;
-  vlen : int;
+      (** value each functional unit produced for each element index *)
+  vlen : int;  (** the instruction's vector length *)
 }
+
+(** The value unit [fu] produced at [element], if the trace covers it. *)
 val trace_value :
   trace -> fu:Nsc_arch.Resource.fu_id -> element:int -> float option
+
+(** Outcome of one executed pipeline instruction. *)
 type result = {
-  cycles : int;
-  flops : int;
-  elements : int;
-  writes : int;
+  cycles : int;  (** analytic cycle estimate: fill + streaming + stalls *)
+  flops : int;   (** floating-point operations across engaged units *)
+  elements : int;  (** vector elements processed (the vector length) *)
+  writes : int;  (** words written to memory planes and caches *)
   events : Nsc_arch.Interrupt.event list;
+      (** interrupts raised, earliest first, capped at
+          {!max_recorded_events} *)
   last_values : (Nsc_arch.Resource.fu_id * float) list;
-  trace : trace option;
+      (** final output of every engaged unit — the scalars condition
+          interrupts capture *)
+  trace : trace option;  (** per-element values when requested *)
 }
+
+(** Cap on the interrupt events retained in a {!result}. *)
 val max_recorded_events : int
 
 (** The general memoized evaluator.  [analysis] supplies a precomputed

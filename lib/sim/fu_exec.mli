@@ -4,12 +4,23 @@
     Integer/logical operations act on the integer part of the operands, as
     the double-box units reuse the floating datapath's registers. *)
 
-(* Interface generated from the implementation; detailed
-   documentation lives on the items in the .ml file. *)
-
+(** Integer view of a word for the integer/logical opcodes: the truncated
+    integer part of the double (not its bit pattern). *)
 val as_int : float -> int64
+
+(** Back from the integer view to the 64-bit word. *)
 val of_int : int64 -> float
+
+(** [apply op a b] computes one element through a functional unit.  Unary
+    opcodes ignore [b]; IEEE semantics apply throughout, so division by
+    zero and domain errors produce infinities and NaNs that {!trapped}
+    then reports. *)
 val apply : Nsc_arch.Opcode.t -> Float.t -> Float.t -> Float.t
+
+(** [trapped op a b v] classifies the exception a unit would raise after
+    computing [v = apply op a b]: division by zero, invalid operation or
+    overflow, or [None] for a clean result.  [b] is the operand the
+    classification inspects ([a] is unused). *)
 val trapped :
   Nsc_arch.Opcode.t ->
   'a -> float -> float -> Nsc_arch.Interrupt.exception_kind option

@@ -10,6 +10,20 @@
 
 open Nsc_arch
 
+(* Observability: machine-level phases appear on trace timeline tid 1,
+   leaving tid 0 to the per-node engine/sequencer spans. *)
+module Trace = Nsc_trace.Trace
+
+let machine_tid = 1
+
+let c_steps =
+  Trace.counter ~name:"machine.steps" ~units:"steps"
+    ~desc:"synchronous compute steps across the hypercube"
+
+let c_exchanges =
+  Trace.counter ~name:"machine.exchanges" ~units:"phases"
+    ~desc:"communication phases executed between compute steps"
+
 type t = {
   params : Params.t;
   dim : int;
@@ -69,6 +83,7 @@ let parallel_iter ?(domains = 1) t (f : int -> Node.t -> 'a) : 'a array =
     work across OCaml domains; counters are accumulated in node order
     after the fan-in, so results are identical to a sequential step. *)
 let compute_step ?domains t (f : int -> Node.t -> int * int) =
+  let ts = if Trace.enabled () then Trace.now () else 0 in
   let per_node = parallel_iter ?domains t f in
   let worst = ref 0 in
   Array.iter
@@ -76,7 +91,16 @@ let compute_step ?domains t (f : int -> Node.t -> int * int) =
       t.flops <- t.flops + flops;
       if cycles > !worst then worst := cycles)
     per_node;
-  t.cycles <- t.cycles + !worst
+  t.cycles <- t.cycles + !worst;
+  if Trace.enabled () then begin
+    Trace.add c_steps 1;
+    Trace.span ~tid:machine_tid ~cat:"machine" ~name:"compute_step" ~ts
+      ~dur:!worst
+      ~args:
+        [ ("nodes", Trace.Int (Array.length t.nodes));
+          ("worst_cycles", Trace.Int !worst) ]
+      ()
+  end
 
 (** One message of a communication phase. *)
 type message = { src : Router.node_id; dst : Router.node_id; words : int }
@@ -87,31 +111,50 @@ type message = { src : Router.node_id; dst : Router.node_id; words : int }
     Congestion on shared links is approximated by serialising messages that
     leave the same source node. *)
 let exchange_cycles t (msgs : message list) =
+  (* per source node: (serialised total, longest single transfer) — the
+     difference is the queueing delay charged to [router.contention_cycles] *)
   let per_source = Hashtbl.create 16 in
   List.iter
     (fun m ->
       if m.src <> m.dst then begin
         let c = Router.transfer_cycles t.params ~src:m.src ~dst:m.dst ~words:m.words in
-        let acc = Option.value ~default:0 (Hashtbl.find_opt per_source m.src) in
-        Hashtbl.replace per_source m.src (acc + c)
+        let sum, longest =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt per_source m.src)
+        in
+        Hashtbl.replace per_source m.src (sum + c, max longest c)
       end)
     msgs;
-  Hashtbl.fold (fun _ c acc -> max c acc) per_source 0
+  if Trace.enabled () then
+    Trace.add Router.c_contention
+      (Hashtbl.fold (fun _ (sum, longest) acc -> acc + (sum - longest)) per_source 0);
+  Hashtbl.fold (fun _ (sum, _) acc -> max sum acc) per_source 0
 
 (** Execute a communication phase: move the payloads between plane stores
     and advance machine time. *)
 let exchange t (msgs : (message * (float array * int * int)) list) =
   (* each message carries (payload, dst_plane, dst_base) *)
   let cycles = exchange_cycles t (List.map fst msgs) in
+  let words = ref 0 in
   List.iter
     (fun (m, (payload, dst_plane, dst_base)) ->
       if m.src <> m.dst then begin
         Node.load_array t.nodes.(m.dst) ~plane:dst_plane ~base:dst_base payload;
-        t.words_moved <- t.words_moved + Array.length payload
+        words := !words + Array.length payload
       end)
     msgs;
+  t.words_moved <- t.words_moved + !words;
   t.cycles <- t.cycles + cycles;
-  t.comm_cycles <- t.comm_cycles + cycles
+  t.comm_cycles <- t.comm_cycles + cycles;
+  if Trace.enabled () then begin
+    let ts = Trace.now () in
+    Trace.advance cycles;
+    Trace.add c_exchanges 1;
+    Trace.span ~tid:machine_tid ~cat:"machine" ~name:"exchange" ~ts ~dur:cycles
+      ~args:
+        [ ("messages", Trace.Int (List.length msgs));
+          ("words", Trace.Int !words) ]
+      ()
+  end
 
 (** Aggregate sustained GFLOPS of the machine so far. *)
 let gflops t =

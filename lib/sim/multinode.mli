@@ -8,21 +8,24 @@
     follows {!Nsc_arch.Router.transfer_cycles}.  Compute across nodes is
     synchronous-parallel: a step's cycle cost is the maximum over nodes. *)
 
-(* Interface generated from the implementation; detailed
-   documentation lives on the items in the .ml file. *)
-
+(** The machine: per-node state plus whole-machine accounting. *)
 type t = {
   params : Nsc_arch.Params.t;
-  dim : int;
+  dim : int;  (** hypercube dimension; the machine has [2^dim] nodes *)
   nodes : Node.t array;
-  mutable cycles : int;
-  mutable flops : int;
-  mutable comm_cycles : int;
-  mutable words_moved : int;
+  mutable cycles : int;         (** machine time elapsed, in cycles *)
+  mutable flops : int;          (** total useful flops across nodes *)
+  mutable comm_cycles : int;    (** portion of [cycles] spent communicating *)
+  mutable words_moved : int;    (** payload words exchanged between nodes *)
 }
+
 (** A hypercube of fresh nodes (default dimension from the parameters). *)
 val create : ?dim:int -> Nsc_arch.Params.t -> t
+
+(** Number of nodes in the machine ([2^dim]). *)
 val n_nodes : t -> int
+
+(** The node with identifier [i]; raises on an out-of-range id. *)
 val node : t -> int -> Node.t
 (** Apply [f] to every node, collecting results in node order;
     [domains > 1] fans the calls across OCaml domains (deterministic —
@@ -33,15 +36,29 @@ val parallel_iter : ?domains:int -> t -> (int -> Node.t -> 'a) -> 'a array
     the machine advances by the slowest node.  [domains] fans per-node
     work across OCaml domains with bit-identical results. *)
 val compute_step : ?domains:int -> t -> (int -> Node.t -> int * int) -> unit
+
+(** One message of a communication phase. *)
 type message = {
   src : Nsc_arch.Router.node_id;
   dst : Nsc_arch.Router.node_id;
-  words : int;
+  words : int;  (** payload size in 64-bit words *)
 }
-(** A communication phase: move payloads between plane stores and charge
-    router time (per-source serialisation, cut-through latency). *)
+
+(** Cycle cost of a communication phase: messages between distinct pairs
+    proceed in parallel, messages leaving one source serialise on its
+    links, and the phase costs the slowest source's total.  The
+    serialisation surplus is charged to the [router.contention_cycles]
+    trace counter. *)
 val exchange_cycles : t -> message list -> int
+
+(** Execute a communication phase: each message carries
+    [(payload, dst_plane, dst_base)]; payloads land in the destination
+    nodes' planes and machine time advances by {!exchange_cycles}. *)
 val exchange : t -> (message * (float array * int * int)) list -> unit
-(** Aggregate sustained GFLOPS so far. *)
+
+(** Aggregate sustained GFLOPS of the machine so far. *)
 val gflops : t -> float
+
+(** Zero the machine-level accumulators (cycles, flops, communication
+    cycles, words moved); node storage is untouched. *)
 val reset_counters : t -> unit

@@ -5,24 +5,36 @@
     register-file queues are zero-primed at the start of every instruction,
     so the only persistent state is storage. *)
 
-(* Interface generated from the implementation; detailed
-   documentation lives on the items in the .ml file. *)
-
+(** One node's storage: sparse memory planes and double-buffered caches. *)
 type t = {
   params : Nsc_arch.Params.t;
   planes : Nsc_arch.Memory.store array;
   caches : Nsc_arch.Cache.t array;
 }
+
 (** A fresh node: zeroed memory planes and caches. *)
 val create : Nsc_arch.Params.t -> t
+
+(** The backing store of plane [i]; raises on an out-of-range plane. *)
 val plane : t -> int -> Nsc_arch.Memory.store
+
+(** Cache [i]; raises on an out-of-range cache. *)
 val cache : t -> int -> Nsc_arch.Cache.t
+
+(** Read one word from a plane (untouched words read as 0.0). *)
 val read_plane : t -> plane:int -> addr:int -> float
+
+(** Write one word to a plane, materialising its page on first touch. *)
 val write_plane : t -> plane:int -> addr:int -> float -> unit
+
 (** Bulk-load host data into a plane — how problems reach the machine. *)
 val load_array : t -> plane:int -> base:int -> float array -> unit
+
 (** Read a contiguous range back out of a plane. *)
 val dump_array : t -> plane:int -> base:int -> len:int -> float array
+
 (** Load a cache's DMA-side buffer and swap it to the pipeline side. *)
 val stage_cache : t -> cache:int -> base:int -> float array -> unit
+
+(** Clear every plane and cache back to the zeroed state. *)
 val clear : t -> unit

@@ -30,6 +30,15 @@ exception Halted
 
 let max_recorded_events = 2000
 
+(* Observability: the sequencer owns the between-instruction
+   reconfiguration charge, so it notes those cycles (and the switch
+   reprogramming) on the trace; the engine notes execution itself. *)
+module Trace = Nsc_trace.Trace
+
+let c_reconfig_cycles =
+  Trace.counter ~name:"sim.reconfig_cycles" ~units:"cycles"
+    ~desc:"cycles charged to switch reconfiguration between instructions"
+
 (** Execute a compiled program on [node].
 
     By default the machine words themselves are decoded and executed
@@ -85,6 +94,16 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
               exec_error := Some (Printf.sprintf "control references missing pipeline %d" n);
             raise Halted
         | Some sem ->
+            if Trace.enabled () then begin
+              let ts = Trace.now () in
+              Trace.advance p.reconfig_cycles;
+              Trace.span ~cat:"sequencer" ~name:"reconfig" ~ts
+                ~dur:p.reconfig_cycles
+                ~args:[ ("instruction", Trace.Int n) ]
+                ();
+              Trace.add c_reconfig_cycles p.reconfig_cycles;
+              Switch.note_reconfig ~routes:(List.length sem.Semantic.routes)
+            end;
             let r =
               match engine with
               | `Plan ->
@@ -111,6 +130,13 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
         in
         record
           (Interrupt.Condition_evaluated { instruction; condition = cond; value; holds });
+        if Trace.enabled () then
+          Trace.instant ~cat:"sequencer" ~name:"condition" ~ts:(Trace.now ())
+            ~args:
+              [ ("instruction", Trace.Int instruction);
+                ("value", Trace.Float value);
+                ("holds", Trace.Str (string_of_bool holds)) ]
+            ();
         holds
       in
       let halted = ref false in
@@ -140,7 +166,15 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
             loop 0;
             interp rest
       in
+      let ts_program = if Trace.enabled () then Trace.now () else 0 in
       (try interp c.Codegen.control with Halted -> ());
+      if Trace.enabled () then
+        Trace.span ~cat:"sequencer" ~name:"program" ~ts:ts_program
+          ~dur:(Trace.now () - ts_program)
+          ~args:
+            [ ("instructions", Trace.Int !executed);
+              ("halted", Trace.Str (string_of_bool !halted)) ]
+          ();
       (match !exec_error with
       | Some e -> Error e
       | None ->

@@ -7,22 +7,29 @@
     [Exec], charging a reconfiguration cost between instructions, and
     branching on condition interrupts computed from captured unit scalars. *)
 
-(* Interface generated from the implementation; detailed
-   documentation lives on the items in the .ml file. *)
-
+(** Whole-run accounting accumulated across dispatched instructions. *)
 type stats = {
   instructions_executed : int;
-  total_cycles : int;
+  total_cycles : int;  (** execution plus per-dispatch reconfiguration *)
   total_flops : int;
-  total_writes : int;
+  total_writes : int;  (** words written to planes and caches *)
   events : Nsc_arch.Interrupt.event list;
+      (** capped at {!max_recorded_events}; earliest first *)
 }
+
+(** Result of a completed run. *)
 type outcome = {
   stats : stats;
-  halted : bool;
+  halted : bool;  (** an explicit [Halt] was reached *)
   last_values : (Nsc_arch.Resource.fu_id * float) list;
+      (** captured scalars at the end of the run *)
 }
+
+(** Raised internally to unwind the control interpreter at a [Halt] or an
+    execution error; never escapes {!run}. *)
 exception Halted
+
+(** Cap on the interrupt events retained in {!stats}. *)
 val max_recorded_events : int
 (** Execute a compiled program: decode each instruction (default) or run
     the retained semantics ([~from_microcode:false]), interpret the

@@ -53,3 +53,19 @@ let summary_to_string s =
 let plan_compiles = Plan.compile_count
 let plan_cache_hits = Plan.cache_hit_count
 let reset_plan_counters = Plan.reset_counters
+
+(** {2 The trace instrument}
+
+    Simulated-machine observability, re-exported from {!Nsc_trace.Trace}
+    so simulation callers have one reporting entry point: the registered
+    counter catalogue, the plain-text digest and the Chrome trace-event
+    export.  See [docs/OBSERVABILITY.md]. *)
+
+let trace_counters () =
+  List.map
+    (fun c ->
+      (Nsc_trace.Trace.name c, Nsc_trace.Trace.value c, Nsc_trace.Trace.units c))
+    (Nsc_trace.Trace.counters ())
+
+let trace_summary = Nsc_trace.Trace.summary
+let trace_to_chrome = Nsc_trace.Trace.to_chrome

@@ -4,21 +4,33 @@
     a 64-node machine — are derived in {!Nsc_arch.Params}; this module turns
     simulated cycle/flop counts into comparable sustained numbers. *)
 
-(* Interface generated from the implementation; detailed
-   documentation lives on the items in the .ml file. *)
-
+(** Seconds of machine time represented by [cycles] at the machine's
+    clock rate. *)
 val seconds : Nsc_arch.Params.t -> cycles:int -> float
+
+(** Sustained MFLOPS over a run of [cycles] cycles performing [flops]
+    floating-point operations. *)
 val mflops : Nsc_arch.Params.t -> cycles:int -> flops:int -> float
+
+(** Fraction of the node's peak rate the run sustained, in [0, 1]. *)
 val utilization : Nsc_arch.Params.t -> cycles:int -> flops:int -> float
+
+(** A run reduced to comparable sustained-rate figures. *)
 type summary = {
   cycles : int;
   flops : int;
-  seconds : float;
-  mflops : float;
-  utilization : float;
+  seconds : float;      (** machine time at the configured clock *)
+  mflops : float;       (** sustained rate *)
+  utilization : float;  (** sustained / peak, in [0, 1] *)
 }
+
+(** Package raw cycle/flop counts into a {!summary}. *)
 val summarize : Nsc_arch.Params.t -> cycles:int -> flops:int -> summary
+
+(** {!summarize} applied to a sequencer run's totals. *)
 val of_sequencer : Nsc_arch.Params.t -> Sequencer.stats -> summary
+
+(** One-line rendering: cycles, flops, time, MFLOPS and percent of peak. *)
 val summary_to_string : summary -> string
 
 (** Host-side plan accounting (re-exported from {!Plan}): how often the
@@ -28,3 +40,20 @@ val summary_to_string : summary -> string
 val plan_compiles : unit -> int
 val plan_cache_hits : unit -> int
 val reset_plan_counters : unit -> unit
+
+(** {2 The trace instrument}
+
+    Simulated-machine observability, re-exported from {!Nsc_trace.Trace}
+    so simulation callers have one reporting entry point.  The schema is
+    documented in [docs/OBSERVABILITY.md]. *)
+
+(** Every registered trace counter as [(name, value, units)], sorted by
+    name (zero-valued counters included). *)
+val trace_counters : unit -> (string * int * string) list
+
+(** The plain-text digest printed by [nscvp stats]. *)
+val trace_summary : unit -> string
+
+(** The instrument as a Chrome trace-event JSON document (Perfetto /
+    [chrome://tracing] loadable). *)
+val trace_to_chrome : unit -> string

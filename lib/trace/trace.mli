@@ -1,0 +1,142 @@
+(** Structured tracing and monotonic counters for the simulated machine.
+
+    A single global instrument with two faces: named monotonic
+    {e counters} (registered by the module that owns each resource —
+    caches, memory planes, DMA, the router, the switch, the engine) and
+    timed {e spans} on the simulated-cycle clock, kept in a bounded ring
+    buffer.  Everything is a no-op until {!enable} is called; every
+    instrumentation site is gated on one flag read, so the disabled path
+    costs a single predictable branch (budgeted <2% on the n=9 Jacobi
+    solve, asserted by [bench/main.ml]).
+
+    The full event schema and counter catalogue are documented in
+    [docs/OBSERVABILITY.md]. *)
+
+(** {1 The global switch}
+
+    Counters accumulate and spans record only while tracing is enabled;
+    enable {e before} the run you want measured.  Domain-safe: counters
+    are atomics and the ring appends under a mutex, so
+    [Multinode.compute_step ~domains] may run instrumented. *)
+
+(** Whether tracing is currently enabled.  Instrumentation sites call this
+    (or are internally gated on it) and must do no other work when it
+    returns [false]. *)
+val enabled : unit -> bool
+
+(** Turn tracing on.  Usually preceded by {!reset}. *)
+val enable : unit -> unit
+
+(** Turn tracing off.  Recorded events and counter values remain readable. *)
+val disable : unit -> unit
+
+(** Zero every counter, clear the ring buffer, and rewind the clock.
+    Does not change the enabled flag or the ring capacity. *)
+val reset : unit -> unit
+
+(** {1 The simulated-cycle clock}
+
+    Spans are stamped on one machine timeline.  The engine advances the
+    clock by each instruction's cycle count and the sequencer by
+    reconfiguration time, so a Chrome trace of a run lays instructions
+    end-to-end exactly as the node would execute them. *)
+
+(** Current position of the simulated clock, in cycles since {!reset}. *)
+val now : unit -> int
+
+(** Advance the clock by a non-negative number of cycles. *)
+val advance : int -> unit
+
+(** {1 Counters} *)
+
+(** A registered monotonic counter.  Values never decrease; {!reset}
+    rewinds them to zero. *)
+type counter
+
+(** [counter ~name ~units ~desc] registers (or retrieves — registration is
+    idempotent by name) the counter called [name].  [units] is the unit of
+    the value ("words", "cycles", "events", ...); [desc] one line on what
+    increments it.  Both appear in {!summary} and the counter catalogue of
+    [docs/OBSERVABILITY.md]. *)
+val counter : name:string -> units:string -> desc:string -> counter
+
+(** [add c n] increases [c] by [n] if tracing is enabled and [n > 0]
+    (non-positive increments are ignored: counters are monotonic).
+    Safe from any domain. *)
+val add : counter -> int -> unit
+
+(** Current value of a counter. *)
+val value : counter -> int
+
+(** The registered name, unit and one-line meaning of a counter. *)
+val name : counter -> string
+
+val units : counter -> string
+val desc : counter -> string
+
+(** {1 Spans and instants} *)
+
+(** Argument payload attached to an event. *)
+type arg = Int of int | Float of float | Str of string
+
+(** One recorded event, in Chrome trace-event terms.  [phase] is ['X'] for
+    a complete span, ['i'] for an instant, ['C'] for a counter sample;
+    [ts] and [dur] are simulated cycles; [tid] 0 is the node
+    engine/sequencer timeline and [tid] 1 the multi-node machine. *)
+type event = {
+  ev_name : string;
+  cat : string;
+  phase : char;
+  ts : int;
+  dur : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(** Record a complete span ([ph = "X"]) of [dur] cycles starting at [ts].
+    No-op while disabled. *)
+val span :
+  ?tid:int ->
+  ?args:(string * arg) list ->
+  cat:string -> name:string -> ts:int -> dur:int -> unit -> unit
+
+(** Record an instantaneous event ([ph = "i"]).  No-op while disabled. *)
+val instant :
+  ?tid:int ->
+  ?args:(string * arg) list -> cat:string -> name:string -> ts:int -> unit -> unit
+
+(** Resize the ring buffer (default 65,536 events) and clear it. *)
+val set_capacity : int -> unit
+
+(** Resident events, oldest first.  Once the ring is full the newest
+    events win; see {!dropped}. *)
+val events : unit -> event list
+
+(** Number of events evicted from the ring so far. *)
+val dropped : unit -> int
+
+(** {1 Export} *)
+
+(** The whole instrument as a Chrome trace-event JSON document: every
+    resident span/instant, one final ["C"] sample per non-zero counter, a
+    top-level ["counters"] object with the same totals, and the dropped
+    count under ["otherData"].  Load the result in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or [chrome://tracing];
+    timestamps are simulated cycles (1 trace-µs = 1 cycle). *)
+val to_chrome : unit -> string
+
+(** The plain-text digest printed by [nscvp stats]: span totals aggregated
+    per phase, then every non-zero counter with its value, unit and
+    meaning.  The counter values here are the same totals {!to_chrome}
+    exports. *)
+val summary : unit -> string
+
+(** {1 Introspection for the overhead budget} *)
+
+(** All registered counters sorted by name (including zero-valued ones). *)
+val counters : unit -> counter list
+
+(** Total number of [add] calls that fired since {!reset} — the number of
+    counter instrumentation sites crossed, used by the bench to project
+    the cost of the disabled path. *)
+val total_bumps : unit -> int
