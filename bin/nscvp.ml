@@ -10,11 +10,13 @@
      replay        replay an editor session script
      compile       compile textual pipeline-language source to a program
      debug         run with tracing and print annotated diagram frames
-     stats         run under the trace instrument and print its counters *)
+     stats         run under the trace instrument and print its counters
+     inject        run clean and under a seeded fault model; print the report *)
 
 open Nsc_arch
 open Nsc_diagram
 open Cmdliner
+module Fault = Nsc_fault.Fault
 
 let kb_of_subset subset = if subset then Knowledge.subset else Knowledge.default
 
@@ -24,12 +26,21 @@ let subset_flag =
 let program_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"Saved visual program.")
 
-let load_program kb path =
-  match Serialize.load (Knowledge.params kb) ~path with
-  | Ok prog -> prog
-  | Error e ->
+(* A malformed or truncated input must exit 2 with a one-line diagnostic,
+   never escape as a raw OCaml exception with a backtrace. *)
+let guarded f =
+  try f () with
+  | Sys_error e | Failure e | Invalid_argument e ->
       prerr_endline ("error: " ^ e);
       exit 2
+
+let load_program kb path =
+  guarded (fun () ->
+      match Serialize.load (Knowledge.params kb) ~path with
+      | Ok prog -> prog
+      | Error e ->
+          prerr_endline ("error: " ^ e);
+          exit 2)
 
 let print_diagnostics ds =
   List.iter (fun d -> print_endline ("  " ^ Nsc_checker.Diagnostic.to_string d)) ds
@@ -114,6 +125,7 @@ let disasm_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"HEX" ~doc:"Hex microcode file.")
   in
   let run subset path =
+    guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let layout = Nsc_microcode.Fields.make p in
@@ -198,6 +210,45 @@ let read_floats file =
    with End_of_file -> close_in ic);
   Array.of_list (List.rev !xs)
 
+(* -- fault injection options ------------------------------------------- *)
+
+let faults_opt =
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+         ~doc:"Install the seeded fault model for the run.  $(docv) is a \
+               comma-separated list of clauses: $(b,transient-link:p=F), \
+               $(b,dead-link:A-B), $(b,mem-corrupt:p=F), $(b,dma-stall:p=F), \
+               $(b,fu-fault:p=F).  See docs/FAULTS.md for the full grammar.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed of the deterministic fault schedule (default 1); the same \
+               seed and spec reproduce the same faults.")
+
+let parse_faults_or_die spec =
+  match Fault.parse spec with
+  | Ok s -> s
+  | Error e ->
+      prerr_endline ("bad --faults: " ^ e);
+      exit 2
+
+(* Install the model for the coming run; true when one is installed, so
+   the caller knows to print the fault report afterwards. *)
+let install_faults spec seed =
+  match spec with
+  | None -> false
+  | Some s ->
+      Fault.install (Fault.make ~seed (parse_faults_or_die s));
+      true
+
+(* End-of-run fault report, from the always-on ledger (works without
+   --trace).  Reconciles first so no injected fault is silently dropped. *)
+let fault_report () =
+  let reconciled = Fault.reconcile () in
+  print_endline "fault report:";
+  List.iter (fun (name, v) -> Printf.printf "  %-24s %d\n" name v) (Fault.ledger ());
+  if reconciled > 0 then
+    Printf.printf "  (%d outstanding fault(s) reconciled as unrecovered)\n" reconciled
+
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Record a structured trace of the execution and write it as Chrome \
@@ -232,7 +283,8 @@ let run_cmd =
            ~doc:"Print a memory range after the run.")
   in
   let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the interrupt log.") in
-  let run subset path loads dumps events trace =
+  let run subset path loads dumps events trace faults seed =
+    guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let c = compile_or_die kb (load_program kb path) in
@@ -245,6 +297,7 @@ let run_cmd =
             prerr_endline ("bad --load: " ^ s);
             exit 2)
       loads;
+    let faulted = install_faults faults seed in
     with_trace trace (fun () ->
         match Nsc_sim.Sequencer.run node c with
         | Error e ->
@@ -264,6 +317,10 @@ let run_cmd =
               List.iter
                 (fun e -> print_endline ("  " ^ Interrupt.event_to_string e))
                 stats.Nsc_sim.Sequencer.events);
+    if faulted then begin
+      fault_report ();
+      Fault.clear ()
+    end;
     List.iter
       (fun s ->
         match parse_dump s with
@@ -278,7 +335,8 @@ let run_cmd =
       dumps
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a program on the simulated node.")
-    Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events $ trace_out)
+    Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events $ trace_out
+          $ faults_opt $ fault_seed_arg)
 
 (* -- render ------------------------------------------------------------- *)
 
@@ -417,6 +475,7 @@ let debug_cmd =
   in
   let limit = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Frames to display.") in
   let run subset path element loads limit trace =
+    guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let prog = load_program kb path in
@@ -458,6 +517,7 @@ let stats_cmd =
            ~doc:"Also write the Chrome trace-event JSON to $(docv).")
   in
   let run subset path loads out =
+    guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let c = compile_or_die kb (load_program kb path) in
@@ -492,6 +552,70 @@ let stats_cmd =
        ~doc:"Run a program under the trace instrument and print its counters.")
     Term.(const run $ subset_flag $ program_arg $ loads $ out)
 
+(* -- inject ----------------------------------------------------------------- *)
+
+let inject_cmd =
+  let loads =
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"PLANE:BASE:FILE"
+           ~doc:"Load floats (one per line) into a memory plane before each run.")
+  in
+  let faults_req =
+    Arg.(required & opt (some string) None & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Fault specification to inject (required); same grammar as \
+                 $(b,run --faults).  See docs/FAULTS.md.")
+  in
+  let run subset path loads spec seed =
+    guarded @@ fun () ->
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    let c = compile_or_die kb (load_program kb path) in
+    let fspec = parse_faults_or_die spec in
+    let fresh_node () =
+      let node = Nsc_sim.Node.create p in
+      List.iter
+        (fun s ->
+          match parse_load s with
+          | Some (plane, base, file) ->
+              Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
+          | None ->
+              prerr_endline ("bad --load: " ^ s);
+              exit 2)
+        loads;
+      node
+    in
+    let run_once node =
+      match Nsc_sim.Sequencer.run node c with
+      | Error e ->
+          prerr_endline ("run error: " ^ e);
+          exit 1
+      | Ok o -> o.Nsc_sim.Sequencer.stats
+    in
+    (* reference run on a perfect machine, then the same program under the
+       seeded fault model on a second fresh node *)
+    let clean = run_once (fresh_node ()) in
+    Fault.install (Fault.make ~seed fspec);
+    let faulted = run_once (fresh_node ()) in
+    let cc = clean.Nsc_sim.Sequencer.total_cycles in
+    let fc = faulted.Nsc_sim.Sequencer.total_cycles in
+    Printf.printf "fault injection: %s (seed %d)\n" (Fault.spec_to_string fspec) seed;
+    Printf.printf "  clean run:   %d instruction(s), %d cycles\n"
+      clean.Nsc_sim.Sequencer.instructions_executed cc;
+    Printf.printf "  faulted run: %d instruction(s), %d cycles (%+.2f%% cycle overhead)\n"
+      faulted.Nsc_sim.Sequencer.instructions_executed fc
+      (if cc = 0 then 0.0 else 100.0 *. float_of_int (fc - cc) /. float_of_int cc);
+    fault_report ();
+    let unrecovered =
+      Option.value ~default:0 (List.assoc_opt "fault.unrecovered" (Fault.ledger ()))
+    in
+    Fault.clear ();
+    if unrecovered > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:"Execute a program clean and under a seeded fault model; print the \
+             fault/recovery report (exit 1 if any fault went unrecovered).")
+    Term.(const run $ subset_flag $ program_arg $ loads $ faults_req $ fault_seed_arg)
+
 let () =
   let doc = "A visual programming environment for the Navier-Stokes Computer." in
   exit
@@ -499,5 +623,5 @@ let () =
        (Cmd.group (Cmd.info "nscvp" ~doc)
           [
             info_cmd; check_cmd; codegen_cmd; disasm_cmd; run_cmd; render_cmd; replay_cmd;
-            compile_cmd; debug_cmd; stats_cmd;
+            compile_cmd; debug_cmd; stats_cmd; inject_cmd;
           ]))

@@ -353,3 +353,173 @@ let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Plan) (prob : Poisson
               final_change;
               stats;
             })
+
+(* --- the fault-tolerant solver ------------------------------------------ *)
+
+module Fault = Nsc_fault.Fault
+
+type ft_outcome = {
+  outcome : outcome;
+  rollbacks : int;        (** checkpoint restores performed *)
+  faults_detected : int;  (** parity errors and trapped exceptions seen *)
+}
+
+(** Checkpointed Jacobi solve (the [`Refresh] strategy): each sweep runs
+    against a checkpoint of the node taken at the last good state, and a
+    sweep whose scrub finds bad parity — or whose interrupt stream trapped
+    an exception while a fault model is installed — is rolled back and
+    redone, up to [max_attempts] times, instead of iterating on poisoned
+    data.  With no faults firing this executes the exact instruction
+    sequence of {!solve} (same plans, same residual series, same result);
+    the checkpoint copies are host-side bookkeeping and cost no simulated
+    cycles.
+
+    Under an installed fault model the per-sweep memory-corruption draw
+    fires here (the victim word lands in one of the sweep's input or
+    output planes); recovery is booked against the whole ledger via
+    {!Fault.outstanding}, so run one solver at a time.  Corruption that a
+    sweep overwrites with fresh data before the scrub is booked as
+    recovered by the rewrite — a parity model detects on access, not on
+    the flip itself. *)
+let solve_ft (kb : Knowledge.t) ?layout ?(max_attempts = 8)
+    (prob : Poisson.problem) ~tol ~max_iters : (ft_outcome, string) result =
+  let b = build kb ?layout ~strategy:`Refresh prob.Poisson.grid ~tol ~max_iters in
+  match Nsc_microcode.Codegen.compile kb b.program with
+  | Error ds ->
+      Error
+        (String.concat "; " (List.map Diagnostic.to_string (Diagnostic.errors ds)))
+  | Ok compiled -> (
+      let node = Nsc_sim.Node.create (Knowledge.params kb) in
+      load node b prob;
+      let plan_cache = Nsc_sim.Plan.make_cache () in
+      let c_setup =
+        { compiled with Nsc_microcode.Codegen.control = [ Program.Exec 1; Program.Halt ] }
+      in
+      let c_sweep =
+        {
+          compiled with
+          Nsc_microcode.Codegen.control = [ Program.Exec 2; Program.Exec 3; Program.Halt ];
+        }
+      in
+      (* accumulated run accounting across setup and every sweep attempt
+         (redone sweeps included: the machine did that work) *)
+      let instructions = ref 0 and cycles = ref 0 and flops = ref 0 in
+      let writes = ref 0 and all_events = ref [] in
+      let rollbacks = ref 0 and faults_detected = ref 0 in
+      let sweeps = ref 0 in
+      let accumulate (s : Nsc_sim.Sequencer.stats) =
+        instructions := !instructions + s.Nsc_sim.Sequencer.instructions_executed;
+        cycles := !cycles + s.Nsc_sim.Sequencer.total_cycles;
+        flops := !flops + s.Nsc_sim.Sequencer.total_flops;
+        writes := !writes + s.Nsc_sim.Sequencer.total_writes;
+        all_events := List.rev_append s.Nsc_sim.Sequencer.events !all_events
+      in
+      let run_step c =
+        match Nsc_sim.Sequencer.run node ~engine:`Plan ~plan_cache c with
+        | Error e -> Error e
+        | Ok o ->
+            accumulate o.Nsc_sim.Sequencer.stats;
+            Ok o
+      in
+      let inject_corruption () =
+        match Fault.active () with
+        | Some f when Fault.draw_mem_corrupt f ->
+            let victims =
+              List.sort_uniq compare (b.layout.g :: b.layout.unew :: u_planes b.layout)
+            in
+            let plane = List.nth victims (Fault.rand f (List.length victims)) in
+            let addr = Fault.rand f (Grid.padded_words prob.Poisson.grid) in
+            ignore (Memory.corrupt (Nsc_sim.Node.plane node plane) addr);
+            Fault.note_mem_corrupt 1
+        | _ -> ()
+      in
+      (* one sweep, redone from the checkpoint until it runs clean *)
+      let protected_sweep () =
+        let ckpt = Nsc_sim.Checkpoint.capture node in
+        let rec attempt a =
+          inject_corruption ();
+          match run_step c_sweep with
+          | Error e -> Error e
+          | Ok o ->
+              let parity = List.length (Nsc_sim.Checkpoint.scrub node) in
+              let traps =
+                if Fault.enabled () then
+                  Interrupt.trapped_exceptions o.Nsc_sim.Sequencer.stats.Nsc_sim.Sequencer.events
+                else 0
+              in
+              if parity + traps = 0 then begin
+                (* anything injected this attempt was overwritten with
+                   fresh data before the scrub: recovered by the rewrite *)
+                let n = Fault.outstanding () in
+                if n > 0 then Fault.note_recovered n;
+                Ok o
+              end
+              else begin
+                Fault.note_mem_detected parity;
+                faults_detected := !faults_detected + parity + traps;
+                if a < max_attempts then begin
+                  Nsc_sim.Checkpoint.restore node ckpt;
+                  incr rollbacks;
+                  let n = Fault.outstanding () in
+                  if n > 0 then Fault.note_recovered n;
+                  attempt (a + 1)
+                end
+                else begin
+                  let n = Fault.outstanding () in
+                  if n > 0 then Fault.note_unrecovered n;
+                  Error
+                    (Printf.sprintf
+                       "sweep still corrupt after %d attempts (%d faults detected)"
+                       max_attempts !faults_detected)
+                end
+              end
+        in
+        attempt 1
+      in
+      let residual_of (o : Nsc_sim.Sequencer.outcome) =
+        Option.value ~default:Float.nan
+          (List.assoc_opt b.residual_unit o.Nsc_sim.Sequencer.last_values)
+      in
+      (* the sequencer's while-loop semantics, with a checkpoint per body:
+         run the body, then continue while the residual exceeds [tol] *)
+      let rec sweep_loop i last =
+        if max_iters > 0 && i >= max_iters then Ok last
+        else
+          match protected_sweep () with
+          | Error e -> Error e
+          | Ok o ->
+              incr sweeps;
+              let r = residual_of o in
+              if (not (Float.is_nan r)) && r > tol then sweep_loop (i + 1) (Some o)
+              else Ok (Some o)
+      in
+      match run_step c_setup with
+      | Error e -> Error e
+      | Ok _ -> (
+          match sweep_loop 0 None with
+          | Error e -> Error e
+          | Ok last ->
+              let final_change =
+                match last with Some o -> residual_of o | None -> Float.nan
+              in
+              Ok
+                {
+                  outcome =
+                    {
+                      u =
+                        Nsc_sim.Node.dump_array node ~plane:b.layout.unew ~base:0
+                          ~len:(Grid.padded_words prob.Poisson.grid);
+                      sweeps = !sweeps;
+                      final_change;
+                      stats =
+                        {
+                          Nsc_sim.Sequencer.instructions_executed = !instructions;
+                          total_cycles = !cycles;
+                          total_flops = !flops;
+                          total_writes = !writes;
+                          events = List.rev !all_events;
+                        };
+                    };
+                  rollbacks = !rollbacks;
+                  faults_detected = !faults_detected;
+                }))

@@ -98,3 +98,22 @@ val solve :
   ?engine:[ `Plan | `Legacy ] ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (outcome, string) result
+
+type ft_outcome = {
+  outcome : outcome;
+  rollbacks : int;        (** checkpoint restores performed *)
+  faults_detected : int;  (** parity errors and trapped exceptions seen *)
+}
+
+(** Checkpointed [`Refresh] solve: each sweep runs against a checkpoint of
+    the node, and a sweep whose parity scrub or interrupt stream reports
+    corruption is rolled back and redone (up to [max_attempts] times per
+    sweep).  With no faults firing this executes the exact instruction
+    sequence of {!solve}; under an installed {!Nsc_fault.Fault} model the
+    per-sweep memory-corruption draw fires here. *)
+val solve_ft :
+  Nsc_arch.Knowledge.t ->
+  ?layout:layout ->
+  ?max_attempts:int ->
+  Poisson.problem ->
+  tol:float -> max_iters:int -> (ft_outcome, string) result

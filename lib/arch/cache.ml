@@ -154,3 +154,34 @@ let clear t =
   Bytes.fill t.staged_front 0 (Bytes.length t.staged_front) '\000';
   Bytes.fill t.staged_back 0 (Bytes.length t.staged_back) '\000';
   t.pipeline_side <- Front
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+(** A deep copy of both buffers, staging bitmaps and the pipeline side,
+    taken by the checkpoint layer.  Geometry-stamped via the buffer
+    length so a restore into a different cache shape is rejected. *)
+type snapshot = {
+  s_front : float array;
+  s_back : float array;
+  s_staged_front : Bytes.t;
+  s_staged_back : Bytes.t;
+  s_side : buffer;
+}
+
+let snapshot t =
+  {
+    s_front = Array.copy t.front;
+    s_back = Array.copy t.back;
+    s_staged_front = Bytes.copy t.staged_front;
+    s_staged_back = Bytes.copy t.staged_back;
+    s_side = t.pipeline_side;
+  }
+
+let restore t snap =
+  if Array.length snap.s_front <> t.words then
+    invalid_arg "Cache.restore: snapshot geometry does not match cache";
+  Array.blit snap.s_front 0 t.front 0 t.words;
+  Array.blit snap.s_back 0 t.back 0 t.words;
+  Bytes.blit snap.s_staged_front 0 t.staged_front 0 (Bytes.length t.staged_front);
+  Bytes.blit snap.s_staged_back 0 t.staged_back 0 (Bytes.length t.staged_back);
+  t.pipeline_side <- snap.s_side

@@ -40,3 +40,11 @@ val read_dma : t -> int -> float
 val write_dma : t -> int -> float -> unit
 val swap : t -> unit
 val clear : t -> unit
+
+(** A deep copy of both buffers, staging bitmaps and the pipeline side. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** Restore a snapshot; rejects a geometry mismatch with [Invalid_argument]. *)
+val restore : t -> snapshot -> unit

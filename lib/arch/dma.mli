@@ -39,6 +39,10 @@ val show_transfer : transfer -> string
 val equal_transfer : transfer -> transfer -> bool
 val channel_to_string : channel -> string
 val transfer_to_string : transfer -> string
+(** Element count of a transfer for a vector of [vector_length] elements
+    (a descriptor count of 0 means "the instruction's vector length"). *)
+val effective_count : transfer -> vector_length:int -> int
+
 val addresses : transfer -> vector_length:int -> int list
 val validate :
   Params.t -> transfer -> vector_length:int -> string list

@@ -68,6 +68,13 @@ let event_to_string = function
         (Resource.fu_to_string unit_)
         (show_exception_kind kind) element
 
+(** Number of [Exception_trapped] records in an event stream — the
+    detection signal the fault-tolerant solvers poll after each sweep. *)
+let trapped_exceptions events =
+  List.fold_left
+    (fun acc e -> match e with Exception_trapped _ -> acc + 1 | _ -> acc)
+    0 events
+
 (** Classify an arithmetic result for exception trapping. *)
 let classify ~(op_is_divide : bool) ~(divisor : float option) (result : float) :
     exception_kind option =

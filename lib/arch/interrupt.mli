@@ -50,5 +50,8 @@ val pp_event :
 val show_event : event -> string
 val equal_event : event -> event -> bool
 val event_to_string : event -> string
+
+(** Number of [Exception_trapped] records in an event stream. *)
+val trapped_exceptions : event list -> int
 val classify :
   op_is_divide:bool -> divisor:float option -> float -> exception_kind option

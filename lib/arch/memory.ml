@@ -55,16 +55,23 @@ let c_pages =
     ~desc:"sparse plane pages materialised by a first write"
 
 (** Backing store for one plane: a paged sparse array so that 128 MB planes
-    cost only what is touched.  Reads of untouched words return 0.0. *)
+    cost only what is touched.  Reads of untouched words return 0.0.
+
+    [parity_bad] models the plane's per-word parity/ECC check bits: the
+    fault model marks a word bad when it flips its stored bits, and a
+    rewrite of the word scrubs the mark (fresh data arrives with fresh
+    parity).  The set is almost always empty, and every scrub site guards
+    on that, so the clean path pays one [Hashtbl.length] per bulk write. *)
 type store = {
   words : int;
   page_words : int;
   pages : (int, float array) Hashtbl.t;
+  parity_bad : (int, unit) Hashtbl.t;
 }
 
 let make_store ?(page_words = 4096) words =
   if words <= 0 then invalid_arg "Memory.make_store";
-  { words; page_words; pages = Hashtbl.create 64 }
+  { words; page_words; pages = Hashtbl.create 64; parity_bad = Hashtbl.create 4 }
 
 let check_addr st addr =
   if addr < 0 || addr >= st.words then
@@ -89,7 +96,30 @@ let page_for st key =
 let write st addr v =
   check_addr st addr;
   Nsc_trace.Trace.add c_writes 1;
+  if Hashtbl.length st.parity_bad > 0 then Hashtbl.remove st.parity_bad addr;
   (page_for st (addr / st.page_words)).(addr mod st.page_words) <- v
+
+(* --- the parity/ECC fault-detection model ------------------------------- *)
+
+(** Corrupt the word at [addr]: flip one stored mantissa bit and mark the
+    word's parity bad.  Returns the corrupted value.  Detection is by
+    {!parity_errors} (a scrub pass over the check bits), matching ECC
+    hardware that flags on access rather than fixing silently. *)
+let corrupt st addr =
+  check_addr st addr;
+  let page = page_for st (addr / st.page_words) in
+  let off = addr mod st.page_words in
+  let flipped =
+    Int64.float_of_bits (Int64.logxor (Int64.bits_of_float page.(off)) 0x0008_0000_0000_0000L)
+  in
+  page.(off) <- flipped;
+  Hashtbl.replace st.parity_bad addr ();
+  flipped
+
+(** Addresses whose parity is currently bad (corrupted and not yet
+    rewritten), sorted.  Empty on a healthy plane. *)
+let parity_errors st =
+  List.sort compare (Hashtbl.fold (fun addr () acc -> addr :: acc) st.parity_bad [])
 
 (* --- bulk strided paths ------------------------------------------------ *)
 
@@ -147,6 +177,10 @@ let write_strided st ~base ~stride (xs : float array) =
   let count = Array.length xs in
   check_strided st ~base ~stride ~count;
   Nsc_trace.Trace.add c_writes count;
+  if Hashtbl.length st.parity_bad > 0 then
+    for i = 0 to count - 1 do
+      Hashtbl.remove st.parity_bad (base + (i * stride))
+    done;
   if stride = 1 then begin
     let i = ref 0 in
     while !i < count do
@@ -179,4 +213,34 @@ let touched_pages st = Hashtbl.length st.pages
     upper bound on the number of distinct words ever written. *)
 let touched_words st = Hashtbl.length st.pages * st.page_words
 
-let clear st = Hashtbl.reset st.pages
+let clear st =
+  Hashtbl.reset st.pages;
+  Hashtbl.reset st.parity_bad
+
+(* --- snapshots ----------------------------------------------------------- *)
+
+(** A deep copy of a plane's contents and parity state, taken by the
+    checkpoint layer.  Snapshots are geometry-stamped so a restore into a
+    differently-shaped store is rejected rather than silently wrong. *)
+type snapshot = {
+  s_words : int;
+  s_page_words : int;
+  s_pages : (int * float array) list;
+  s_parity : int list;
+}
+
+let snapshot st =
+  {
+    s_words = st.words;
+    s_page_words = st.page_words;
+    s_pages = Hashtbl.fold (fun k page acc -> (k, Array.copy page) :: acc) st.pages [];
+    s_parity = Hashtbl.fold (fun addr () acc -> addr :: acc) st.parity_bad [];
+  }
+
+let restore st snap =
+  if snap.s_words <> st.words || snap.s_page_words <> st.page_words then
+    invalid_arg "Memory.restore: snapshot geometry does not match store";
+  Hashtbl.reset st.pages;
+  List.iter (fun (k, page) -> Hashtbl.replace st.pages k (Array.copy page)) snap.s_pages;
+  Hashtbl.reset st.parity_bad;
+  List.iter (fun addr -> Hashtbl.replace st.parity_bad addr ()) snap.s_parity

@@ -27,11 +27,21 @@ type store = {
   words : int;
   page_words : int;
   pages : (int, float array) Hashtbl.t;
+  parity_bad : (int, unit) Hashtbl.t;
+      (** per-word parity/ECC check bits: marked by {!corrupt}, scrubbed
+          by a rewrite of the word *)
 }
 val make_store : ?page_words:int -> int -> store
 val check_addr : store -> int -> unit
 val read : store -> int -> float
 val write : store -> int -> float -> unit
+
+(** Corrupt the word at [addr]: flip a stored mantissa bit and mark its
+    parity bad; returns the corrupted value. *)
+val corrupt : store -> int -> float
+
+(** Addresses whose parity is currently bad, sorted; empty when healthy. *)
+val parity_errors : store -> int list
 
 (** Bulk strided read: [count] words from [base] stepping by [stride],
     touching each backing page once per page crossing instead of once per
@@ -50,3 +60,11 @@ val touched_pages : store -> int
 val touched_words : store -> int
 
 val clear : store -> unit
+
+(** A deep copy of a plane's contents and parity state, geometry-stamped. *)
+type snapshot
+
+val snapshot : store -> snapshot
+
+(** Restore a snapshot; rejects a geometry mismatch with [Invalid_argument]. *)
+val restore : store -> snapshot -> unit

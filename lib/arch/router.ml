@@ -46,6 +46,63 @@ let route ~dim ~src ~dst =
   in
   go src 0 []
 
+(** Shortest route from [src] to [dst] using only links [link_ok] accepts,
+    or [None] if the healthy sub-cube disconnects the pair.  Breadth-first
+    over the hypercube, so the result is minimal in hops over the surviving
+    links; like {!route}, the path excludes [src] and includes [dst]. *)
+let route_avoiding ~dim ~src ~dst ~link_ok =
+  if not (valid_node ~dim src && valid_node ~dim dst) then
+    invalid_arg "Router.route_avoiding";
+  if src = dst then Some []
+  else begin
+    let n = nodes_of_dim dim in
+    let prev = Array.make n (-1) in
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let q = Queue.create () in
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let cur = Queue.pop q in
+      List.iter
+        (fun nxt ->
+          if (not seen.(nxt)) && link_ok cur nxt then begin
+            seen.(nxt) <- true;
+            prev.(nxt) <- cur;
+            if nxt = dst then found := true else Queue.add nxt q
+          end)
+        (neighbours ~dim cur)
+    done;
+    if not !found then None
+    else begin
+      let rec walk node acc =
+        if node = src then acc else walk prev.(node) (node :: acc)
+      in
+      Some (walk dst [])
+    end
+  end
+
+(** Whether a route (as returned by {!route}: excluding [src]) uses only
+    links [link_ok] accepts. *)
+let path_ok ~link_ok ~src path =
+  let rec go cur = function
+    | [] -> true
+    | nxt :: rest -> link_ok cur nxt && go nxt rest
+  in
+  go src path
+
+(** Fault-aware routing: the dimension-ordered route when it is healthy,
+    otherwise the shortest adaptive detour over surviving links.  Returns
+    [Some (path, detoured)] — [detoured] marks the adaptive fallback — or
+    [None] when the healthy sub-cube disconnects [src] from [dst]. *)
+let route_fault_aware ~dim ~src ~dst ~link_ok =
+  let ecube = route ~dim ~src ~dst in
+  if path_ok ~link_ok ~src ecube then Some (ecube, false)
+  else
+    match route_avoiding ~dim ~src ~dst ~link_ok with
+    | Some path -> Some (path, true)
+    | None -> None
+
 (** Standard binary-reflected Gray code and its inverse, used to embed rings
     and grids so that grid neighbours are hypercube neighbours. *)
 let gray i = i lxor (i lsr 1)
@@ -83,13 +140,14 @@ let c_contention =
   Nsc_trace.Trace.counter ~name:"router.contention_cycles" ~units:"cycles"
     ~desc:"extra cycles from messages serialising on a shared source node"
 
-(** Cycles to move [words] 64-bit words between [src] and [dst]:
+(** Cycles to move [words] 64-bit words along a route of [hops] hops:
     per-hop latency plus bandwidth-limited transmission (cut-through — the
-    payload streams behind the header, so distance adds latency only). *)
-let transfer_cycles (p : Params.t) ~src ~dst ~words =
-  if src = dst then 0
+    payload streams behind the header, so distance adds latency only).
+    Used directly by the fault-aware exchange, whose detours can be longer
+    than the Hamming distance. *)
+let transfer_cycles_hops (p : Params.t) ~hops ~words =
+  if hops = 0 then 0
   else begin
-    let hops = distance src dst in
     if Nsc_trace.Trace.enabled () then begin
       Nsc_trace.Trace.add c_transfers 1;
       Nsc_trace.Trace.add c_hops hops;
@@ -98,3 +156,8 @@ let transfer_cycles (p : Params.t) ~src ~dst ~words =
     (hops * p.hop_latency)
     + int_of_float (ceil (float_of_int words /. p.link_words_per_cycle))
   end
+
+(** Cycles to move [words] 64-bit words between [src] and [dst] along the
+    minimal (dimension-ordered) route. *)
+let transfer_cycles (p : Params.t) ~src ~dst ~words =
+  transfer_cycles_hops p ~hops:(distance src dst) ~words

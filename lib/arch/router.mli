@@ -21,12 +21,30 @@ val valid_node : dim:int -> int -> bool
 val neighbours : dim:int -> int -> int list
 val distance : int -> int -> int
 val route : dim:int -> src:int -> dst:int -> int list
+
+(** Shortest route using only links [link_ok] accepts, or [None] if the
+    healthy sub-cube disconnects the pair. *)
+val route_avoiding :
+  dim:int -> src:int -> dst:int -> link_ok:(int -> int -> bool) -> int list option
+
+(** Whether a route (excluding [src]) uses only links [link_ok] accepts. *)
+val path_ok : link_ok:(int -> int -> bool) -> src:int -> int list -> bool
+
+(** The dimension-ordered route when healthy, else the shortest adaptive
+    detour; [Some (path, detoured)] or [None] when disconnected. *)
+val route_fault_aware :
+  dim:int -> src:int -> dst:int -> link_ok:(int -> int -> bool) ->
+  (int list * bool) option
 val gray : int -> int
 val gray_inverse : int -> int
 val chain_to_node : dim:int -> int -> int
 val node_to_chain : dim:int -> int -> int
 val transfer_cycles :
   Params.t -> src:int -> dst:int -> words:int -> int
+
+(** [transfer_cycles] by explicit hop count — for fault-aware detours
+    longer than the Hamming distance. *)
+val transfer_cycles_hops : Params.t -> hops:int -> words:int -> int
 
 (** Trace counter for serialisation delay on a shared source node;
     bumped by the multi-node exchange when messages leaving one node

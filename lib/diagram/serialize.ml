@@ -399,6 +399,12 @@ let of_string (p : Params.t) (text : string) : (Program.t, string) result =
                 | "als", als :: kv_and_at -> (
                     match int_of_string_opt als with
                     | None -> fail st "bad ALS number"
+                    | Some als when als < 0 || als >= Params.n_als p ->
+                        (* range-check here: [Icon.make] sizes the icon via
+                           [Resource.als_size], which raises on a bad id *)
+                        fail st
+                          (Printf.sprintf "ALS %d out of range (machine has %d)" als
+                             (Params.n_als p))
                     | Some als ->
                         let kvs = kv_of_tokens kv_and_at in
                         let bypass =

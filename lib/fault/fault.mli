@@ -1,0 +1,123 @@
+(** The deterministic fault model and its recovery ledger.
+
+    A seeded splitmix64 stream drives every injection decision, so one
+    [--fault-seed] reproduces a whole run's fault schedule bit-for-bit.
+    The model is ambient, like {!Nsc_trace.Trace}: {!install} one and the
+    engine, multi-node exchange and checkpointed solvers consult it at
+    their injection points; with nothing installed every site costs one
+    atomic flag read.
+
+    Accounting is double-entry: every injected fault must end up either
+    recovered or unrecovered; {!outstanding} reports the difference and
+    {!reconcile} books the remainder as unrecovered at end of run.  The
+    ledger counts always (it backs the CLI fault report); the same values
+    are mirrored onto [fault.*] trace counters when tracing is enabled. *)
+
+(** {1 Specification} *)
+
+type spec = {
+  transient_link_p : float;  (** per-transfer transient link glitch *)
+  dead_links : (int * int) list;  (** permanently dead links, as (lo, hi) node pairs *)
+  mem_corrupt_p : float;     (** per-sweep memory word corruption *)
+  dma_stall_p : float;       (** per-transfer DMA engine stall *)
+  dma_stall_cycles : int;    (** cycles lost per stall *)
+  fu_fault_p : float;        (** per-instruction FU arithmetic fault *)
+  max_retries : int;         (** transient-fault retry budget per transfer *)
+  backoff_cycles : int;      (** first retry's backoff; doubles per retry *)
+}
+
+val none : spec
+val is_none : spec -> bool
+
+(** Parse a [--faults] specification: comma-separated clauses
+    [transient-link:p=F[:retries=N][:backoff=N]], [dead-link:A-B],
+    [mem-corrupt:p=F], [dma-stall:p=F[:cycles=N]], [fu-fault:p=F]. *)
+val parse : string -> (spec, string) result
+
+val spec_to_string : spec -> string
+
+(** {1 Model lifecycle} *)
+
+type t
+
+val make : seed:int -> spec -> t
+
+(** Install [m] as the ambient fault model and zero the ledger. *)
+val install : t -> unit
+
+val clear : unit -> unit
+val enabled : unit -> bool
+
+(** The installed model, or [None] — the one-branch fast path every
+    injection site starts with. *)
+val active : unit -> t option
+
+val seed : t -> int
+val spec : t -> spec
+
+(** A uniform draw in [0, bound) from the model's stream. *)
+val rand : t -> int -> int
+
+(** {1 Link state} *)
+
+val link_dead : t -> int -> int -> bool
+
+(** Declare a link permanently dead (retry-exhaustion escalation). *)
+val kill_link : t -> int -> int -> unit
+
+(** {1 Draws}
+
+    Each draw advances the seeded stream and books what it injects; the
+    caller books the resolution (recovered / unrecovered) where noted. *)
+
+type link_outcome = {
+  failures : int;       (** transient faults drawn, capped at the budget *)
+  backoff : int;        (** backoff cycles accumulated by the retries *)
+  exhausted : bool;     (** the retry budget was spent without a clean send *)
+}
+
+(** Draw consecutive transient link faults for one transfer (booked as
+    injected/detected/retried; resolution is the caller's entry). *)
+val draw_link_failures : t -> link_outcome
+
+(** Extra cycles injected into one intra-node DMA stream execution
+    (transient glitches and DMA stalls, all recovered in place). *)
+val stream_overhead : t -> int
+
+(** Total {!stream_overhead} for [streams] executed transfers. *)
+val streams_overhead : t -> streams:int -> int
+
+(** Per-instruction FU arithmetic fault: [Some (unit, element)] when one
+    lands (booked as injected; the engine books detection at the trap). *)
+val draw_fu_fault : t -> vlen:int -> units:int -> (int * int) option
+
+(** Per-sweep memory-corruption draw (the caller picks the victim word
+    with {!rand} and books it with {!note_mem_corrupt}). *)
+val draw_mem_corrupt : t -> bool
+
+(** {1 Recovery bookkeeping} *)
+
+val note_recovered : int -> unit
+val note_unrecovered : int -> unit
+val note_rerouted : extra_hops:int -> unit
+
+(** A dimension-ordered route crossed a dead link: one injected, detected
+    fault (the caller books its resolution). *)
+val note_dead_link_hit : unit -> unit
+
+val note_rollback : unit -> unit
+val note_mem_corrupt : int -> unit
+val note_mem_detected : int -> unit
+val note_fu_detected : int -> unit
+
+(** {1 Ledger} *)
+
+(** Every ledger cell as (name, value), sorted by name — live whether or
+    not tracing is enabled. *)
+val ledger : unit -> (string * int) list
+
+(** Injected faults not yet claimed by recovery or reported unrecoverable. *)
+val outstanding : unit -> int
+
+(** Book any outstanding faults as unrecovered; returns the number. *)
+val reconcile : unit -> int

@@ -1,0 +1,34 @@
+(** The fault model's deterministic pseudo-random stream.
+
+    Splitmix64: a tiny, statistically solid generator whose whole state is
+    one 64-bit word, so a fault schedule is fully reproducible from a seed
+    — the property every fault-injection experiment and every regression
+    test of the recovery layer depends on.  Not a cryptographic generator,
+    and deliberately independent of [Random] so library clients cannot
+    perturb a seeded schedule. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(** An independent generator continuing from the same state (the original
+    and the copy then produce identical streams). *)
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** A uniform draw in [0, 1), using the top 53 bits. *)
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  Stdlib.float_of_int bits53 *. 0x1p-53
+
+(** A uniform draw in [0, bound); [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let bits30 = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34) in
+  bits30 mod bound

@@ -1,0 +1,16 @@
+(** The fault model's deterministic pseudo-random stream (splitmix64).
+
+    One 64-bit word of state; identical seeds yield identical draw
+    sequences, which makes every injected fault schedule reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+(** A uniform draw in [0, 1). *)
+val float : t -> float
+
+(** A uniform draw in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int

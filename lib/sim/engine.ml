@@ -43,6 +43,7 @@ let max_recorded_events = 1000
    All sites are gated on the trace-enabled flag; the disabled path costs
    one branch per instruction, not per element. *)
 module Trace = Nsc_trace.Trace
+module Fault = Nsc_fault.Fault
 
 let c_instructions =
   Trace.counter ~name:"sim.instructions" ~units:"instructions"
@@ -70,12 +71,7 @@ let c_traps =
    end-to-end in the exported trace. *)
 let note_run ~kind ~index (r : result) =
   if Trace.enabled () then begin
-    let traps =
-      List.fold_left
-        (fun n ev ->
-          match ev with Interrupt.Exception_trapped _ -> n + 1 | _ -> n)
-        0 r.events
-    in
+    let traps = Interrupt.trapped_exceptions r.events in
     let ts = Trace.now () in
     Trace.advance r.cycles;
     Trace.span ~cat:"engine"
@@ -101,8 +97,34 @@ let note_read_streams ~vlen streams =
   if Trace.enabled () then
     List.iter
       (fun (_, (t : Dma.transfer)) ->
-        Dma.note_read ~words:(if t.Dma.count = 0 then vlen else t.Dma.count))
+        Dma.note_read ~words:(Dma.effective_count t ~vector_length:vlen))
       streams
+
+(* Fault injection (both helpers cost one atomic flag check when no model
+   is installed).  The FU draw picks a victim (unit index in programme
+   order, element) whose output latch the evaluators corrupt to NaN —
+   detection is the interrupt scheme trapping [Invalid_operand].  The
+   stream draw adds recovered retry/stall cycles for the instruction's
+   transfer descriptors (transient FLONET-link glitches and DMA stalls);
+   it perturbs only the cycle count, never the data, and both derive the
+   descriptor count from [sem] so every evaluator path consumes the
+   seeded stream identically. *)
+let fault_fu_draw (sem : Semantic.t) =
+  match Fault.active () with
+  | None -> None
+  | Some f ->
+      Fault.draw_fu_fault f ~vlen:sem.Semantic.vector_length
+        ~units:(List.length sem.Semantic.units)
+
+let fault_stream_cycles (sem : Semantic.t) =
+  match Fault.active () with
+  | None -> 0
+  | Some f ->
+      let streams =
+        List.length (Semantic.read_streams sem)
+        + List.length (Semantic.write_streams sem)
+      in
+      if streams = 0 then 0 else Fault.streams_overhead f ~streams
 
 (* The general evaluator: memoized recursion over (unit, element).  Handles
    arbitrary element skew (misaligned streams), guarded switch cycles, and
@@ -251,6 +273,27 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
             v
           end
   in
+  (* --- fault injection: corrupt one output latch ---------------------- *)
+  (* Pre-seeding the memo makes everything fed from the victim unit see
+     the corrupted element — the general evaluator models full
+     propagation through the datapath. *)
+  (match fault_fu_draw sem with
+  | None -> ()
+  | Some (k, e) -> (
+      match List.nth_opt sem.Semantic.units k with
+      | None -> ()
+      | Some u ->
+          let fu = u.Semantic.fu in
+          Hashtbl.replace memo (fu, e) Float.nan;
+          record
+            (Interrupt.Exception_trapped
+               {
+                 instruction = sem.Semantic.index;
+                 unit_ = fu;
+                 kind = Interrupt.Invalid_operand;
+                 element = e;
+               });
+          Fault.note_fu_detected 1));
   (* --- drive the pipeline: writes ------------------------------------ *)
   let writes = ref 0 in
   List.iter
@@ -282,7 +325,7 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
       (fun (u : Semantic.unit_program) -> (u.Semantic.fu, unit_out u.Semantic.fu (vlen - 1)))
       sem.Semantic.units
   in
-  let cycles = Timing.estimated_cycles p sem analysis ~vlen in
+  let cycles = Timing.estimated_cycles p sem analysis ~vlen + fault_stream_cycles sem in
   record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
   let flops = Semantic.flops_per_element sem * vlen in
   let r =
@@ -449,6 +492,22 @@ let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
         out.(k).(e) <- v)
       order
   done;
+  (* fault injection: corrupt one output latch (post-compute — the dense
+     paths model the fault at the latch, so the writes drain the NaN but
+     same-instruction consumers have already latched clean values) *)
+  (match fault_fu_draw sem with
+  | None -> ()
+  | Some (k, e) ->
+      out.(k).(e) <- Float.nan;
+      record
+        (Interrupt.Exception_trapped
+           {
+             instruction = sem.Semantic.index;
+             unit_ = units.(k).Semantic.fu;
+             kind = Interrupt.Invalid_operand;
+             element = e;
+           });
+      Fault.note_fu_detected 1);
   (* writes *)
   let writes = ref 0 in
   List.iter
@@ -475,7 +534,7 @@ let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
          units)
   in
   let analysis = Timing.analyse p sem in
-  let cycles = Timing.estimated_cycles p sem analysis ~vlen in
+  let cycles = Timing.estimated_cycles p sem analysis ~vlen + fault_stream_cycles sem in
   record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
   let trace =
     if record_trace then begin
@@ -607,6 +666,23 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
           out.(k).(e) <- v
         done
       done;
+      (* fault injection: corrupt one output latch (latch model, as in the
+         fast path; the draw indexes programme order, mapped through the
+         plan's topological permutation) *)
+      (match fault_fu_draw sem with
+      | None -> ()
+      | Some (i, e) ->
+          let k = f.Plan.order_of_sem.(i) in
+          out.(k).(e) <- Float.nan;
+          record
+            (Interrupt.Exception_trapped
+               {
+                 instruction = sem.Semantic.index;
+                 unit_ = units.(k).Plan.fu;
+                 kind = Interrupt.Invalid_operand;
+                 element = e;
+               });
+          Fault.note_fu_detected 1);
       (* writes, stream-major in programme order; unit-fed streams drain in
          one bulk transfer, direct memory-to-memory routes re-read live *)
       let write_bulk (t : Dma.transfer) (vals : float array) =
@@ -660,7 +736,8 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
             (u.Semantic.fu, if vlen > 0 then out.(k).(vlen - 1) else 0.0))
           sem.Semantic.units
       in
-      record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles = pl.Plan.cycles });
+      let cycles = pl.Plan.cycles + fault_stream_cycles sem in
+      record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
       let trace =
         if record_trace then begin
           let unit_values = Hashtbl.create (max 16 (n_units * vlen)) in
@@ -677,7 +754,7 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
       in
       let r =
         {
-          cycles = pl.Plan.cycles;
+          cycles;
           flops = pl.Plan.flops;
           elements = vlen;
           writes = !writes;

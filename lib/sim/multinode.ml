@@ -13,6 +13,7 @@ open Nsc_arch
 (* Observability: machine-level phases appear on trace timeline tid 1,
    leaving tid 0 to the per-node engine/sequencer spans. *)
 module Trace = Nsc_trace.Trace
+module Fault = Nsc_fault.Fault
 
 let machine_tid = 1
 
@@ -36,7 +37,11 @@ type t = {
 
 let create ?(dim : int option) (p : Params.t) =
   let dim = Option.value ~default:p.hypercube_dim dim in
-  if dim < 0 || dim > 16 then invalid_arg "Multinode.create: unreasonable dimension";
+  (* Nodes are allocated eagerly, so the bound caps the machine at 1024
+     nodes — 16x the paper's 64-node target, far below the 65,536 a
+     dimension-16 cube would demand up front. *)
+  if dim < 0 || dim > 10 then
+    invalid_arg "Multinode.create: dimension must be between 0 and 10 (1..1024 nodes)";
   {
     params = { p with hypercube_dim = dim };
     dim;
@@ -105,43 +110,105 @@ let compute_step ?domains t (f : int -> Node.t -> int * int) =
 (** One message of a communication phase. *)
 type message = { src : Router.node_id; dst : Router.node_id; words : int }
 
-(** Perform a communication phase.  Messages between distinct pairs proceed
-    in parallel (each node pair uses its own links under e-cube routing of a
-    balanced exchange); the phase costs the longest single transfer.
-    Congestion on shared links is approximated by serialising messages that
-    leave the same source node. *)
-let exchange_cycles t (msgs : message list) =
-  (* per source node: (serialised total, longest single transfer) — the
-     difference is the queueing delay charged to [router.contention_cycles] *)
+(** Cycle cost of one message and whether it is delivered.
+
+    Clean machine: the dimension-ordered transfer cost.  Under an
+    installed fault model the message runs the recovery ladder:
+    dead links on the e-cube route force an adaptive detour
+    ({!Router.route_fault_aware}); transient glitches are retried with
+    exponential backoff up to the retry budget; retry exhaustion
+    escalates by declaring the first-hop link dead and detouring around
+    it.  A message is undelivered only when the surviving links
+    disconnect the pair — booked as unrecovered, never dropped
+    silently. *)
+let message_cost t (m : message) : int * bool =
+  if m.src = m.dst then (0, true)
+  else
+    match Fault.active () with
+    | None -> (Router.transfer_cycles t.params ~src:m.src ~dst:m.dst ~words:m.words, true)
+    | Some f -> (
+        let link_ok a b = not (Fault.link_dead f a b) in
+        match Router.route_fault_aware ~dim:t.dim ~src:m.src ~dst:m.dst ~link_ok with
+        | None ->
+            Fault.note_dead_link_hit ();
+            Fault.note_unrecovered 1;
+            (0, false)
+        | Some (path, detoured) -> (
+            if detoured then begin
+              Fault.note_dead_link_hit ();
+              Fault.note_rerouted
+                ~extra_hops:(List.length path - Router.distance m.src m.dst);
+              Fault.note_recovered 1
+            end;
+            let { Fault.failures; backoff; exhausted } = Fault.draw_link_failures f in
+            if not exhausted then begin
+              Fault.note_recovered failures;
+              ( backoff
+                + Router.transfer_cycles_hops t.params ~hops:(List.length path)
+                    ~words:m.words,
+                true )
+            end
+            else begin
+              (* The first hop kept failing through the whole retry budget:
+                 declare that link dead and detour around it. *)
+              Fault.kill_link f m.src (List.hd path);
+              match Router.route_avoiding ~dim:t.dim ~src:m.src ~dst:m.dst ~link_ok with
+              | Some path' ->
+                  Fault.note_rerouted
+                    ~extra_hops:(List.length path' - Router.distance m.src m.dst);
+                  Fault.note_recovered failures;
+                  ( backoff
+                    + Router.transfer_cycles_hops t.params ~hops:(List.length path')
+                        ~words:m.words,
+                    true )
+              | None ->
+                  Fault.note_unrecovered failures;
+                  (backoff, false)
+            end))
+
+(* Phase cost of already-costed messages.  Messages between distinct pairs
+   proceed in parallel; congestion on shared links is approximated by
+   serialising messages that leave the same source node, the queueing
+   delay going to [router.contention_cycles]. *)
+let serialized_cost (costed : (message * int) list) =
   let per_source = Hashtbl.create 16 in
   List.iter
-    (fun m ->
-      if m.src <> m.dst then begin
-        let c = Router.transfer_cycles t.params ~src:m.src ~dst:m.dst ~words:m.words in
+    (fun ((m : message), c) ->
+      if m.src <> m.dst && c > 0 then begin
         let sum, longest =
           Option.value ~default:(0, 0) (Hashtbl.find_opt per_source m.src)
         in
         Hashtbl.replace per_source m.src (sum + c, max longest c)
       end)
-    msgs;
+    costed;
   if Trace.enabled () then
     Trace.add Router.c_contention
       (Hashtbl.fold (fun _ (sum, longest) acc -> acc + (sum - longest)) per_source 0);
   Hashtbl.fold (fun _ (sum, _) acc -> max sum acc) per_source 0
 
+(** Cycle cost of a communication phase: the phase costs the slowest
+    source node's serialised queue.  Note that under an installed fault
+    model this draws from the seeded fault stream, exactly as {!exchange}
+    would. *)
+let exchange_cycles t (msgs : message list) =
+  serialized_cost (List.map (fun m -> (m, fst (message_cost t m))) msgs)
+
 (** Execute a communication phase: move the payloads between plane stores
-    and advance machine time. *)
+    and advance machine time.  Messages whose recovery ladder fails (the
+    surviving links disconnect src from dst) are not delivered; they are
+    booked on the fault ledger as unrecovered. *)
 let exchange t (msgs : (message * (float array * int * int)) list) =
   (* each message carries (payload, dst_plane, dst_base) *)
-  let cycles = exchange_cycles t (List.map fst msgs) in
+  let costed = List.map (fun (m, payload) -> (m, payload, message_cost t m)) msgs in
+  let cycles = serialized_cost (List.map (fun (m, _, (c, _)) -> (m, c)) costed) in
   let words = ref 0 in
   List.iter
-    (fun (m, (payload, dst_plane, dst_base)) ->
-      if m.src <> m.dst then begin
+    (fun ((m : message), (payload, dst_plane, dst_base), (_, delivered)) ->
+      if m.src <> m.dst && delivered then begin
         Node.load_array t.nodes.(m.dst) ~plane:dst_plane ~base:dst_base payload;
         words := !words + Array.length payload
       end)
-    msgs;
+    costed;
   t.words_moved <- t.words_moved + !words;
   t.cycles <- t.cycles + cycles;
   t.comm_cycles <- t.comm_cycles + cycles;

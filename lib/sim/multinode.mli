@@ -44,16 +44,27 @@ type message = {
   words : int;  (** payload size in 64-bit words *)
 }
 
+(** Cycle cost of one message and whether it is delivered.  Clean machine:
+    the dimension-ordered transfer cost, delivered.  Under an installed
+    {!Nsc_fault.Fault} model the message runs the recovery ladder (detour
+    around dead links, retry transient glitches with backoff, escalate
+    retry exhaustion to a dead link plus detour); undelivered only when
+    the surviving links disconnect the pair, booked as unrecovered. *)
+val message_cost : t -> message -> int * bool
+
 (** Cycle cost of a communication phase: messages between distinct pairs
     proceed in parallel, messages leaving one source serialise on its
     links, and the phase costs the slowest source's total.  The
     serialisation surplus is charged to the [router.contention_cycles]
-    trace counter. *)
+    trace counter.  Under an installed fault model this draws from the
+    seeded fault stream, exactly as {!exchange} would. *)
 val exchange_cycles : t -> message list -> int
 
 (** Execute a communication phase: each message carries
     [(payload, dst_plane, dst_base)]; payloads land in the destination
-    nodes' planes and machine time advances by {!exchange_cycles}. *)
+    nodes' planes and machine time advances by {!exchange_cycles}.
+    Messages whose recovery ladder fails are not delivered (booked as
+    unrecovered on the fault ledger). *)
 val exchange : t -> (message * (float array * int * int)) list -> unit
 
 (** Aggregate sustained GFLOPS of the machine so far. *)
