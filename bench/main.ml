@@ -43,6 +43,18 @@ type engine_perf = {
 
 let engine_perf_result : engine_perf option ref = ref None
 
+type kernel_perf = {
+  kernel_seconds : float;
+  kernel_plan_seconds : float;
+  kernel_sweeps : int;
+  kernel_final_change : float;
+  kernel_compiles : int;
+  kernel_cache_hits : int;
+  kernel_residual_match : bool;
+}
+
+let kernel_perf_result : kernel_perf option ref = ref None
+
 type trace_perf = {
   trace_disabled_seconds : float;
   trace_enabled_seconds : float;
@@ -92,6 +104,19 @@ let write_bench_json path =
       out "    \"final_change\": %.6e,\n" p.perf_final_change;
       out "    \"plan_compiles\": %d,\n" p.perf_plan_compiles;
       out "    \"plan_cache_hits\": %d\n" p.perf_plan_cache_hits;
+      out "  }");
+  (match !kernel_perf_result with
+  | None -> ()
+  | Some k ->
+      out ",\n  \"kernel\": {\n";
+      out "    \"kernel_seconds\": %.4f,\n" k.kernel_seconds;
+      out "    \"plan_seconds\": %.4f,\n" k.kernel_plan_seconds;
+      out "    \"speedup\": %.2f,\n" (k.kernel_plan_seconds /. k.kernel_seconds);
+      out "    \"sweeps\": %d,\n" k.kernel_sweeps;
+      out "    \"final_change\": %.17e,\n" k.kernel_final_change;
+      out "    \"kernel_compiles\": %d,\n" k.kernel_compiles;
+      out "    \"kernel_cache_hits\": %d,\n" k.kernel_cache_hits;
+      out "    \"residual_match\": %b\n" k.kernel_residual_match;
       out "  }");
   (match !trace_perf_result with
   | None -> ()
@@ -272,12 +297,14 @@ let c3_node_rate () =
 (* C4: hypercube weak scaling toward the 40 GFLOPS machine             *)
 (* ------------------------------------------------------------------ *)
 
-let c4_scaling () =
+let c4_scaling ~domains () =
   section "C4" "hypercube weak scaling (slab-decomposed Jacobi)";
+  if domains > 1 then
+    row "(per-node simulation fanned across %d OCaml domains)\n" domains;
   let series n iters =
     row "per-node slab %dx%dx%d:\n" n n n;
     row "%6s  %8s  %11s  %8s\n" "nodes" "GFLOPS" "efficiency" "comm %";
-    match Parallel.scaling params ~n ~iters ~dims:[ 0; 1; 2; 3; 4; 5; 6 ] with
+    match Parallel.scaling params ~domains ~n ~iters ~dims:[ 0; 1; 2; 3; 4; 5; 6 ] with
     | Error e -> failwith e
     | Ok pts ->
         List.iter
@@ -610,7 +637,7 @@ let a2_sor () =
 (* ------------------------------------------------------------------ *)
 
 let perf_engine () =
-  section "PERF" "simulator host time: compiled plans vs. legacy per-dispatch";
+  section "PERF" "simulator host time: fused kernels vs. plans vs. legacy dispatch";
   let prob = Poisson.manufactured 9 in
   let time engine =
     let t0 = Unix.gettimeofday () in
@@ -622,18 +649,35 @@ let perf_engine () =
   Stats.reset_plan_counters ();
   let plan_seconds, plan_o = time `Plan in
   let compiles = Stats.plan_compiles () and hits = Stats.plan_cache_hits () in
+  Stats.reset_kernel_counters ();
+  let kernel_seconds, kernel_o = time `Kernel in
+  let kcompiles = Stats.kernel_compiles ()
+  and khits = Stats.kernel_cache_hits () in
   if
     legacy_o.Jacobi.sweeps <> plan_o.Jacobi.sweeps
     || legacy_o.Jacobi.final_change <> plan_o.Jacobi.final_change
   then failwith "PERF: plan and legacy engines disagree";
+  let residual_match =
+    kernel_o.Jacobi.sweeps = plan_o.Jacobi.sweeps
+    && kernel_o.Jacobi.final_change = plan_o.Jacobi.final_change
+  in
+  if not residual_match then failwith "PERF: kernel and plan engines disagree";
+  let kernel_speedup = plan_seconds /. kernel_seconds in
   row "repeated-sweep Jacobi, n=9, tol 1e-6 (%d sweeps, final change %.3e):\n"
     plan_o.Jacobi.sweeps plan_o.Jacobi.final_change;
   row "  legacy per-dispatch engine : %8.3f s host time\n" legacy_seconds;
   row "  compiled-plan engine       : %8.3f s host time\n" plan_seconds;
-  row "  speedup                    : %8.1fx\n" (legacy_seconds /. plan_seconds);
+  row "  fused-kernel engine        : %8.3f s host time\n" kernel_seconds;
+  row "  plan over legacy           : %8.1fx\n" (legacy_seconds /. plan_seconds);
+  row "  kernel over plan           : %8.1fx\n" kernel_speedup;
   row "  plan compiles / cache hits : %d / %d\n" compiles hits;
-  row "shape: three compiles serve the whole solve; every further dispatch\n";
-  row "reuses its plan, and the inner loop is pure array indexing\n";
+  row "  kernel compiles / hits     : %d / %d\n" kcompiles khits;
+  row "shape: three compiles serve the whole solve; the kernel stage gathers\n";
+  row "each stream once and runs closure-free fused loops over the buffers\n";
+  if kernel_speedup < 2.0 then
+    failwith
+      (Printf.sprintf "PERF: kernel engine only %.2fx over the plan engine (need >= 2x)"
+         kernel_speedup);
   engine_perf_result :=
     Some
       {
@@ -643,6 +687,17 @@ let perf_engine () =
         perf_final_change = plan_o.Jacobi.final_change;
         perf_plan_compiles = compiles;
         perf_plan_cache_hits = hits;
+      };
+  kernel_perf_result :=
+    Some
+      {
+        kernel_seconds;
+        kernel_plan_seconds = plan_seconds;
+        kernel_sweeps = kernel_o.Jacobi.sweeps;
+        kernel_final_change = kernel_o.Jacobi.final_change;
+        kernel_compiles = kcompiles;
+        kernel_cache_hits = khits;
+        kernel_residual_match = residual_match;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -969,13 +1024,30 @@ let toolchain_benchmarks () =
       | Some _ | None -> row "  %-44s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* --domains N fans per-node simulation of the scaling experiments across
+   OCaml domains (default 1 — fully sequential, bit-identical results). *)
+let domains_of_argv () =
+  let d = ref 1 in
+  let argv = Sys.argv in
+  Array.iteri
+    (fun i a ->
+      if a = "--domains" && i + 1 < Array.length argv then
+        match int_of_string_opt argv.(i + 1) with
+        | Some n when n >= 1 -> d := n
+        | _ ->
+            prerr_endline ("bench: bad --domains value " ^ argv.(i + 1));
+            exit 2)
+    argv;
+  !d
+
 let () =
+  let domains = domains_of_argv () in
   let t0 = Unix.gettimeofday () in
   fig1_datapath ();
   fig2_jacobi ();
   c2_contention ();
   c3_node_rate ();
-  c4_scaling ();
+  c4_scaling ~domains ();
   c5_microcode ();
   c6_authoring ();
   c7_checker ();

@@ -249,6 +249,40 @@ let fault_report () =
   if reconciled > 0 then
     Printf.printf "  (%d outstanding fault(s) reconciled as unrecovered)\n" reconciled
 
+(* -- Domain fan-out ----------------------------------------------------- *)
+
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Fan the run across $(docv) OCaml domains (default 1): the \
+               program is replicated on every node of a hypercube machine \
+               just large enough for $(docv) domains and executed through \
+               the machine's persistent domain pool; the replicas are \
+               checked bit-identical and node 0 is reported.  Ignored when \
+               a fault model is installed — the seeded fault schedule is \
+               consumed sequentially to stay reproducible.")
+
+(* smallest hypercube dimension giving at least [n] nodes *)
+let dim_for_domains n =
+  let rec go d = if 1 lsl d >= n || d >= 10 then d else go (d + 1) in
+  go 0
+
+(* Execute [exec node] on every node of a fresh [2^dim]-node machine
+   (each prepared by [prepare]), fanned over [domains] domains from the
+   machine's pool; all replicas must agree bit-identically (they run the
+   same program on identical data), and node 0's result is returned. *)
+let run_replicated p ~domains ~prepare ~exec =
+  let machine = Nsc_sim.Multinode.create ~dim:(dim_for_domains domains) p in
+  Array.iter prepare machine.Nsc_sim.Multinode.nodes;
+  let results =
+    Nsc_sim.Multinode.parallel_iter ~domains machine (fun _ node -> exec node)
+  in
+  Nsc_sim.Multinode.shutdown machine;
+  let agree = Array.for_all (fun r -> compare results.(0) r = 0) results in
+  Printf.printf "replicated on %d node(s) across %d domain(s): %s\n"
+    (Array.length results) domains
+    (if agree then "replicas bit-identical" else "REPLICA MISMATCH");
+  (Nsc_sim.Multinode.node machine 0, results.(0))
+
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Record a structured trace of the execution and write it as Chrome \
@@ -283,23 +317,47 @@ let run_cmd =
            ~doc:"Print a memory range after the run.")
   in
   let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the interrupt log.") in
-  let run subset path loads dumps events trace faults seed =
+  let run subset path loads dumps events trace faults seed domains =
     guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let c = compile_or_die kb (load_program kb path) in
-    let node = Nsc_sim.Node.create p in
-    List.iter
-      (fun s ->
-        match parse_load s with
-        | Some (plane, base, file) -> Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
-        | None ->
-            prerr_endline ("bad --load: " ^ s);
-            exit 2)
-      loads;
+    let apply_loads node =
+      List.iter
+        (fun s ->
+          match parse_load s with
+          | Some (plane, base, file) ->
+              Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
+          | None ->
+              prerr_endline ("bad --load: " ^ s);
+              exit 2)
+        loads
+    in
     let faulted = install_faults faults seed in
+    let domains =
+      if domains > 1 && faulted then begin
+        print_endline
+          "note: --domains ignored under --faults (the seeded fault schedule is \
+           consumed sequentially)";
+        1
+      end
+      else domains
+    in
+    let node = ref (Nsc_sim.Node.create p) in
+    if domains <= 1 then apply_loads !node;
     with_trace trace (fun () ->
-        match Nsc_sim.Sequencer.run node c with
+        let result =
+          if domains <= 1 then Nsc_sim.Sequencer.run !node c
+          else begin
+            let n0, r =
+              run_replicated p ~domains ~prepare:apply_loads
+                ~exec:(fun node -> Nsc_sim.Sequencer.run node c)
+            in
+            node := n0;
+            r
+          end
+        in
+        match result with
         | Error e ->
             prerr_endline ("run error: " ^ e);
             exit 1
@@ -328,7 +386,7 @@ let run_cmd =
             Printf.printf "plane %d [%d..%d):\n" plane base (base + len);
             Array.iter
               (fun v -> Printf.printf "  %.17g\n" v)
-              (Nsc_sim.Node.dump_array node ~plane ~base ~len)
+              (Nsc_sim.Node.dump_array !node ~plane ~base ~len)
         | None ->
             prerr_endline ("bad --dump: " ^ s);
             exit 2)
@@ -336,7 +394,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a program on the simulated node.")
     Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events $ trace_out
-          $ faults_opt $ fault_seed_arg)
+          $ faults_opt $ fault_seed_arg $ domains_arg)
 
 (* -- render ------------------------------------------------------------- *)
 
@@ -564,14 +622,13 @@ let inject_cmd =
            ~doc:"Fault specification to inject (required); same grammar as \
                  $(b,run --faults).  See docs/FAULTS.md.")
   in
-  let run subset path loads spec seed =
+  let run subset path loads spec seed domains =
     guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
     let c = compile_or_die kb (load_program kb path) in
     let fspec = parse_faults_or_die spec in
-    let fresh_node () =
-      let node = Nsc_sim.Node.create p in
+    let apply_loads node =
       List.iter
         (fun s ->
           match parse_load s with
@@ -580,19 +637,34 @@ let inject_cmd =
           | None ->
               prerr_endline ("bad --load: " ^ s);
               exit 2)
-        loads;
+        loads
+    in
+    let fresh_node () =
+      let node = Nsc_sim.Node.create p in
+      apply_loads node;
       node
     in
-    let run_once node =
-      match Nsc_sim.Sequencer.run node c with
+    let stats_of = function
       | Error e ->
           prerr_endline ("run error: " ^ e);
           exit 1
       | Ok o -> o.Nsc_sim.Sequencer.stats
     in
-    (* reference run on a perfect machine, then the same program under the
-       seeded fault model on a second fresh node *)
-    let clean = run_once (fresh_node ()) in
+    let run_once node = stats_of (Nsc_sim.Sequencer.run node c) in
+    (* reference run on a perfect machine (optionally replicated across
+       domains), then the same program under the seeded fault model on a
+       fresh node — always sequential, so the seeded schedule is stable *)
+    let clean =
+      if domains <= 1 then run_once (fresh_node ())
+      else
+        let _node0, r =
+          run_replicated p ~domains ~prepare:apply_loads
+            ~exec:(fun node -> Nsc_sim.Sequencer.run node c)
+        in
+        stats_of r
+    in
+    if domains > 1 then
+      print_endline "note: the faulted run stays sequential (seeded fault schedule)";
     Fault.install (Fault.make ~seed fspec);
     let faulted = run_once (fresh_node ()) in
     let cc = clean.Nsc_sim.Sequencer.total_cycles in
@@ -614,7 +686,8 @@ let inject_cmd =
     (Cmd.info "inject"
        ~doc:"Execute a program clean and under a seeded fault model; print the \
              fault/recovery report (exit 1 if any fault went unrecovered).")
-    Term.(const run $ subset_flag $ program_arg $ loads $ faults_req $ fault_seed_arg)
+    Term.(const run $ subset_flag $ program_arg $ loads $ faults_req $ fault_seed_arg
+          $ domains_arg)
 
 let () =
   let doc = "A visual programming environment for the Navier-Stokes Computer." in

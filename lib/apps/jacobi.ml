@@ -310,9 +310,10 @@ type outcome = {
 }
 
 (** Compile and execute the Jacobi program for [prob] on a fresh node.
-    [engine] selects the simulator path (plan-compiled by default;
-    [`Legacy] is the per-dispatch seed path, kept for benchmarking). *)
-let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Plan) (prob : Poisson.problem)
+    [engine] selects the simulator path (fused-kernel by default; [`Plan]
+    stops at the plan interpreter and [`Legacy] is the per-dispatch seed
+    path, both kept for benchmarking — all three are bit-identical). *)
+let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) (prob : Poisson.problem)
     ~tol ~max_iters : (outcome, string) result =
   let b = build kb ?layout ?strategy prob.Poisson.grid ~tol ~max_iters in
   match Nsc_microcode.Codegen.compile kb b.program with
@@ -392,6 +393,7 @@ let solve_ft (kb : Knowledge.t) ?layout ?(max_attempts = 8)
       let node = Nsc_sim.Node.create (Knowledge.params kb) in
       load node b prob;
       let plan_cache = Nsc_sim.Plan.make_cache () in
+      let kernel_cache = Nsc_sim.Kernel.make_cache () in
       let c_setup =
         { compiled with Nsc_microcode.Codegen.control = [ Program.Exec 1; Program.Halt ] }
       in
@@ -415,7 +417,7 @@ let solve_ft (kb : Knowledge.t) ?layout ?(max_attempts = 8)
         all_events := List.rev_append s.Nsc_sim.Sequencer.events !all_events
       in
       let run_step c =
-        match Nsc_sim.Sequencer.run node ~engine:`Plan ~plan_cache c with
+        match Nsc_sim.Sequencer.run node ~engine:`Kernel ~plan_cache ~kernel_cache c with
         | Error e -> Error e
         | Ok o ->
             accumulate o.Nsc_sim.Sequencer.stats;

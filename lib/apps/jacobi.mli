@@ -89,13 +89,14 @@ type outcome = {
   stats : Nsc_sim.Sequencer.stats;
 }
 (** Compile and execute the program for a problem on a fresh node.
-    [engine] selects the simulator path (plan-compiled by default;
-    [`Legacy] is the per-dispatch seed path, kept for benchmarking). *)
+    [engine] selects the simulator path (fused-kernel by default;
+    [`Plan] stops at the plan interpreter, [`Legacy] is the per-dispatch
+    seed path — both kept for benchmarking, all three bit-identical). *)
 val solve :
   Nsc_arch.Knowledge.t ->
   ?layout:layout ->
   ?strategy:[< `Ping_pong | `Refresh > `Refresh ] ->
-  ?engine:[ `Plan | `Legacy ] ->
+  ?engine:[ `Kernel | `Plan | `Legacy ] ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (outcome, string) result
 

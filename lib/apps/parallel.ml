@@ -60,6 +60,7 @@ let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
      iteration body instructions 2 and 3 — disjoint, so a single cache
      serves both programmes across all iterations *)
   let caches = Array.init nodes (fun _ -> Plan.make_cache ()) in
+  let kcaches = Array.init nodes (fun _ -> Kernel.make_cache ()) in
   let kb = Knowledge.make_exn p in
   let grid = local_grid ~n ~nz_local:n in
   let b = Jacobi.build kb grid ~tol:0.0 ~max_iters:1 in
@@ -100,7 +101,7 @@ let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
         machine.Multinode.nodes;
       (* setup phase on every node *)
       Multinode.compute_step ~domains machine (fun i node ->
-          match Sequencer.run node ~plan_cache:caches.(i) c_setup with
+          match Sequencer.run node ~plan_cache:caches.(i) ~kernel_cache:kcaches.(i) c_setup with
           | Ok o ->
               (o.Sequencer.stats.Sequencer.total_cycles,
                o.Sequencer.stats.Sequencer.total_flops)
@@ -111,7 +112,7 @@ let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
       (* iterate: sweep + refresh, then halo exchange *)
       for _ = 1 to iters do
         Multinode.compute_step ~domains machine (fun i node ->
-            match Sequencer.run node ~plan_cache:caches.(i) c_iter with
+            match Sequencer.run node ~plan_cache:caches.(i) ~kernel_cache:kcaches.(i) c_iter with
             | Ok o ->
                 (o.Sequencer.stats.Sequencer.total_cycles,
                  o.Sequencer.stats.Sequencer.total_flops)
@@ -269,6 +270,7 @@ let solve ?(domains = 1) (p : Params.t) ~n ~tol ~max_iters ~dim :
   let machine = Multinode.create ~dim p in
   let nodes = Multinode.n_nodes machine in
   let caches = Array.init nodes (fun _ -> Plan.make_cache ()) in
+  let kcaches = Array.init nodes (fun _ -> Kernel.make_cache ()) in
   let kb = Knowledge.make_exn p in
   let grid = local_grid ~n ~nz_local:n in
   let b = Jacobi.build kb grid ~tol:0.0 ~max_iters:1 in
@@ -307,7 +309,7 @@ let solve ?(domains = 1) (p : Params.t) ~n ~tol ~max_iters ~dim :
             (slab_mask grid ~first:(rank = 0) ~last:(rank = nodes - 1)))
         machine.Multinode.nodes;
       Multinode.compute_step ~domains machine (fun i node ->
-          match Sequencer.run node ~plan_cache:caches.(i) c_setup with
+          match Sequencer.run node ~plan_cache:caches.(i) ~kernel_cache:kcaches.(i) c_setup with
           | Ok o ->
               (o.Sequencer.stats.Sequencer.total_cycles,
                o.Sequencer.stats.Sequencer.total_flops)
@@ -365,7 +367,7 @@ let solve ?(domains = 1) (p : Params.t) ~n ~tol ~max_iters ~dim :
            domain-parallel run is bit-identical to a sequential one *)
         let per_node =
           Multinode.parallel_iter ~domains machine (fun id node ->
-              match Sequencer.run node ~plan_cache:caches.(id) c_iter with
+              match Sequencer.run node ~plan_cache:caches.(id) ~kernel_cache:kcaches.(id) c_iter with
               | Ok o ->
                   let st = o.Sequencer.stats in
                   ( st.Sequencer.total_cycles,

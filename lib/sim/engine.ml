@@ -766,12 +766,346 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
       note_run ~kind:"plan" ~index:sem.Semantic.index r;
       r
 
+(* --- the kernel executor ------------------------------------------------ *)
+
+(* One fused block: the opcode is resolved to a direct float operation
+   exactly once, then applied over [e0, e1) with pure array indexing.
+   The unsafe accesses are justified by the kernel's buffer invariant:
+   every buffer is [blen = pad + max vlen 1 + pad] long with
+   [pad >= |off|] for every operand offset, so [base + e] with
+   [base = pad + off] and [e < vlen] is always in bounds. *)
+let[@inline] exec_block (op : Opcode.t) (dst : float array) (a : float array)
+    (b : float array) ~di ~ai ~bi ~e0 ~e1 =
+  let open Array in
+  let i64 x = Int64.of_float x and f64 i = Int64.to_float i in
+  match op with
+  | Opcode.Pass ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (unsafe_get a (ai + e))
+      done
+  | Opcode.Fadd ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (unsafe_get a (ai + e) +. unsafe_get b (bi + e))
+      done
+  | Opcode.Fsub ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (unsafe_get a (ai + e) -. unsafe_get b (bi + e))
+      done
+  | Opcode.Fmul ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (unsafe_get a (ai + e) *. unsafe_get b (bi + e))
+      done
+  | Opcode.Fdiv ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (unsafe_get a (ai + e) /. unsafe_get b (bi + e))
+      done
+  | Opcode.Fneg ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (-.unsafe_get a (ai + e))
+      done
+  | Opcode.Fabs ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (Float.abs (unsafe_get a (ai + e)))
+      done
+  | Opcode.Fcmp Opcode.Lt ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (if unsafe_get a (ai + e) < unsafe_get b (bi + e) then 1.0 else 0.0)
+      done
+  | Opcode.Fcmp Opcode.Le ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (if unsafe_get a (ai + e) <= unsafe_get b (bi + e) then 1.0 else 0.0)
+      done
+  | Opcode.Fcmp Opcode.Eq ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (if unsafe_get a (ai + e) = unsafe_get b (bi + e) then 1.0 else 0.0)
+      done
+  | Opcode.Fcmp Opcode.Ne ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (if unsafe_get a (ai + e) <> unsafe_get b (bi + e) then 1.0 else 0.0)
+      done
+  | Opcode.Fcmp Opcode.Ge ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (if unsafe_get a (ai + e) >= unsafe_get b (bi + e) then 1.0 else 0.0)
+      done
+  | Opcode.Fcmp Opcode.Gt ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (if unsafe_get a (ai + e) > unsafe_get b (bi + e) then 1.0 else 0.0)
+      done
+  | Opcode.Iadd ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64 (Int64.add (i64 (unsafe_get a (ai + e))) (i64 (unsafe_get b (bi + e)))))
+      done
+  | Opcode.Isub ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64 (Int64.sub (i64 (unsafe_get a (ai + e))) (i64 (unsafe_get b (bi + e)))))
+      done
+  | Opcode.Imul ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64 (Int64.mul (i64 (unsafe_get a (ai + e))) (i64 (unsafe_get b (bi + e)))))
+      done
+  | Opcode.Iand ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64 (Int64.logand (i64 (unsafe_get a (ai + e))) (i64 (unsafe_get b (bi + e)))))
+      done
+  | Opcode.Ior ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64 (Int64.logor (i64 (unsafe_get a (ai + e))) (i64 (unsafe_get b (bi + e)))))
+      done
+  | Opcode.Ixor ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64 (Int64.logxor (i64 (unsafe_get a (ai + e))) (i64 (unsafe_get b (bi + e)))))
+      done
+  | Opcode.Ishl ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64
+             (Int64.shift_left
+                (i64 (unsafe_get a (ai + e)))
+                (Int64.to_int (i64 (unsafe_get b (bi + e))) land 63)))
+      done
+  | Opcode.Ishr ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e)
+          (f64
+             (Int64.shift_right
+                (i64 (unsafe_get a (ai + e)))
+                (Int64.to_int (i64 (unsafe_get b (bi + e))) land 63)))
+      done
+  | Opcode.Max ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (Float.max (unsafe_get a (ai + e)) (unsafe_get b (bi + e)))
+      done
+  | Opcode.Min ->
+      for e = e0 to e1 - 1 do
+        unsafe_set dst (di + e) (Float.min (unsafe_get a (ai + e)) (unsafe_get b (bi + e)))
+      done
+
+(* Block size of the fused element loops: big enough to amortise the
+   per-unit opcode dispatch, small enough that a block of every engaged
+   buffer stays cache-resident. *)
+let kernel_block = 256
+
+(** Execute a compiled {!Kernel.t}: read streams gathered once into
+    padded buffers, a closure-free blocked element loop (one opcode
+    dispatch per unit per block), a branch-free non-finite scan standing
+    in for per-element exception classification, and one bulk strided
+    transfer per write sink.  Kernels without a fused body fall back to
+    the general evaluator with the plan's cached analysis.  Results —
+    values, cycle estimates, interrupt events and their order — are
+    bit-identical to {!run_plan}. *)
+let run_kernel (node : Node.t) ?(record_trace = false) (kn : Kernel.t) : result =
+  let pl = kn.Kernel.plan in
+  match kn.Kernel.body with
+  | None ->
+      run_general node ~record_trace ~honor_timing:pl.Plan.honor_timing
+        ~analysis:pl.Plan.analysis pl.Plan.sem
+  | Some b ->
+      let sem = pl.Plan.sem in
+      let vlen = b.Kernel.vlen in
+      let pad = b.Kernel.pad in
+      let blen = b.Kernel.blen in
+      let units = b.Kernel.units in
+      let n_units = Array.length units in
+      let unit_base = b.Kernel.unit_base in
+      (* buffer pool: the read-only static prefix is shared; stream and
+         output buffers are fresh per execution (memory changes between
+         sweeps, and a cached kernel may run on several domains) *)
+      let bufs = Array.make (max b.Kernel.n_buffers 1) [||] in
+      Array.iteri (fun i buf -> bufs.(i) <- buf) b.Kernel.static;
+      Array.iteri
+        (fun s (r : Plan.read_stream) ->
+          let t = r.Plan.transfer in
+          let n = min r.Plan.count vlen in
+          let buf = Array.make blen 0.0 in
+          if n > 0 then begin
+            let data =
+              match t.Dma.channel with
+              | Dma.Plane plid ->
+                  Memory.read_strided (Node.plane node plid) ~base:t.Dma.base
+                    ~stride:t.Dma.stride ~count:n
+              | Dma.Cache_chan c ->
+                  Cache.read_pipeline_strided (Node.cache node c) ~base:t.Dma.base
+                    ~stride:t.Dma.stride ~count:n
+            in
+            Array.blit data 0 buf pad n;
+            Dma.note_read ~words:n
+          end;
+          bufs.(b.Kernel.stream_base + s) <- buf)
+        b.Kernel.reads;
+      for k = 0 to n_units - 1 do
+        bufs.(unit_base + k) <- Array.make blen 0.0
+      done;
+      (* blocked, unit-major compute: within a block every unit's inputs
+         are already final (same-element deps are earlier in topological
+         order; feedback deps are the unit's own output >= 1 element
+         back), so unit-major blocks equal the plan's element-major loop *)
+      let any_nonfinite = ref false in
+      let e0 = ref 0 in
+      while !e0 < vlen do
+        let e1 = min vlen (!e0 + kernel_block) in
+        for k = 0 to n_units - 1 do
+          let u = units.(k) in
+          let dst = bufs.(u.Kernel.out) in
+          exec_block u.Kernel.op dst bufs.(u.Kernel.a_buf) bufs.(u.Kernel.b_buf)
+            ~di:pad ~ai:(pad + u.Kernel.a_off) ~bi:(pad + u.Kernel.b_off) ~e0:!e0
+            ~e1;
+          (* cache-hot trap scan: a computation traps exactly when its
+             result is non-finite (divide-by-zero yields an infinity or
+             NaN; integer and compare units always produce finite
+             values), so the per-element classification of the
+             interpreted paths reduces to this branch-predictable test *)
+          for e = !e0 to e1 - 1 do
+            let v = Array.unsafe_get dst (pad + e) in
+            if v -. v <> 0.0 then any_nonfinite := true
+          done
+        done;
+        e0 := e1
+      done;
+      let events = ref [] and n_events = ref 0 in
+      let record ev =
+        if !n_events < max_recorded_events then begin
+          events := ev :: !events;
+          incr n_events
+        end
+      in
+      (* trap events, replayed in the interpreters' element-major order *)
+      if !any_nonfinite then
+        for e = 0 to vlen - 1 do
+          for k = 0 to n_units - 1 do
+            let u = units.(k) in
+            let v = bufs.(u.Kernel.out).(pad + e) in
+            if v -. v <> 0.0 then begin
+              let a = bufs.(u.Kernel.a_buf).(pad + u.Kernel.a_off + e) in
+              let bv = bufs.(u.Kernel.b_buf).(pad + u.Kernel.b_off + e) in
+              match Fu_exec.trapped u.Kernel.op a bv v with
+              | Some kind ->
+                  record
+                    (Interrupt.Exception_trapped
+                       { instruction = sem.Semantic.index; unit_ = u.Kernel.fu; kind; element = e })
+              | None -> ()
+            end
+          done
+        done;
+      (* fault injection: corrupt one output latch (latch model, as in
+         the plan path) *)
+      (match fault_fu_draw sem with
+      | None -> ()
+      | Some (i, e) ->
+          let k = b.Kernel.order_of_sem.(i) in
+          bufs.(unit_base + k).(pad + e) <- Float.nan;
+          record
+            (Interrupt.Exception_trapped
+               {
+                 instruction = sem.Semantic.index;
+                 unit_ = units.(k).Kernel.fu;
+                 kind = Interrupt.Invalid_operand;
+                 element = e;
+               });
+          Fault.note_fu_detected 1);
+      (* writes: one bulk strided transfer per unit-fed sink; direct
+         memory-to-memory routes re-read live, exactly as the plan path *)
+      let write_bulk (t : Dma.transfer) (vals : float array) =
+        match t.Dma.channel with
+        | Dma.Plane plid ->
+            Memory.write_strided (Node.plane node plid) ~base:t.Dma.base
+              ~stride:t.Dma.stride vals
+        | Dma.Cache_chan c ->
+            Cache.write_pipeline_strided (Node.cache node c) ~base:t.Dma.base
+              ~stride:t.Dma.stride vals
+      in
+      let writes = ref 0 in
+      Array.iter
+        (fun (w : Plan.write_stream) ->
+          let t = w.Plan.transfer in
+          let count = w.Plan.count in
+          if count > 0 then begin
+            Dma.note_write ~words:count;
+            (match w.Plan.wsrc with
+            | Plan.W_unit k ->
+                let vals = Array.make count 0.0 in
+                Array.blit bufs.(unit_base + k) pad vals 0 (min count vlen);
+                write_bulk t vals
+            | Plan.W_zero -> write_bulk t (Array.make count 0.0)
+            | Plan.W_live { transfer = rt; count = rcount; offset } ->
+                for e = 0 to count - 1 do
+                  let v =
+                    if e >= vlen then 0.0
+                    else
+                      let e' = e + offset in
+                      if e' < 0 || e' >= vlen || e' >= rcount then 0.0
+                      else begin
+                        let addr = rt.Dma.base + (e' * rt.Dma.stride) in
+                        match rt.Dma.channel with
+                        | Dma.Plane plid -> Node.read_plane node ~plane:plid ~addr
+                        | Dma.Cache_chan c -> Cache.read_pipeline (Node.cache node c) addr
+                      end
+                  in
+                  let addr = t.Dma.base + (e * t.Dma.stride) in
+                  match t.Dma.channel with
+                  | Dma.Plane plid -> Node.write_plane node ~plane:plid ~addr v
+                  | Dma.Cache_chan c -> Cache.write_pipeline (Node.cache node c) addr v
+                done);
+            writes := !writes + count
+          end)
+        b.Kernel.writes;
+      let last_values =
+        List.mapi
+          (fun i (u : Semantic.unit_program) ->
+            let k = b.Kernel.order_of_sem.(i) in
+            (u.Semantic.fu, if vlen > 0 then bufs.(unit_base + k).(pad + vlen - 1) else 0.0))
+          sem.Semantic.units
+      in
+      let cycles = pl.Plan.cycles + fault_stream_cycles sem in
+      record (Interrupt.Pipeline_complete { instruction = sem.Semantic.index; cycles });
+      let trace =
+        if record_trace then begin
+          let unit_values = Hashtbl.create (max 16 (n_units * vlen)) in
+          List.iteri
+            (fun i (u : Semantic.unit_program) ->
+              let k = b.Kernel.order_of_sem.(i) in
+              for e = 0 to vlen - 1 do
+                Hashtbl.replace unit_values (u.Semantic.fu, e) bufs.(unit_base + k).(pad + e)
+              done)
+            sem.Semantic.units;
+          Some { unit_values; vlen }
+        end
+        else None
+      in
+      let r =
+        {
+          cycles;
+          flops = pl.Plan.flops;
+          elements = vlen;
+          writes = !writes;
+          events = List.rev !events;
+          last_values;
+          trace;
+        }
+      in
+      note_run ~kind:"kernel" ~index:sem.Semantic.index r;
+      r
+
 (** Execute one pipeline instruction.  Compiles an execution plan (see
-    {!Plan.compile} — timing analysed exactly once) and runs it; callers
-    that replay an instruction should compile once, or use a {!Plan.cache},
-    and call {!run_plan} directly.  [force_general] pins the general
-    memoized evaluator (used by the equivalence property tests). *)
+    {!Plan.compile} — timing analysed exactly once), lowers it to a fused
+    kernel and runs it; callers that replay an instruction should compile
+    once, or use a {!Kernel.cache}, and call {!run_kernel} directly.
+    [force_general] pins the general memoized evaluator (used by the
+    equivalence property tests). *)
 let run (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
     ?(force_general = false) (sem : Semantic.t) : result =
   if force_general then run_general node ~record_trace ~honor_timing sem
-  else run_plan node ~record_trace (Plan.compile node.Node.params ~honor_timing sem)
+  else
+    run_kernel node ~record_trace
+      (Kernel.compile (Plan.compile node.Node.params ~honor_timing sem))

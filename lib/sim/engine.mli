@@ -66,10 +66,19 @@ val run_legacy :
     analysis. *)
 val run_plan : Node.t -> ?record_trace:bool -> Plan.t -> result
 
-(** Execute one pipeline instruction: compile a plan, run it.  Callers
-    replaying an instruction should use a {!Plan.cache} and {!run_plan}.
-    [force_general] pins the general memoized evaluator (used by the
-    equivalence property tests). *)
+(** Execute a fused {!Kernel.t}: read streams gathered once into padded
+    buffers, a closure-free blocked element loop with one opcode dispatch
+    per unit per block, trap detection by a branch-free non-finite scan,
+    and one bulk strided transfer per write sink.  Kernels without a
+    fused body fall back to the general evaluator.  Results — values,
+    cycles, interrupt events and their order — are bit-identical to
+    {!run_plan} (property-tested). *)
+val run_kernel : Node.t -> ?record_trace:bool -> Kernel.t -> result
+
+(** Execute one pipeline instruction: compile a plan, lower it to a fused
+    kernel, run it.  Callers replaying an instruction should use a
+    {!Kernel.cache} and {!run_kernel}.  [force_general] pins the general
+    memoized evaluator (used by the equivalence property tests). *)
 val run :
   Node.t ->
   ?record_trace:bool ->

@@ -1,0 +1,210 @@
+(** Fused vector kernels: the second compilation stage.
+
+    A {!Plan.t} still pays per-element, per-unit interpretation costs in
+    its inner loop: an operand-variant match, a closure over the element
+    index, an opcode dispatch and an exception classification for every
+    unit at every element.  This module lowers a plan once more, into a
+    {!t} whose execution ({!Engine.run_kernel}) is a handful of fused,
+    closure-free array loops:
+
+    - every operand is pre-resolved to a [(buffer, offset)] pair into a
+      uniform pool of padded [float array] buffers — streams, constants,
+      feedback queues and unit outputs all read through the same indexing
+      scheme, so the element loop contains no variant match and no
+      hashtable lookup;
+    - each read stream is gathered {e once per instruction} with one bulk
+      {!Nsc_arch.Memory.read_strided} (or cache double-buffer) transfer;
+    - each unit's opcode is resolved to a direct float operation applied
+      block-wise over the vector for cache locality;
+    - each write stream is flushed with one bulk
+      {!Nsc_arch.Memory.write_strided} per sink.
+
+    Plans without a dense body compile to a kernel without a body; the
+    engine falls back to the general evaluator, exactly as {!Plan} does. *)
+
+open Nsc_arch
+open Nsc_diagram
+
+module Trace = Nsc_trace.Trace
+
+(* Host-side observability: how often plans were lowered to kernels, how
+   often a cached kernel was reused, and how often a kernel had to carry
+   the general-evaluator fallback instead of a fused body. *)
+let c_compiles =
+  Trace.counter ~name:"kernel.compiles" ~units:"kernels"
+    ~desc:"plans lowered to fused vector kernels"
+
+let c_cache_hits =
+  Trace.counter ~name:"kernel.cache_hits" ~units:"hits"
+    ~desc:"kernel-cache hits (a compiled kernel was reused)"
+
+let c_fallbacks =
+  Trace.counter ~name:"kernel.fallbacks" ~units:"kernels"
+    ~desc:"kernels compiled without a fused body (general-evaluator fallback)"
+
+(** One lowered functional unit.  [out] is the absolute buffer slot of the
+    unit's output; operands read [buffer.(pad + e + off)], so a feedback
+    queue is its own output buffer at a negative offset and a shift/delay
+    is its stream's buffer at the programmed offset. *)
+type kunit = {
+  fu : Resource.fu_id;
+  op : Opcode.t;
+  out : int;
+  a_buf : int;
+  a_off : int;
+  b_buf : int;
+  b_off : int;  (** unary units point [b] at the zero buffer *)
+}
+
+(** The fused executable body.  Buffer slots are laid out
+    [zero :: constants @ streams @ unit outputs]; [static] holds the
+    read-only prefix (zeros and constant fills), prebuilt at compile time
+    and shared by every execution — stream and output buffers are
+    allocated per execution, since memory changes between sweeps and a
+    cached kernel may run on several domains at once.
+
+    Every buffer is [pad] elements of zero padding on both sides of the
+    [vlen] live elements, with [pad] at least the largest operand-offset
+    magnitude — so out-of-range reads (feedback warm-up, shift/delay ends,
+    short streams) land in the padding and read 0.0, exactly the plan
+    interpreter's bounds-checked semantics, without a branch. *)
+type body = {
+  vlen : int;
+  pad : int;
+  blen : int;  (** buffer length: [pad + max vlen 1 + pad] *)
+  n_buffers : int;
+  static : float array array;  (** slots [0 .. stream_base - 1], prebuilt *)
+  stream_base : int;
+  unit_base : int;
+  units : kunit array;  (** topological order, as in the plan *)
+  reads : Plan.read_stream array;   (** gathered into slots [stream_base + s] *)
+  writes : Plan.write_stream array;
+  order_of_sem : int array;
+}
+
+type t = {
+  plan : Plan.t;  (** carries the semantics, timing analysis and cycle cost *)
+  body : body option;  (** [None]: fall back to the general evaluator *)
+}
+
+(* --- counters (shared across domains; hence atomic) -------------------- *)
+
+let compiles = Atomic.make 0
+let cache_hits = Atomic.make 0
+let compile_count () = Atomic.get compiles
+let cache_hit_count () = Atomic.get cache_hits
+
+let reset_counters () =
+  Atomic.set compiles 0;
+  Atomic.set cache_hits 0
+
+(* --- compilation -------------------------------------------------------- *)
+
+let compile_body (pl : Plan.t) (f : Plan.fast) : body =
+  let vlen = pl.Plan.vlen in
+  let n_units = Array.length f.Plan.units in
+  let n_reads = Array.length f.Plan.reads in
+  (* distinct constants, deduplicated by bit pattern *)
+  let consts = ref [] and n_consts = ref 0 in
+  let const_slot c =
+    let bits = Int64.bits_of_float c in
+    match List.assoc_opt bits !consts with
+    | Some slot -> slot
+    | None ->
+        let slot = 1 + !n_consts in
+        consts := (bits, slot) :: !consts;
+        incr n_consts;
+        slot
+  in
+  (* padding: the largest offset magnitude any operand reads at *)
+  let pad = ref 0 in
+  let note_off off = if abs off > !pad then pad := abs off in
+  Array.iter
+    (fun (u : Plan.unit_plan) ->
+      let note = function
+        | Plan.Zero | Plan.Const _ | Plan.Unit _ | Plan.Stream _ -> ()
+        | Plan.Self n -> note_off n
+        | Plan.Stream_at (_, off) -> note_off off
+      in
+      note u.Plan.a;
+      if u.Plan.binary then note u.Plan.b)
+    f.Plan.units;
+  (* first pass interns the constants so the slot layout is fixed *)
+  Array.iter
+    (fun (u : Plan.unit_plan) ->
+      let note = function Plan.Const c -> ignore (const_slot c) | _ -> () in
+      note u.Plan.a;
+      if u.Plan.binary then note u.Plan.b)
+    f.Plan.units;
+  let stream_base = 1 + !n_consts in
+  let unit_base = stream_base + n_reads in
+  let pad = !pad in
+  let blen = pad + max vlen 1 + pad in
+  let static = Array.make stream_base [||] in
+  static.(0) <- Array.make blen 0.0;
+  List.iter
+    (fun (bits, slot) -> static.(slot) <- Array.make blen (Int64.float_of_bits bits))
+    !consts;
+  let resolve k = function
+    | Plan.Zero -> (0, 0)
+    | Plan.Const c -> (const_slot c, 0)
+    | Plan.Unit j -> (unit_base + j, 0)
+    | Plan.Self n -> (unit_base + k, -n)
+    | Plan.Stream s -> (stream_base + s, 0)
+    | Plan.Stream_at (s, off) -> (stream_base + s, off)
+  in
+  let units =
+    Array.mapi
+      (fun k (u : Plan.unit_plan) ->
+        let a_buf, a_off = resolve k u.Plan.a in
+        let b_buf, b_off = if u.Plan.binary then resolve k u.Plan.b else (0, 0) in
+        { fu = u.Plan.fu; op = u.Plan.op; out = unit_base + k; a_buf; a_off; b_buf; b_off })
+      f.Plan.units
+  in
+  {
+    vlen;
+    pad;
+    blen;
+    n_buffers = unit_base + n_units;
+    static;
+    stream_base;
+    unit_base;
+    units;
+    reads = f.Plan.reads;
+    writes = f.Plan.writes;
+    order_of_sem = f.Plan.order_of_sem;
+  }
+
+(** Lower a compiled plan to a fused kernel. *)
+let compile (pl : Plan.t) : t =
+  Atomic.incr compiles;
+  if Trace.enabled () then Trace.add c_compiles 1;
+  match pl.Plan.fast with
+  | None ->
+      if Trace.enabled () then Trace.add c_fallbacks 1;
+      { plan = pl; body = None }
+  | Some f -> { plan = pl; body = Some (compile_body pl f) }
+
+(* --- per-instruction kernel cache --------------------------------------- *)
+
+(** Cache keyed by instruction index, layered over the plan cache: a hit
+    requires the cached kernel to have been compiled from the very plan
+    the plan cache returns for these semantics, so plan invalidation
+    (changed semantics, changed [honor_timing]) invalidates the kernel
+    with it. *)
+type cache = (int, t) Hashtbl.t
+
+let make_cache () : cache = Hashtbl.create 16
+
+let cached (kc : cache) (pc : Plan.cache) (p : Params.t) ?(honor_timing = true)
+    (sem : Semantic.t) : t =
+  let pl = Plan.cached pc p ~honor_timing sem in
+  match Hashtbl.find_opt kc sem.Semantic.index with
+  | Some kn when kn.plan == pl ->
+      Atomic.incr cache_hits;
+      if Trace.enabled () then Trace.add c_cache_hits 1;
+      kn
+  | _ ->
+      let kn = compile pl in
+      Hashtbl.replace kc sem.Semantic.index kn;
+      kn

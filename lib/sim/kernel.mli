@@ -1,0 +1,75 @@
+(** Fused vector kernels: the second compilation stage.
+
+    A {!Plan.t} resolves everything static about an instruction but still
+    interprets operands per element.  Lowering the plan once more yields a
+    kernel: operands pre-resolved to [(buffer, offset)] pairs into a
+    uniform pool of padded buffers, opcodes pre-resolved to direct float
+    operations, read streams gathered once per instruction with bulk
+    strided transfers and write streams flushed with one bulk transfer per
+    sink.  {!Engine.run_kernel} executes kernels block-wise with a
+    closure-free inner loop; results are bit-identical to the plan and
+    legacy paths (property-tested). *)
+
+(** One lowered functional unit: opcode plus [(buffer, offset)] operand
+    references.  Operands read [buffer.(pad + e + off)]; [out] is the
+    absolute slot of the unit's output buffer. *)
+type kunit = {
+  fu : Nsc_arch.Resource.fu_id;
+  op : Nsc_arch.Opcode.t;
+  out : int;
+  a_buf : int;
+  a_off : int;
+  b_buf : int;
+  b_off : int;  (** unary units point [b] at the zero buffer *)
+}
+
+(** The fused executable body.  Buffer slots are laid out
+    [zero :: constants @ streams @ unit outputs]; [static] holds the
+    read-only prefix (zeros and constant fills) shared by all executions.
+    Every buffer carries [pad] zero elements either side of the [vlen]
+    live ones, [pad] bounding every operand offset — out-of-range reads
+    land in the padding and stream 0.0, as on the wire. *)
+type body = {
+  vlen : int;
+  pad : int;
+  blen : int;  (** buffer length: [pad + max vlen 1 + pad] *)
+  n_buffers : int;
+  static : float array array;  (** slots [0 .. stream_base - 1], prebuilt *)
+  stream_base : int;  (** read stream [s] gathers into slot [stream_base + s] *)
+  unit_base : int;    (** plan unit [k] writes slot [unit_base + k] *)
+  units : kunit array;  (** topological order, as in the plan *)
+  reads : Plan.read_stream array;
+  writes : Plan.write_stream array;
+  order_of_sem : int array;
+      (** plan position of each unit of [sem.units], in original order *)
+}
+
+type t = {
+  plan : Plan.t;  (** carries the semantics, timing analysis and cycle cost *)
+  body : body option;  (** [None]: fall back to the general evaluator *)
+}
+
+(** Lower a compiled plan to a fused kernel. *)
+val compile : Plan.t -> t
+
+(** {2 Counters} — atomic, shared across domains. *)
+
+val compile_count : unit -> int
+val cache_hit_count : unit -> int
+val reset_counters : unit -> unit
+
+(** {2 Per-instruction kernel cache}
+
+    Keyed by instruction index and layered over the plan cache: a hit
+    requires the cached kernel to descend from the exact plan
+    {!Plan.cached} returns for the incoming semantics, so plan
+    invalidation carries the kernel with it. *)
+
+type cache
+
+val make_cache : unit -> cache
+
+val cached :
+  cache ->
+  Plan.cache ->
+  Nsc_arch.Params.t -> ?honor_timing:bool -> Nsc_diagram.Semantic.t -> t

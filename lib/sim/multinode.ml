@@ -25,6 +25,105 @@ let c_exchanges =
   Trace.counter ~name:"machine.exchanges" ~units:"phases"
     ~desc:"communication phases executed between compute steps"
 
+(* --- the persistent domain pool ----------------------------------------- *)
+
+(* A machine-lifetime pool of worker domains, so a solve that runs
+   hundreds of compute steps pays domain spawn/join once, not per step.
+   Workers park on a condition variable between steps; a step publishes a
+   job and an epoch under the mutex, wakes the workers, runs its own
+   stripe on the calling domain, then waits for the fan-in.  The mutex
+   acquire/release around each step gives the happens-before edges that
+   make the workers' result writes visible to the caller. *)
+type pool = {
+  size : int;  (** worker domains, excluding the calling domain *)
+  mu : Mutex.t;
+  work : Condition.t;  (** signalled when a job is published or on shutdown *)
+  idle : Condition.t;  (** signalled when the last worker finishes a job *)
+  mutable job : (int -> unit) option;  (** workers call [job w], [w] in 1..size *)
+  mutable epoch : int;
+  mutable pending : int;
+  mutable stop : bool;
+  mutable error : exn option;  (** first exception raised by a worker *)
+  mutable workers : unit Domain.t list;
+}
+
+(* Pools whose workers are still parked; drained by [at_exit] so the
+   runtime never shuts down under a blocked domain. *)
+let live_pools : pool list ref = ref []
+let live_mu = Mutex.create ()
+
+let pool_shutdown (p : pool) =
+  Mutex.protect p.mu (fun () ->
+      p.stop <- true;
+      Condition.broadcast p.work);
+  List.iter Domain.join p.workers;
+  p.workers <- [];
+  Mutex.protect live_mu (fun () ->
+      live_pools := List.filter (fun q -> q != p) !live_pools)
+
+let () = at_exit (fun () -> List.iter pool_shutdown !live_pools)
+
+let rec pool_worker (p : pool) w seen =
+  Mutex.lock p.mu;
+  while (not p.stop) && p.epoch = seen do
+    Condition.wait p.work p.mu
+  done;
+  if p.stop then Mutex.unlock p.mu
+  else begin
+    let epoch = p.epoch in
+    let job = Option.value ~default:(fun _ -> ()) p.job in
+    Mutex.unlock p.mu;
+    (try job w
+     with exn ->
+       Mutex.protect p.mu (fun () -> if p.error = None then p.error <- Some exn));
+    Mutex.protect p.mu (fun () ->
+        p.pending <- p.pending - 1;
+        if p.pending = 0 then Condition.broadcast p.idle);
+    pool_worker p w epoch
+  end
+
+let pool_create size =
+  let p =
+    {
+      size;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      epoch = 0;
+      pending = 0;
+      stop = false;
+      error = None;
+      workers = [];
+    }
+  in
+  p.workers <- List.init size (fun w -> Domain.spawn (fun () -> pool_worker p (w + 1) 0));
+  Mutex.protect live_mu (fun () -> live_pools := p :: !live_pools);
+  p
+
+(* Run one job across the pool: workers take stripes 1..size while the
+   calling domain takes stripe 0, and the call returns only after every
+   worker has finished.  Exceptions (the caller's own stripe first, then
+   the first worker failure) are re-raised after the fan-in so the pool
+   stays consistent. *)
+let pool_run (p : pool) (job : int -> unit) =
+  Mutex.protect p.mu (fun () ->
+      p.job <- Some job;
+      p.error <- None;
+      p.pending <- p.size;
+      p.epoch <- p.epoch + 1;
+      Condition.broadcast p.work);
+  let caller_error = (try job 0; None with exn -> Some exn) in
+  Mutex.lock p.mu;
+  while p.pending > 0 do
+    Condition.wait p.idle p.mu
+  done;
+  p.job <- None;
+  let worker_error = p.error in
+  Mutex.unlock p.mu;
+  (match caller_error with Some exn -> raise exn | None -> ());
+  match worker_error with Some exn -> raise exn | None -> ()
+
 type t = {
   params : Params.t;
   dim : int;
@@ -33,6 +132,7 @@ type t = {
   mutable flops : int;          (** total useful flops across nodes *)
   mutable comm_cycles : int;    (** portion of [cycles] spent communicating *)
   mutable words_moved : int;
+  mutable pool : pool option;   (** persistent worker domains, grown on demand *)
 }
 
 let create ?(dim : int option) (p : Params.t) =
@@ -50,7 +150,28 @@ let create ?(dim : int option) (p : Params.t) =
     flops = 0;
     comm_cycles = 0;
     words_moved = 0;
+    pool = None;
   }
+
+(** Join and release the machine's worker domains (no-op without a pool);
+    a later parallel step recreates the pool on demand. *)
+let shutdown t =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+      pool_shutdown p;
+      t.pool <- None
+
+(* The machine's pool, created on first use and grown (by replacement)
+   when a step asks for more workers than it was built with. *)
+let ensure_pool t ~workers =
+  match t.pool with
+  | Some p when p.size >= workers -> p
+  | prev ->
+      (match prev with Some p -> pool_shutdown p | None -> ());
+      let p = pool_create workers in
+      t.pool <- Some p;
+      p
 
 let n_nodes t = Array.length t.nodes
 
@@ -59,27 +180,31 @@ let node t i =
   t.nodes.(i)
 
 (** Apply [f] to every node and collect the results in node order,
-    optionally fanning the calls across [domains] OCaml domains.  Nodes
-    are disjoint state (each has its own planes and caches) so per-node
-    work parallelises safely; each worker strides over the node array and
-    writes only its own result slots, and results are consumed in node
-    order after all domains join, so the outcome is deterministic.
-    [domains <= 1] (the default) runs sequentially. *)
+    optionally fanning the calls across [domains] OCaml domains drawn
+    from the machine's persistent pool.  Node 0 runs first on the
+    calling domain, seeding a pre-sized result buffer (no option boxing,
+    no unwrap); stripes then cover the remaining nodes, each slot
+    written exactly once by the stripe owning it.  [domains <= 1] (the
+    default) runs sequentially. *)
 let parallel_iter ?(domains = 1) t (f : int -> Node.t -> 'a) : 'a array =
   let n = Array.length t.nodes in
   if domains <= 1 || n <= 1 then Array.init n (fun i -> f i t.nodes.(i))
   else begin
-    let results = Array.make n None in
     let d = min domains n in
-    let worker w () =
-      let i = ref w in
-      while !i < n do
-        results.(!i) <- Some (f !i t.nodes.(!i));
-        i := !i + d
-      done
-    in
-    List.init d (fun w -> Domain.spawn (worker w)) |> List.iter Domain.join;
-    Array.map (function Some r -> r | None -> assert false) results
+    let r0 = f 0 t.nodes.(0) in
+    let results = Array.make n r0 in
+    let p = ensure_pool t ~workers:(d - 1) in
+    (* a reused pool may be larger than this step needs: stripes beyond
+       [d] would double-assign node owners, so excess workers idle *)
+    pool_run p (fun w ->
+        if w < d then begin
+          let i = ref (if w = 0 then d else w) in
+          while !i < n do
+            results.(!i) <- f !i t.nodes.(!i);
+            i := !i + d
+          done
+        end);
+    results
   end
 
 (** Run one synchronous compute step: [f] produces per-node (cycles, flops)

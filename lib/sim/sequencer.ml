@@ -47,13 +47,17 @@ let c_reconfig_cycles =
     [on_instruction] is invoked after each pipeline completes — the hook the
     visual debugger attaches to.
 
-    Each [Exec] runs through a compiled execution plan; repeated [Exec]s of
-    the same instruction (loop bodies) reuse the plan from [plan_cache]
-    rather than recompiling.  Pass a persistent {!Plan.cache} to reuse
-    plans across runs of the same program; [~engine:`Legacy] restores the
-    seed per-dispatch path (benchmark baseline). *)
+    Each [Exec] runs through a compiled execution plan lowered to a fused
+    vector kernel; repeated [Exec]s of the same instruction (loop bodies)
+    reuse the plan from [plan_cache] and the kernel from [kernel_cache]
+    rather than recompiling.  Pass persistent caches to reuse the
+    compiled forms across runs of the same program; [~engine:`Plan] stops
+    at the plan interpreter and [~engine:`Legacy] restores the seed
+    per-dispatch path (benchmark baselines — all three engines are
+    bit-identical wherever the fused body applies). *)
 let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
-    ?(engine = `Plan) ?(plan_cache = Plan.make_cache ())
+    ?(engine = `Kernel) ?(plan_cache = Plan.make_cache ())
+    ?(kernel_cache = Kernel.make_cache ())
     ?(on_instruction = fun (_ : Semantic.t) (_ : Engine.result) -> ())
     (c : Codegen.compiled) : (outcome, string) result =
   let p = node.Node.params in
@@ -106,6 +110,9 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
             end;
             let r =
               match engine with
+              | `Kernel ->
+                  Engine.run_kernel node ~record_trace
+                    (Kernel.cached kernel_cache plan_cache p sem)
               | `Plan ->
                   Engine.run_plan node ~record_trace (Plan.cached plan_cache p sem)
               | `Legacy -> Engine.run_legacy node ~record_trace sem

@@ -38,15 +38,19 @@ val max_recorded_events : int
     scalars.  [on_instruction] is the hook the visual debugger attaches
     to.
 
-    Each [Exec] runs through a compiled execution plan; repeated [Exec]s
-    of the same instruction reuse the plan from [plan_cache] (pass a
-    persistent {!Plan.cache} to also reuse plans across runs).
-    [~engine:`Legacy] restores the seed per-dispatch path. *)
+    Each [Exec] runs through a compiled execution plan lowered to a
+    fused vector kernel (the default [`Kernel] engine); repeated [Exec]s
+    of the same instruction reuse the plan from [plan_cache] and the
+    kernel from [kernel_cache] (pass persistent caches to also reuse
+    them across runs).  [~engine:`Plan] stops at the plan interpreter;
+    [~engine:`Legacy] restores the seed per-dispatch path.  All three
+    are bit-identical wherever the fused body applies. *)
 val run :
   Node.t ->
   ?from_microcode:bool ->
   ?record_trace:bool ->
-  ?engine:[ `Plan | `Legacy ] ->
+  ?engine:[ `Kernel | `Plan | `Legacy ] ->
   ?plan_cache:Plan.cache ->
+  ?kernel_cache:Kernel.cache ->
   ?on_instruction:(Nsc_diagram.Semantic.t -> Engine.result -> unit) ->
   Nsc_microcode.Codegen.compiled -> (outcome, string) result

@@ -53,6 +53,9 @@ let summary_to_string s =
 let plan_compiles = Plan.compile_count
 let plan_cache_hits = Plan.cache_hit_count
 let reset_plan_counters = Plan.reset_counters
+let kernel_compiles = Kernel.compile_count
+let kernel_cache_hits = Kernel.cache_hit_count
+let reset_kernel_counters = Kernel.reset_counters
 
 (** {2 The trace instrument}
 

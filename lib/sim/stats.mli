@@ -41,6 +41,14 @@ val plan_compiles : unit -> int
 val plan_cache_hits : unit -> int
 val reset_plan_counters : unit -> unit
 
+(** Host-side kernel accounting (re-exported from {!Kernel}): how often
+    a plan was lowered to a fused vector kernel, and how often a cached
+    kernel was reused instead. *)
+
+val kernel_compiles : unit -> int
+val kernel_cache_hits : unit -> int
+val reset_kernel_counters : unit -> unit
+
 (** {2 The trace instrument}
 
     Simulated-machine observability, re-exported from {!Nsc_trace.Trace}

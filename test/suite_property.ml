@@ -411,3 +411,70 @@ let plan_equivalence =
   ]
 
 let suite = suite @ [ ("property:plan-equivalence", plan_equivalence) ]
+
+(* appended: the fused-kernel executor against the plan interpreter and
+   the legacy fast path — full three-way bit identity including event
+   order, clean and under a seeded fault model.  The model is re-created
+   with the same seed before each engine's run, so all three consume an
+   identical fault stream. *)
+let kernel_equivalence =
+  let observe exec =
+    let node = Nsc_sim.Node.create params in
+    List.iter
+      (fun plane ->
+        Nsc_sim.Node.load_array node ~plane ~base:0
+          (Array.init 80 (fun i -> Float.of_int ((plane * 13) + i) /. 5.0)))
+      (List.init 16 (fun p -> p));
+    let r : Nsc_sim.Engine.result = exec node in
+    let mem =
+      List.map
+        (fun plane -> Nsc_sim.Node.dump_array node ~plane ~base:0 ~len:80)
+        (List.init 16 (fun p -> p))
+    in
+    ( mem,
+      List.sort compare r.Nsc_sim.Engine.last_values,
+      r.Nsc_sim.Engine.cycles,
+      r.Nsc_sim.Engine.flops,
+      r.Nsc_sim.Engine.writes,
+      r.Nsc_sim.Engine.events )
+  in
+  let kernel_exec sem node =
+    Nsc_sim.Engine.run_kernel node
+      (Nsc_sim.Kernel.compile (Nsc_sim.Plan.compile params sem))
+  in
+  [
+    qcheck ~count:60 "fused kernels match the plan and legacy engines"
+      valid_pipeline_gen
+      (fun pl ->
+        let sem, _ = Semantic.of_pipeline params pl in
+        let kernel = observe (kernel_exec sem) in
+        let plan =
+          observe (fun node ->
+              Nsc_sim.Engine.run_plan node (Nsc_sim.Plan.compile params sem))
+        in
+        let legacy = observe (fun node -> Nsc_sim.Engine.run_legacy node sem) in
+        kernel = plan && kernel = legacy);
+    qcheck ~count:40 "fused kernels match the other engines under seeded faults"
+      valid_pipeline_gen
+      (fun pl ->
+        let sem, _ = Semantic.of_pipeline params pl in
+        let module F = Nsc_fault.Fault in
+        let spec =
+          match F.parse "fu-fault:p=0.05,dma-stall:p=0.05" with
+          | Ok s -> s
+          | Error e -> failwith e
+        in
+        let faulted exec =
+          F.install (F.make ~seed:97 spec);
+          Fun.protect ~finally:F.clear (fun () -> observe exec)
+        in
+        let kernel = faulted (kernel_exec sem) in
+        let plan =
+          faulted (fun node ->
+              Nsc_sim.Engine.run_plan node (Nsc_sim.Plan.compile params sem))
+        in
+        let legacy = faulted (fun node -> Nsc_sim.Engine.run_legacy node sem) in
+        kernel = plan && kernel = legacy);
+  ]
+
+let suite = suite @ [ ("property:kernel-equivalence", kernel_equivalence) ]

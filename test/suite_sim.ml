@@ -501,3 +501,88 @@ let plan_tests =
   ]
 
 let suite = suite @ [ ("sim:plan", plan_tests) ]
+
+(* appended: the fused-kernel stage — its per-instruction cache and
+   counters, agreement with the other engines, tracing transparency, and
+   the persistent domain pool behind parallel_iter *)
+let kernel_tests =
+  [
+    case "sequencer compiles each kernel once and hits the cache after"
+      (fun () ->
+        let prog, _ = vecadd_program ~n:8 () in
+        let prog =
+          Program.set_control prog
+            [ Program.Repeat { count = 5; body = [ Program.Exec 1 ] }; Program.Halt ]
+        in
+        let c = Result.get_ok (Nsc_microcode.Codegen.compile kb prog) in
+        let node = Node.create params in
+        let kc0 = Stats.kernel_compiles () and kh0 = Stats.kernel_cache_hits () in
+        let c0 = Stats.plan_compiles () and h0 = Stats.plan_cache_hits () in
+        (match Sequencer.run node c with
+        | Ok o -> check_int "five" 5 o.Sequencer.stats.Sequencer.instructions_executed
+        | Error e -> Alcotest.fail e);
+        check_int "one kernel compile" 1 (Stats.kernel_compiles () - kc0);
+        check_int "four kernel hits" 4 (Stats.kernel_cache_hits () - kh0);
+        (* the kernel cache layers over the plan cache, whose counters
+           keep their pre-kernel behaviour *)
+        check_int "one plan compile" 1 (Stats.plan_compiles () - c0);
+        check_int "four plan hits" 4 (Stats.plan_cache_hits () - h0));
+    case "kernel, plan and legacy engines agree on the Jacobi solve" (fun () ->
+        let prob = Nsc_apps.Poisson.manufactured 5 in
+        let go engine =
+          Result.get_ok
+            (Nsc_apps.Jacobi.solve kb ~engine prob ~tol:1e-4 ~max_iters:200)
+        in
+        let k = go `Kernel and p = go `Plan and l = go `Legacy in
+        check_int "sweeps" p.Nsc_apps.Jacobi.sweeps k.Nsc_apps.Jacobi.sweeps;
+        check_bool "fields vs plan" true (k.Nsc_apps.Jacobi.u = p.Nsc_apps.Jacobi.u);
+        check_bool "fields vs legacy" true (k.Nsc_apps.Jacobi.u = l.Nsc_apps.Jacobi.u);
+        check_bool "residual" true
+          (k.Nsc_apps.Jacobi.final_change = p.Nsc_apps.Jacobi.final_change));
+    case "kernel path is bit-identical with tracing on and off" (fun () ->
+        let prob = Nsc_apps.Poisson.manufactured 5 in
+        let go () =
+          Result.get_ok (Nsc_apps.Jacobi.solve kb prob ~tol:1e-4 ~max_iters:200)
+        in
+        let off = go () in
+        Nsc_trace.Trace.reset ();
+        Nsc_trace.Trace.enable ();
+        let on = Fun.protect ~finally:Nsc_trace.Trace.disable go in
+        Nsc_trace.Trace.reset ();
+        check_int "sweeps" off.Nsc_apps.Jacobi.sweeps on.Nsc_apps.Jacobi.sweeps;
+        check_bool "fields" true (off.Nsc_apps.Jacobi.u = on.Nsc_apps.Jacobi.u);
+        check_bool "residual" true
+          (off.Nsc_apps.Jacobi.final_change = on.Nsc_apps.Jacobi.final_change));
+    case "the domain pool persists across parallel steps" (fun () ->
+        let m = Multinode.create ~dim:2 params in
+        check_bool "no pool before the first parallel step" true
+          (Option.is_none m.Multinode.pool);
+        let r1 = Multinode.parallel_iter ~domains:4 m (fun i _ -> i * 3) in
+        let p1 = m.Multinode.pool in
+        check_bool "pool created" true (Option.is_some p1);
+        let r2 = Multinode.parallel_iter ~domains:4 m (fun i _ -> i * 3) in
+        check_bool "pool reused (same allocation)" true
+          (match (p1, m.Multinode.pool) with Some a, Some b -> a == b | _ -> false);
+        check_bool "results" true
+          (r1 = Array.init 4 (fun i -> i * 3) && r2 = r1);
+        Multinode.shutdown m;
+        check_bool "shutdown releases the pool" true (Option.is_none m.Multinode.pool);
+        let r3 = Multinode.parallel_iter ~domains:2 m (fun i _ -> i + 1) in
+        check_bool "recreated after shutdown" true (Option.is_some m.Multinode.pool);
+        check_bool "post-shutdown results" true (r3 = Array.init 4 (fun i -> i + 1));
+        Multinode.shutdown m);
+    case "parallel_iter over domains matches the sequential fan-out" (fun () ->
+        let go domains =
+          let m = Multinode.create ~dim:3 params in
+          let r = Multinode.parallel_iter ?domains m (fun i n ->
+              Node.load_array n ~plane:0 ~base:0 [| float_of_int i |];
+              Nsc_arch.Memory.read (Node.plane n 0) 0 *. 2.0)
+          in
+          Multinode.shutdown m;
+          r
+        in
+        check_bool "domains:4" true (go (Some 4) = go None);
+        check_bool "domains:64 (more than nodes)" true (go (Some 64) = go None));
+  ]
+
+let suite = suite @ [ ("sim:kernel", kernel_tests) ]

@@ -186,3 +186,41 @@ let suite =
     ("arch:cache", cache_tests);
     ("arch:shift-delay", shift_delay_tests);
   ]
+
+(* appended: edge cases of the bulk strided paths the fused-kernel stage
+   gathers and flushes through — empty transfers, negative strides ending
+   at word zero, and spans straddling a page boundary *)
+let strided_edge_tests =
+  [
+    case "count-zero strided reads and writes are no-ops" (fun () ->
+        let st = Memory.make_store ~page_words:16 256 in
+        check_bool "empty read" true
+          (Memory.read_strided st ~base:250 ~stride:9 ~count:0 = [||]);
+        Memory.write_strided st ~base:250 ~stride:9 [||];
+        check_int "no page materialised" 0 (Memory.touched_pages st);
+        let e = Memory.strided_extent ~plane:0 ~base:250 ~stride:9 ~count:0 in
+        check_int "empty extent lo" 250 e.Memory.lo;
+        check_int "empty extent hi" 250 e.Memory.hi);
+    case "negative stride down to word zero round-trips" (fun () ->
+        let st = Memory.make_store ~page_words:16 64 in
+        let xs = [| 9.0; 8.0; 7.0; 6.0 |] in
+        Memory.write_strided st ~base:48 ~stride:(-16) xs;
+        check_bool "read back" true
+          (Memory.read_strided st ~base:48 ~stride:(-16) ~count:4 = xs);
+        check_float "landed at word zero" 6.0 (Memory.read st 0));
+    case "a unit-stride span straddling a page boundary stays contiguous"
+      (fun () ->
+        let st = Memory.make_store ~page_words:16 64 in
+        let xs = Array.init 10 (fun i -> float_of_int (100 + i)) in
+        (* words 11..20 cross the page 0 / page 1 edge at word 16 *)
+        Memory.write_strided st ~base:11 ~stride:1 xs;
+        check_int "two pages" 2 (Memory.touched_pages st);
+        Array.iteri (fun i v -> check_float "word" v (Memory.read st (11 + i))) xs;
+        check_bool "bulk read" true
+          (Memory.read_strided st ~base:11 ~stride:1 ~count:10 = xs);
+        let e = Memory.strided_extent ~plane:0 ~base:11 ~stride:1 ~count:10 in
+        check_int "lo" 11 e.Memory.lo;
+        check_int "hi" 21 e.Memory.hi);
+  ]
+
+let suite = suite @ [ ("arch:strided-edges", strided_edge_tests) ]
