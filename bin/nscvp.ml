@@ -249,6 +249,24 @@ let fault_report () =
   if reconciled > 0 then
     Printf.printf "  (%d outstanding fault(s) reconciled as unrecovered)\n" reconciled
 
+(* -- engine selection --------------------------------------------------- *)
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum
+      [ ("kernel", `Kernel); ("kernel-v2", `Kernel_v2); ("plan", `Plan);
+        ("legacy", `Legacy) ]
+  in
+  Arg.(value & opt engine_conv `Kernel
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Simulator path: $(b,kernel) (specialised vector kernels \
+                 over pooled buffers, the default), $(b,kernel-v2) (the \
+                 previous float-array kernel backend), $(b,plan) (the plan \
+                 interpreter) or $(b,legacy) (the per-dispatch seed path).  \
+                 All four are bit-identical wherever the fused body applies \
+                 — the slower paths are kept for benchmarking and \
+                 differential debugging.")
+
 (* -- Domain fan-out ----------------------------------------------------- *)
 
 let domains_arg =
@@ -317,7 +335,17 @@ let run_cmd =
            ~doc:"Print a memory range after the run.")
   in
   let events = Arg.(value & flag & info [ "events" ] ~doc:"Print the interrupt log.") in
-  let run subset path loads dumps events trace faults seed domains =
+  let batch_arg =
+    Arg.(value & opt int 1
+         & info [ "batch" ] ~docv:"K"
+             ~doc:"Run $(docv) replicas of the program in lock-step through \
+                   the batched kernel executor: one compiled kernel per \
+                   instruction shared across replicas, over interleaved \
+                   buffer slabs.  Combine with $(b,--domains) to fan clean \
+                   replicas across worker domains.  Replicas are checked \
+                   bit-identical and replica 0 is reported.")
+  in
+  let run subset path loads dumps events trace faults seed domains engine batch =
     guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
@@ -343,15 +371,32 @@ let run_cmd =
       end
       else domains
     in
+    if batch > 1 && engine <> `Kernel then
+      print_endline "note: --batch always runs the batched kernel executor";
     let node = ref (Nsc_sim.Node.create p) in
-    if domains <= 1 then apply_loads !node;
+    if batch <= 1 && domains <= 1 then apply_loads !node;
     with_trace trace (fun () ->
         let result =
-          if domains <= 1 then Nsc_sim.Sequencer.run !node c
+          if batch > 1 then begin
+            let nodes = Array.init batch (fun _ -> Nsc_sim.Node.create p) in
+            Array.iter apply_loads nodes;
+            node := nodes.(0);
+            match Nsc_sim.Sequencer.run_batch nodes ~domains c with
+            | Error e -> Error e
+            | Ok outs ->
+                let agree = Array.for_all (fun o -> compare outs.(0) o = 0) outs in
+                Printf.printf "batched %d replica(s) across %d domain(s): %s\n"
+                  batch domains
+                  (if faulted then "fault draws interleave across replicas"
+                   else if agree then "replicas bit-identical"
+                   else "REPLICA MISMATCH");
+                Ok outs.(0)
+          end
+          else if domains <= 1 then Nsc_sim.Sequencer.run !node ~engine c
           else begin
             let n0, r =
               run_replicated p ~domains ~prepare:apply_loads
-                ~exec:(fun node -> Nsc_sim.Sequencer.run node c)
+                ~exec:(fun node -> Nsc_sim.Sequencer.run node ~engine c)
             in
             node := n0;
             r
@@ -394,7 +439,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a program on the simulated node.")
     Term.(const run $ subset_flag $ program_arg $ loads $ dumps $ events $ trace_out
-          $ faults_opt $ fault_seed_arg $ domains_arg)
+          $ faults_opt $ fault_seed_arg $ domains_arg $ engine_arg $ batch_arg)
 
 (* -- render ------------------------------------------------------------- *)
 
@@ -532,7 +577,7 @@ let debug_cmd =
            ~doc:"Load floats before the run.")
   in
   let limit = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Frames to display.") in
-  let run subset path element loads limit trace =
+  let run subset path element loads limit trace engine =
     guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
@@ -548,7 +593,7 @@ let debug_cmd =
             exit 2)
       loads;
     with_trace trace (fun () ->
-        match Nsc_debug.Stepper.run node ~limit c prog with
+        match Nsc_debug.Stepper.run node ~limit ~engine c prog with
         | Error e ->
             prerr_endline ("run error: " ^ e);
             exit 1
@@ -561,7 +606,8 @@ let debug_cmd =
   in
   Cmd.v
     (Cmd.info "debug" ~doc:"Execute with tracing; print annotated pipeline diagrams.")
-    Term.(const run $ subset_flag $ program_arg $ element $ loads $ limit $ trace_out)
+    Term.(const run $ subset_flag $ program_arg $ element $ loads $ limit $ trace_out
+          $ engine_arg)
 
 (* -- stats ----------------------------------------------------------------- *)
 

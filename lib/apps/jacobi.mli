@@ -96,9 +96,21 @@ val solve :
   Nsc_arch.Knowledge.t ->
   ?layout:layout ->
   ?strategy:[< `Ping_pong | `Refresh > `Refresh ] ->
-  ?engine:[ `Kernel | `Plan | `Legacy ] ->
+  ?engine:[ `Kernel | `Kernel_v2 | `Plan | `Legacy ] ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (outcome, string) result
+
+(** Compile once, solve K problems on K fresh nodes through the
+    lock-step batched sequencer (one shared plan/kernel per instruction;
+    clean replicas fan across [domains] worker domains).  Replicas
+    converge independently; all problems must share one grid shape.
+    [outcomes.(r)] is bit-identical to {!solve} of [probs.(r)]. *)
+val solve_batch :
+  Nsc_arch.Knowledge.t ->
+  ?layout:layout ->
+  ?domains:int ->
+  Poisson.problem array ->
+  tol:float -> max_iters:int -> (outcome array, string) result
 
 type ft_outcome = {
   outcome : outcome;

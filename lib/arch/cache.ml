@@ -143,6 +143,48 @@ let write_pipeline_strided t ~base ~stride (xs : float array) =
   let b = buf t t.pipeline_side in
   Array.iteri (fun i v -> b.(base + (i * stride)) <- v) xs
 
+(** Bulk strided read from the pipeline-side buffer directly into [dst]
+    at [pos]: {!read_pipeline_strided} without the intermediate array.
+    Every element of the destination range is written. *)
+let read_pipeline_strided_into t ~base ~stride ~count (dst : Memory.vec) ~pos =
+  check_strided t ~base ~stride ~count;
+  Memory.check_vec_range dst ~pos ~count "Cache.read_pipeline_strided_into";
+  if count > 0 then begin
+    (if Nsc_trace.Trace.enabled () then begin
+       Nsc_trace.Trace.add c_reads count;
+       let bm = staged t t.pipeline_side in
+       let hits = ref 0 in
+       for i = 0 to count - 1 do
+         if is_staged bm (base + (i * stride)) then incr hits
+       done;
+       Nsc_trace.Trace.add c_hits !hits;
+       Nsc_trace.Trace.add c_misses (count - !hits)
+     end);
+    let b = buf t t.pipeline_side in
+    for i = 0 to count - 1 do
+      Bigarray.Array1.unsafe_set dst (pos + i) (Array.unsafe_get b (base + (i * stride)))
+    done
+  end
+
+(** Bulk strided write of [count] words taken from [src] at [pos] to the
+    pipeline-side buffer. *)
+let write_pipeline_strided_from t ~base ~stride (src : Memory.vec) ~pos ~count =
+  check_strided t ~base ~stride ~count;
+  Memory.check_vec_range src ~pos ~count "Cache.write_pipeline_strided_from";
+  if count > 0 then begin
+    (if Nsc_trace.Trace.enabled () then begin
+       Nsc_trace.Trace.add c_writes count;
+       let bm = staged t t.pipeline_side in
+       for i = 0 to count - 1 do
+         mark_staged bm (base + (i * stride))
+       done
+     end);
+    let b = buf t t.pipeline_side in
+    for i = 0 to count - 1 do
+      Array.unsafe_set b (base + (i * stride)) (Bigarray.Array1.unsafe_get src (pos + i))
+    done
+  end
+
 (** Swap buffers between instructions. *)
 let swap t =
   Nsc_trace.Trace.add c_swaps 1;

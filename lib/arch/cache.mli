@@ -36,6 +36,13 @@ val read_pipeline_strided :
   t -> base:int -> stride:int -> count:int -> float array
 val write_pipeline_strided :
   t -> base:int -> stride:int -> float array -> unit
+
+(** Bigarray-direct bulk strided pipeline-side access: the same transfers
+    without the intermediate array (see {!Memory.vec}). *)
+val read_pipeline_strided_into :
+  t -> base:int -> stride:int -> count:int -> Memory.vec -> pos:int -> unit
+val write_pipeline_strided_from :
+  t -> base:int -> stride:int -> Memory.vec -> pos:int -> count:int -> unit
 val read_dma : t -> int -> float
 val write_dma : t -> int -> float -> unit
 val swap : t -> unit

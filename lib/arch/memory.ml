@@ -62,10 +62,28 @@ let c_pages =
     rewrite of the word scrubs the mark (fresh data arrives with fresh
     parity).  The set is almost always empty, and every scrub site guards
     on that, so the clean path pays one [Hashtbl.length] per bulk write. *)
+
+(** Unboxed float64 vector: the representation of both the plane pages and
+    the kernel executor's buffers, C-layout so page<->buffer transfers are
+    single [memcpy] blits (and a later C-stub path can take the data
+    pointer directly). *)
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module A1 = Bigarray.Array1
+
+let copy_vec (v : vec) : vec =
+  let c = A1.create Bigarray.float64 Bigarray.c_layout (A1.dim v) in
+  A1.blit v c;
+  c
+
+(* placeholder for a lazily-bound page ref: the walk always rebinds before
+   the first access (page keys are non-negative, the sentinel key is not) *)
+let no_page : vec = A1.create Bigarray.float64 Bigarray.c_layout 0
+
 type store = {
   words : int;
   page_words : int;
-  pages : (int, float array) Hashtbl.t;
+  pages : (int, vec) Hashtbl.t;
   parity_bad : (int, unit) Hashtbl.t;
 }
 
@@ -82,13 +100,14 @@ let read st addr =
   Nsc_trace.Trace.add c_reads 1;
   match Hashtbl.find_opt st.pages (addr / st.page_words) with
   | None -> 0.0
-  | Some page -> page.(addr mod st.page_words)
+  | Some page -> A1.get page (addr mod st.page_words)
 
 let page_for st key =
   match Hashtbl.find_opt st.pages key with
   | Some page -> page
   | None ->
-      let page = Array.make st.page_words 0.0 in
+      let page = A1.create Bigarray.float64 Bigarray.c_layout st.page_words in
+      A1.fill page 0.0;
       Hashtbl.add st.pages key page;
       Nsc_trace.Trace.add c_pages 1;
       page
@@ -97,7 +116,7 @@ let write st addr v =
   check_addr st addr;
   Nsc_trace.Trace.add c_writes 1;
   if Hashtbl.length st.parity_bad > 0 then Hashtbl.remove st.parity_bad addr;
-  (page_for st (addr / st.page_words)).(addr mod st.page_words) <- v
+  A1.set (page_for st (addr / st.page_words)) (addr mod st.page_words) v
 
 (* --- the parity/ECC fault-detection model ------------------------------- *)
 
@@ -110,9 +129,10 @@ let corrupt st addr =
   let page = page_for st (addr / st.page_words) in
   let off = addr mod st.page_words in
   let flipped =
-    Int64.float_of_bits (Int64.logxor (Int64.bits_of_float page.(off)) 0x0008_0000_0000_0000L)
+    Int64.float_of_bits
+      (Int64.logxor (Int64.bits_of_float (A1.get page off)) 0x0008_0000_0000_0000L)
   in
-  page.(off) <- flipped;
+  A1.set page off flipped;
   Hashtbl.replace st.parity_bad addr ();
   flipped
 
@@ -148,7 +168,10 @@ let read_strided st ~base ~stride ~count =
         let off = addr mod st.page_words in
         let n = min (st.page_words - off) (count - !i) in
         (match Hashtbl.find_opt st.pages (addr / st.page_words) with
-        | Some page -> Array.blit page off out !i n
+        | Some page ->
+            for j = 0 to n - 1 do
+              Array.unsafe_set out (!i + j) (A1.unsafe_get page (off + j))
+            done
         | None -> ());
         i := !i + n
       done
@@ -163,7 +186,7 @@ let read_strided st ~base ~stride ~count =
           page := Hashtbl.find_opt st.pages k
         end;
         match !page with
-        | Some pg -> out.(i) <- pg.(addr mod st.page_words)
+        | Some pg -> out.(i) <- A1.get pg (addr mod st.page_words)
         | None -> ()
       done
     end;
@@ -187,12 +210,15 @@ let write_strided st ~base ~stride (xs : float array) =
       let addr = base + !i in
       let off = addr mod st.page_words in
       let n = min (st.page_words - off) (count - !i) in
-      Array.blit xs !i (page_for st (addr / st.page_words)) off n;
+      let page = page_for st (addr / st.page_words) in
+      for j = 0 to n - 1 do
+        A1.unsafe_set page (off + j) (Array.unsafe_get xs (!i + j))
+      done;
       i := !i + n
     done
   end
   else begin
-    let key = ref min_int and page = ref [||] in
+    let key = ref min_int and page = ref no_page in
     for i = 0 to count - 1 do
       let addr = base + (i * stride) in
       let k = addr / st.page_words in
@@ -200,8 +226,93 @@ let write_strided st ~base ~stride (xs : float array) =
         key := k;
         page := page_for st k
       end;
-      !page.(addr mod st.page_words) <- xs.(i)
+      A1.set !page (addr mod st.page_words) xs.(i)
     done
+  end
+
+(* --- Bigarray-direct strided paths -------------------------------------- *)
+
+let check_vec_range (dst : vec) ~pos ~count who =
+  if pos < 0 || count < 0 || pos + count > Bigarray.Array1.dim dst then
+    invalid_arg
+      (Printf.sprintf "Memory.%s: range [%d, %d) outside vector of %d" who pos
+         (pos + count) (Bigarray.Array1.dim dst))
+
+(** Read [count] words from [base] stepping by [stride] directly into
+    [dst.{pos} .. dst.{pos + count - 1}] — the same page-batched walk as
+    {!read_strided} without the intermediate array.  Every element of the
+    destination range is written (untouched words store 0.0), so a reused
+    buffer needs no zeroing over the gathered span. *)
+let read_strided_into st ~base ~stride ~count (dst : vec) ~pos =
+  check_strided st ~base ~stride ~count;
+  check_vec_range dst ~pos ~count "read_strided_into";
+  if count > 0 then begin
+    Nsc_trace.Trace.add c_reads count;
+    if stride = 1 then begin
+      let i = ref 0 in
+      while !i < count do
+        let addr = base + !i in
+        let off = addr mod st.page_words in
+        let n = min (st.page_words - off) (count - !i) in
+        (match Hashtbl.find_opt st.pages (addr / st.page_words) with
+        | Some page -> A1.blit (A1.sub page off n) (A1.sub dst (pos + !i) n)
+        | None -> A1.fill (A1.sub dst (pos + !i) n) 0.0);
+        i := !i + n
+      done
+    end
+    else begin
+      let key = ref min_int and page = ref None in
+      for i = 0 to count - 1 do
+        let addr = base + (i * stride) in
+        let k = addr / st.page_words in
+        if k <> !key then begin
+          key := k;
+          page := Hashtbl.find_opt st.pages k
+        end;
+        A1.unsafe_set dst (pos + i)
+          (match !page with
+          | Some pg -> A1.unsafe_get pg (addr mod st.page_words)
+          | None -> 0.0)
+      done
+    end
+  end
+
+(** Write [src.{pos} .. src.{pos + count - 1}] to the words starting at
+    [base] with step [stride]: {!write_strided} without the intermediate
+    array. *)
+let write_strided_from st ~base ~stride (src : vec) ~pos ~count =
+  check_strided st ~base ~stride ~count;
+  check_vec_range src ~pos ~count "write_strided_from";
+  if count > 0 then begin
+    Nsc_trace.Trace.add c_writes count;
+    if Hashtbl.length st.parity_bad > 0 then
+      for i = 0 to count - 1 do
+        Hashtbl.remove st.parity_bad (base + (i * stride))
+      done;
+    if stride = 1 then begin
+      let i = ref 0 in
+      while !i < count do
+        let addr = base + !i in
+        let off = addr mod st.page_words in
+        let n = min (st.page_words - off) (count - !i) in
+        let page = page_for st (addr / st.page_words) in
+        A1.blit (A1.sub src (pos + !i) n) (A1.sub page off n);
+        i := !i + n
+      done
+    end
+    else begin
+      let key = ref min_int and page = ref no_page in
+      for i = 0 to count - 1 do
+        let addr = base + (i * stride) in
+        let k = addr / st.page_words in
+        if k <> !key then begin
+          key := k;
+          page := page_for st k
+        end;
+        A1.unsafe_set !page (addr mod st.page_words)
+          (A1.unsafe_get src (pos + i))
+      done
+    end
   end
 
 (** Number of pages ever materialised (for footprint reporting).  Each
@@ -225,7 +336,7 @@ let clear st =
 type snapshot = {
   s_words : int;
   s_page_words : int;
-  s_pages : (int * float array) list;
+  s_pages : (int * vec) list;
   s_parity : int list;
 }
 
@@ -233,7 +344,7 @@ let snapshot st =
   {
     s_words = st.words;
     s_page_words = st.page_words;
-    s_pages = Hashtbl.fold (fun k page acc -> (k, Array.copy page) :: acc) st.pages [];
+    s_pages = Hashtbl.fold (fun k page acc -> (k, copy_vec page) :: acc) st.pages [];
     s_parity = Hashtbl.fold (fun addr () acc -> addr :: acc) st.parity_bad [];
   }
 
@@ -241,6 +352,6 @@ let restore st snap =
   if snap.s_words <> st.words || snap.s_page_words <> st.page_words then
     invalid_arg "Memory.restore: snapshot geometry does not match store";
   Hashtbl.reset st.pages;
-  List.iter (fun (k, page) -> Hashtbl.replace st.pages k (Array.copy page)) snap.s_pages;
+  List.iter (fun (k, page) -> Hashtbl.replace st.pages k (copy_vec page)) snap.s_pages;
   Hashtbl.reset st.parity_bad;
   List.iter (fun addr -> Hashtbl.replace st.parity_bad addr ()) snap.s_parity

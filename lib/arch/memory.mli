@@ -23,10 +23,15 @@ val validate_extent : Params.t -> extent -> string list
 val strided_extent :
   plane:Resource.plane_id ->
   base:int -> stride:int -> count:int -> extent
+(** Unboxed float64 vector (c_layout): the representation of both plane
+    pages and the kernel executor's buffers, so page<->buffer transfers
+    are single [memcpy] blits. *)
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type store = {
   words : int;
   page_words : int;
-  pages : (int, float array) Hashtbl.t;
+  pages : (int, vec) Hashtbl.t;
   parity_bad : (int, unit) Hashtbl.t;
       (** per-word parity/ECC check bits: marked by {!corrupt}, scrubbed
           by a rewrite of the word *)
@@ -51,6 +56,21 @@ val read_strided : store -> base:int -> stride:int -> count:int -> float array
 (** Bulk strided write of a whole array, one page lookup per page
     crossing. *)
 val write_strided : store -> base:int -> stride:int -> float array -> unit
+
+(** Validate that [pos, pos + count) lies inside the vector; raises
+    [Invalid_argument] naming the caller otherwise. *)
+val check_vec_range : vec -> pos:int -> count:int -> string -> unit
+
+(** Bulk strided read directly into [dst] at [pos]: {!read_strided}
+    without the intermediate array.  Writes every element of the
+    destination range (untouched words store 0.0). *)
+val read_strided_into :
+  store -> base:int -> stride:int -> count:int -> vec -> pos:int -> unit
+
+(** Bulk strided write of [count] words taken from [src] at [pos]:
+    {!write_strided} without the intermediate array. *)
+val write_strided_from :
+  store -> base:int -> stride:int -> vec -> pos:int -> count:int -> unit
 
 (** Pages ever materialised; each spans [page_words] words. *)
 val touched_pages : store -> int

@@ -31,9 +31,12 @@ type run = {
 }
 
 (** Execute [compiled] with full tracing.  [limit] caps the recorded frames
-    (long convergence loops would otherwise hold thousands of traces). *)
-let run (node : Node.t) ?(limit = 256) (compiled : Nsc_microcode.Codegen.compiled)
-    (program : Program.t) : (run, string) result =
+    (long convergence loops would otherwise hold thousands of traces);
+    [engine] selects the simulator path — all three are bit-identical, so
+    the annotated frames can confirm it on any suspect instruction. *)
+let run (node : Node.t) ?(limit = 256) ?(engine = `Kernel)
+    (compiled : Nsc_microcode.Codegen.compiled) (program : Program.t) :
+    (run, string) result =
   let frames = ref [] in
   let count = ref 0 in
   let on_instruction (sem : Semantic.t) (r : Engine.result) =
@@ -56,7 +59,7 @@ let run (node : Node.t) ?(limit = 256) (compiled : Nsc_microcode.Codegen.compile
       incr count
     end
   in
-  match Sequencer.run node ~record_trace:true ~on_instruction compiled with
+  match Sequencer.run node ~record_trace:true ~engine ~on_instruction compiled with
   | Error e -> Error e
   | Ok outcome -> Ok { frames = List.rev !frames; outcome; program }
 

@@ -66,14 +66,53 @@ val run_legacy :
     analysis. *)
 val run_plan : Node.t -> ?record_trace:bool -> Plan.t -> result
 
-(** Execute a fused {!Kernel.t}: read streams gathered once into padded
-    buffers, a closure-free blocked element loop with one opcode dispatch
-    per unit per block, trap detection by a branch-free non-finite scan,
-    and one bulk strided transfer per write sink.  Kernels without a
-    fused body fall back to the general evaluator.  Results — values,
+(** Execute a fused {!Kernel.t} (the v3 backend): buffers drawn from the
+    domain-local {!Kernel.acquire} pool, read streams gathered with
+    Bigarray-direct bulk transfers, a blocked element loop through
+    compile-time-specialised {!Kernel.step} closures (no opcode dispatch
+    in the hot path) with the non-finite trap pre-scan fused into the
+    compute pass, and one bulk transfer per write sink.  Kernels without
+    a fused body fall back to the general evaluator.  Results — values,
     cycles, interrupt events and their order — are bit-identical to
     {!run_plan} (property-tested). *)
 val run_kernel : Node.t -> ?record_trace:bool -> Kernel.t -> result
+
+(** The retained v2 kernel backend: fresh [float array] buffers per
+    execution, one opcode dispatch per unit per 256-element block, a
+    separate trap-scan pass.  Kept — like {!run_legacy} — as the
+    measured baseline for the bench regression gate ({!run_kernel} must
+    hold ≥2x over this path on the n=9 Jacobi solve).  Bit-identical to
+    {!run_kernel}. *)
+val run_kernel_v2 : Node.t -> ?record_trace:bool -> Kernel.t -> result
+
+(** Run K independent replicas of one compiled kernel, replica [r] on
+    [nodes.(r)], over interleaved pooled buffer slabs (replica [r]'s
+    element 0 at [r * blen + pad]; per-replica pads isolate operand-offset
+    reads).  Clean replicas fan out across the process-wide persistent
+    domain pool ({!Multinode.parallel_for}) when [domains > 1]; under an
+    installed fault model execution is replica-major sequential so the
+    seeded draw stream stays reproducible.  [results.(r)] is
+    bit-identical to [run_kernel nodes.(r)] on a clean machine for every
+    K, and under faults for K = 1.  Kernels without a fused body fall
+    back to the general evaluator per replica. *)
+val run_batched :
+  Node.t array -> ?record_trace:bool -> ?domains:int -> Kernel.t -> result array
+
+(** {2 Batch counters} — atomic, shared across domains; mirrored on the
+    [kernel.batch_*] trace counters when tracing is enabled. *)
+
+(** Batched executions started ([kernel.batch_runs]). *)
+val batch_run_count : unit -> int
+
+(** Replica instructions executed through batches ([kernel.batch_replicas]). *)
+val batch_replica_count : unit -> int
+
+(** Batched replicas that fell back to the general evaluator
+    ([kernel.batch_fallbacks]). *)
+val batch_fallback_count : unit -> int
+
+(** Zero the three batch counters (trace counters are untouched). *)
+val reset_batch_counters : unit -> unit
 
 (** Execute one pipeline instruction: compile a plan, lower it to a fused
     kernel, run it.  Callers replaying an instruction should use a
@@ -84,3 +123,4 @@ val run :
   ?record_trace:bool ->
   ?honor_timing:bool ->
   ?force_general:bool -> Nsc_diagram.Semantic.t -> result
+

@@ -3,15 +3,23 @@
     A {!Plan.t} resolves everything static about an instruction but still
     interprets operands per element.  Lowering the plan once more yields a
     kernel: operands pre-resolved to [(buffer, offset)] pairs into a
-    uniform pool of padded buffers, opcodes pre-resolved to direct float
-    operations, read streams gathered once per instruction with bulk
-    strided transfers and write streams flushed with one bulk transfer per
-    sink.  {!Engine.run_kernel} executes kernels block-wise with a
-    closure-free inner loop; results are bit-identical to the plan and
-    legacy paths (property-tested). *)
+    uniform pool of padded {!buf} vectors (unboxed [Bigarray.Array1]
+    float64, drawn from a domain-local free-list pool), every opcode
+    specialised {e at compile time} into a closed loop closure ({!step})
+    so the hot path contains no dispatch at all, read streams gathered
+    once per instruction with bulk Bigarray-direct strided transfers and
+    write streams flushed with one bulk transfer per sink.
+    {!Engine.run_kernel} executes kernels block-wise;
+    {!Engine.run_batched} runs K problem instances through one kernel
+    over interleaved buffer slabs.  Results are bit-identical to the plan
+    and legacy paths (property-tested). *)
+
+(** Padded executable buffer: unboxed float64, C layout (see
+    {!Nsc_arch.Memory.vec}). *)
+type buf = Nsc_arch.Memory.vec
 
 (** One lowered functional unit: opcode plus [(buffer, offset)] operand
-    references.  Operands read [buffer.(pad + e + off)]; [out] is the
+    references.  Operands read [buffer.{base + e + off}]; [out] is the
     absolute slot of the unit's output buffer. *)
 type kunit = {
   fu : Nsc_arch.Resource.fu_id;
@@ -22,6 +30,12 @@ type kunit = {
   b_buf : int;
   b_off : int;  (** unary units point [b] at the zero buffer *)
 }
+
+(** One compile-time-specialised unit loop: [step bufs base e0 e1] applies
+    the unit over elements [e0, e1) with element 0 of every buffer at
+    index [base].  Returns 0.0 when every produced value was finite and
+    NaN otherwise (the trap pre-scan, fused into the compute pass). *)
+type step = buf array -> int -> int -> int -> float
 
 (** The fused executable body.  Buffer slots are laid out
     [zero :: constants @ streams @ unit outputs]; [static] holds the
@@ -34,14 +48,31 @@ type body = {
   pad : int;
   blen : int;  (** buffer length: [pad + max vlen 1 + pad] *)
   n_buffers : int;
-  static : float array array;  (** slots [0 .. stream_base - 1], prebuilt *)
+  static : buf array;  (** slots [0 .. stream_base - 1], prebuilt *)
+  static_v2 : float array array;
+      (** float-array twin of [static] for {!Engine.run_kernel_v2}, the
+          retained v2 baseline the bench regression gate times *)
   stream_base : int;  (** read stream [s] gathers into slot [stream_base + s] *)
   unit_base : int;    (** plan unit [k] writes slot [unit_base + k] *)
   units : kunit array;  (** topological order, as in the plan *)
+  steps : step array;   (** specialised loop of [units.(k)] *)
+  val_slot : int array;
+      (** slot holding unit [k]'s values: [units.(k).out], except for an
+          elided pass-through unit (a [Pass] at offset 0 whose output no
+          unit reads) where it is the source slot itself — the copy loop
+          is dropped and sinks, [last_values] and the trap rescan read
+          the source directly *)
+  full_zero : bool array;
+      (** [full_zero.(k)]: unit [k] reads its own output at a positive
+          (look-ahead) offset, so its whole buffer — not just the pads —
+          is scrubbed before the compute pass *)
   reads : Plan.read_stream array;
   writes : Plan.write_stream array;
   order_of_sem : int array;
       (** plan position of each unit of [sem.units], in original order *)
+  mutable static_slabs : (int * buf array) option;
+      (** memoized K-replica twin of [static] for {!Engine.run_batched}:
+          [(krep, slabs)], rebuilt only when the batch width changes *)
 }
 
 type t = {
@@ -52,10 +83,39 @@ type t = {
 (** Lower a compiled plan to a fused kernel. *)
 val compile : Plan.t -> t
 
+(** {2 The buffer pool}
+
+    Domain-local free lists keyed by buffer length: a cached kernel
+    replayed across a solve allocates nothing in its hot path.  Buffers
+    come back {e dirty} — callers must write or zero every element they
+    later read (the executor zeroes exactly the pad and slack regions). *)
+
+(** Draw a buffer of [len] elements from the calling domain's pool,
+    allocating only when the free list for that length is empty. *)
+val acquire : int -> buf
+
+(** Return a buffer for reuse by a later {!acquire} of the same length. *)
+val release : buf -> unit
+
+(** Fill [dst.(from) ..] with buffers of exactly [len] elements through a
+    single free-list lookup — the bulk form of {!acquire} the executor
+    uses, since a kernel draws all its working buffers at one length. *)
+val acquire_into : int -> buf array -> from:int -> unit
+
+(** Return [src.(from) ..] (all of length [len]) to the pool: the bulk
+    form of {!release}. *)
+val release_from : buf array -> from:int -> int -> unit
+
 (** {2 Counters} — atomic, shared across domains. *)
 
 val compile_count : unit -> int
 val cache_hit_count : unit -> int
+
+(** Pool accounting: an acquire served from a free list is a hit, a fresh
+    allocation a miss. *)
+val pool_hit_count : unit -> int
+
+val pool_miss_count : unit -> int
 val reset_counters : unit -> unit
 
 (** {2 Per-instruction kernel cache}

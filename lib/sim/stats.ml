@@ -55,7 +55,13 @@ let plan_cache_hits = Plan.cache_hit_count
 let reset_plan_counters = Plan.reset_counters
 let kernel_compiles = Kernel.compile_count
 let kernel_cache_hits = Kernel.cache_hit_count
+let kernel_pool_hits = Kernel.pool_hit_count
+let kernel_pool_misses = Kernel.pool_miss_count
 let reset_kernel_counters = Kernel.reset_counters
+let batch_runs = Engine.batch_run_count
+let batch_replicas = Engine.batch_replica_count
+let batch_fallbacks = Engine.batch_fallback_count
+let reset_batch_counters = Engine.reset_batch_counters
 
 (** {2 The trace instrument}
 

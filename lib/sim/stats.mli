@@ -47,7 +47,22 @@ val reset_plan_counters : unit -> unit
 
 val kernel_compiles : unit -> int
 val kernel_cache_hits : unit -> int
+
+(** Kernel buffer-pool accounting (re-exported from {!Kernel}): acquires
+    served from a domain-local free list versus fresh allocations. *)
+
+val kernel_pool_hits : unit -> int
+val kernel_pool_misses : unit -> int
 val reset_kernel_counters : unit -> unit
+
+(** Batched-execution accounting (re-exported from {!Engine}): batches
+    started, replica instructions executed through them, and replicas
+    that fell back to the general evaluator. *)
+
+val batch_runs : unit -> int
+val batch_replicas : unit -> int
+val batch_fallbacks : unit -> int
+val reset_batch_counters : unit -> unit
 
 (** {2 The trace instrument}
 

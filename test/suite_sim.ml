@@ -586,3 +586,157 @@ let kernel_tests =
   ]
 
 let suite = suite @ [ ("sim:kernel", kernel_tests) ]
+
+(* appended: the v3 kernel backend — agreement with the retained v2
+   baseline, the Bigarray buffer pool's edge cases (reuse, zero-length
+   buffers, dirty returns feeding the pad-zeroing path), constant
+   interning, pass-through elision, and batched replica execution *)
+let kernel_v3_tests =
+  let jacobi_kernel ~index =
+    let b =
+      Nsc_apps.Jacobi.build kb (Nsc_apps.Grid.cube 5) ~tol:1e-4 ~max_iters:50
+    in
+    let c = Result.get_ok (Nsc_microcode.Codegen.compile kb b.Nsc_apps.Jacobi.program) in
+    let sem = Option.get (Nsc_microcode.Codegen.semantic c ~index) in
+    (b, Kernel.compile (Plan.compile params sem))
+  in
+  [
+    case "v3 and the retained v2 baseline agree on the Jacobi solve" (fun () ->
+        let prob = Nsc_apps.Poisson.manufactured 5 in
+        let go engine =
+          Result.get_ok
+            (Nsc_apps.Jacobi.solve kb ~engine prob ~tol:1e-4 ~max_iters:200)
+        in
+        let v3 = go `Kernel and v2 = go `Kernel_v2 in
+        check_int "sweeps" v2.Nsc_apps.Jacobi.sweeps v3.Nsc_apps.Jacobi.sweeps;
+        check_bool "fields" true (v3.Nsc_apps.Jacobi.u = v2.Nsc_apps.Jacobi.u);
+        check_bool "residual" true
+          (v3.Nsc_apps.Jacobi.final_change = v2.Nsc_apps.Jacobi.final_change));
+    case "a warm solve draws every working buffer from the pool" (fun () ->
+        let prob = Nsc_apps.Poisson.manufactured 5 in
+        let go () =
+          ignore
+            (Result.get_ok (Nsc_apps.Jacobi.solve kb prob ~tol:1e-4 ~max_iters:200))
+        in
+        go ();
+        (* the first solve populated the free lists for every buffer
+           length this program uses; a repeat must allocate nothing *)
+        let h0 = Stats.kernel_pool_hits () and m0 = Stats.kernel_pool_misses () in
+        go ();
+        check_bool "hits advanced" true (Stats.kernel_pool_hits () > h0);
+        check_int "no new allocations" 0 (Stats.kernel_pool_misses () - m0));
+    case "zero-length buffers cycle through the pool" (fun () ->
+        let b0 = Kernel.acquire 0 in
+        check_int "empty" 0 (Bigarray.Array1.dim b0);
+        Kernel.release b0;
+        let h0 = Kernel.pool_hit_count () in
+        let b1 = Kernel.acquire 0 in
+        check_int "served from the free list" (h0 + 1) (Kernel.pool_hit_count ());
+        check_bool "the same buffer comes back" true (b1 == b0);
+        Kernel.release b1);
+    case "dirty pooled buffers never leak into a later run" (fun () ->
+        let b, kn = jacobi_kernel ~index:2 in
+        let prob = Nsc_apps.Poisson.manufactured 5 in
+        let words =
+          Nsc_apps.Grid.padded_words prob.Nsc_apps.Poisson.grid
+        in
+        let go () =
+          let node = Node.create params in
+          Nsc_apps.Jacobi.load node b prob;
+          let r = Engine.run_kernel node kn in
+          ( List.sort compare r.Engine.last_values,
+            Node.dump_array node ~plane:b.Nsc_apps.Jacobi.layout.Nsc_apps.Jacobi.unew
+              ~base:0 ~len:words,
+            r.Engine.events )
+        in
+        let r1 = go () in
+        (* poison the free lists: every buffer the kernel will draw comes
+           back full of NaN, so any missed pad scrub or stale element
+           read trips the trap scan and changes the observation *)
+        (match kn.Kernel.body with
+        | None -> Alcotest.fail "expected a fused body"
+        | Some body ->
+            let dirty =
+              List.init body.Kernel.n_buffers (fun _ ->
+                  Kernel.acquire body.Kernel.blen)
+            in
+            List.iter
+              (fun buf ->
+                Bigarray.Array1.fill buf nan;
+                Kernel.release buf)
+              dirty);
+        check_bool "bit-identical after pool poisoning" true (go () = r1));
+    case "equal constants are interned into one static slot" (fun () ->
+        let pl, icon = pipeline_with Als.Singlet in
+        let pl =
+          Pipeline.set_config pl ~id:icon ~slot:0
+            (Fu_config.make ~a:(Fu_config.From_constant 2.5)
+               ~b:(Fu_config.From_constant 2.5) Opcode.Fadd)
+        in
+        let pl =
+          Build.pad_to_mem pl ~icon ~pad:(Icon.Out_pad 0) ~plane:5 ~var:""
+            ~offset:0 ()
+        in
+        let sem, _ = Semantic.of_pipeline params pl in
+        let kn = Kernel.compile (Plan.compile params sem) in
+        match kn.Kernel.body with
+        | None -> Alcotest.fail "expected a fused body"
+        | Some body ->
+            let u = body.Kernel.units.(0) in
+            check_bool "both ports share one slot" true
+              (u.Kernel.a_buf = u.Kernel.b_buf);
+            check_int "zero plus a single interned constant" 2
+              body.Kernel.stream_base;
+            check_bool "slot holds the constant" true
+              (Bigarray.Array1.get body.Kernel.static.(u.Kernel.a_buf) 0 = 2.5));
+    case "refresh pass-through copies are elided onto their source" (fun () ->
+        let _, kn = jacobi_kernel ~index:3 in
+        match kn.Kernel.body with
+        | None -> Alcotest.fail "expected a fused body"
+        | Some body ->
+            let elided = ref 0 in
+            Array.iteri
+              (fun k (u : Kernel.kunit) ->
+                if body.Kernel.val_slot.(k) <> u.Kernel.out then begin
+                  incr elided;
+                  check_bool "resolves below unit_base" true
+                    (body.Kernel.val_slot.(k) < body.Kernel.unit_base)
+                end)
+              body.Kernel.units;
+            check_int "every copy unit elided" (Array.length body.Kernel.units)
+              !elided);
+    case "batched replicas converge independently and match solo solves"
+      (fun () ->
+        let base = Nsc_apps.Poisson.manufactured 5 in
+        let scaled c =
+          { base with
+            Nsc_apps.Poisson.f = Array.map (( *. ) c) base.Nsc_apps.Poisson.f }
+        in
+        let probs = [| base; scaled 100.0; scaled 0.01 |] in
+        let br0 = Stats.batch_runs () and bf0 = Stats.batch_fallbacks () in
+        let batch =
+          Result.get_ok (Nsc_apps.Jacobi.solve_batch kb probs ~tol:1e-4 ~max_iters:200)
+        in
+        check_bool "batched instructions ran" true (Stats.batch_runs () > br0);
+        check_int "no general-evaluator fallbacks" 0
+          (Stats.batch_fallbacks () - bf0);
+        Array.iteri
+          (fun r prob ->
+            let solo =
+              Result.get_ok (Nsc_apps.Jacobi.solve kb prob ~tol:1e-4 ~max_iters:200)
+            in
+            check_int "sweeps" solo.Nsc_apps.Jacobi.sweeps
+              batch.(r).Nsc_apps.Jacobi.sweeps;
+            check_bool "fields" true
+              (batch.(r).Nsc_apps.Jacobi.u = solo.Nsc_apps.Jacobi.u);
+            check_bool "residual bits" true
+              (Int64.bits_of_float batch.(r).Nsc_apps.Jacobi.final_change
+              = Int64.bits_of_float solo.Nsc_apps.Jacobi.final_change))
+          probs;
+        (* the 100x load must cost extra sweeps, or the divergence
+           handling was never exercised *)
+        check_bool "replicas diverge" true
+          (batch.(0).Nsc_apps.Jacobi.sweeps <> batch.(1).Nsc_apps.Jacobi.sweeps));
+  ]
+
+let suite = suite @ [ ("sim:kernel-v3", kernel_v3_tests) ]
