@@ -16,6 +16,8 @@ open Nsc_apps
 let kb = Knowledge.default
 let params = Knowledge.params kb
 
+module Metrics = Nsc_metrics.Metrics
+
 let section id title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s  %s\n" id title;
@@ -92,6 +94,19 @@ type trace_perf = {
 }
 
 let trace_perf_result : trace_perf option ref = ref None
+
+type profile_perf = {
+  prof_sweeps : int;
+  prof_exec_samples : int;
+  prof_p50_exec : int;
+  prof_p99_exec : int;
+  prof_hotspot : Stats.hotspot;
+  prof_gate_ns : float;
+  prof_sites : int;
+  prof_projected_pct : float;
+}
+
+let profile_perf_result : profile_perf option ref = ref None
 
 type fault_perf = {
   fault_clean_cycles : int;
@@ -186,6 +201,24 @@ let write_bench_json path =
           out "      %S: %d%s\n" name v (if i = List.length nonzero - 1 then "" else ","))
         nonzero;
       out "    }\n";
+      out "  }");
+  (match !profile_perf_result with
+  | None -> ()
+  | Some p ->
+      out ",\n  \"profile\": {\n";
+      out "    \"sweeps\": %d,\n" p.prof_sweeps;
+      out "    \"exec_samples\": %d,\n" p.prof_exec_samples;
+      out "    \"p50_exec_cycles\": %d,\n" p.prof_p50_exec;
+      out "    \"p99_exec_cycles\": %d,\n" p.prof_p99_exec;
+      let h = p.prof_hotspot in
+      out
+        "    \"top_hotspot\": {\"instr\": %S, \"unit\": %S, \"cycles\": %d, \
+         \"mflops\": %.2f, \"peak_pct\": %.2f},\n"
+        h.Stats.hs_instr h.Stats.hs_unit h.Stats.hs_share_cycles
+        h.Stats.hs_mflops h.Stats.hs_peak_pct;
+      out "    \"disabled_gate_ns\": %.3f,\n" p.prof_gate_ns;
+      out "    \"instrumentation_sites\": %d,\n" p.prof_sites;
+      out "    \"projected_disabled_overhead_pct\": %.4f\n" p.prof_projected_pct;
       out "  }");
   (match !fault_perf_result with
   | None -> ()
@@ -966,12 +999,15 @@ let trace_overhead () =
     o_off.Jacobi.sweeps <> o_on.Jacobi.sweeps
     || o_off.Jacobi.final_change <> o_on.Jacobi.final_change
   then failwith "TRACE: tracing changed the computation";
-  (* sites crossed while enabled: every counter bump plus every recorded
-     (or evicted) span/instant.  Gates guarding several bumps at once are
-     counted per bump, so the projection over-counts — a conservative
-     upper bound. *)
+  (* sites crossed while enabled: every counter bump, every histogram/
+     attribution observation, and every recorded (or evicted) span or
+     instant.  Gates guarding several bumps at once are counted per bump,
+     so the projection over-counts — a conservative upper bound. *)
   let sites =
-    T.total_bumps () + List.length (T.events ()) + T.dropped ()
+    T.total_bumps ()
+    + Metrics.total_observations Metrics.default
+    + List.length (T.events ())
+    + T.dropped ()
   in
   let projected_pct =
     float_of_int sites *. gate_ns /. (disabled_seconds *. 1e9) *. 100.0
@@ -1004,6 +1040,97 @@ let trace_overhead () =
         trace_counter_values = counters;
       };
   T.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* PROFILE: the hotspot view in a scoped metric context                *)
+(* ------------------------------------------------------------------ *)
+
+(* Same n=9 solve, but isolated in its own metric context — nothing
+   touches the global instrument — and read back through the profile
+   layer: exec-latency percentiles, the per-unit hotspot table, and the
+   same disabled-path projection now covering histogram and attribution
+   observations too. *)
+let profile_hotspots () =
+  section "PROFILE" "hotspot profile in a scoped metric context (n=9 Jacobi)";
+  let prob = Poisson.manufactured 9 in
+  let solve () =
+    match Jacobi.solve kb prob ~tol:1e-6 ~max_iters:4000 with
+    | Error e -> failwith e
+    | Ok o -> o
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let ctx = Metrics.create ~label:"bench-profile" () in
+  (* one disabled site against a scoped context: the same flag read and
+     branch as the global instrument's gate *)
+  let gate_ns =
+    let probe =
+      Metrics.counter ~name:"bench.gate_probe" ~units:"calls"
+        ~desc:"disabled-path timing probe (bench only)"
+    in
+    let n = 20_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      Metrics.add ctx probe 1
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let disabled_seconds, _ = time (fun () -> Metrics.with_ctx ctx solve) in
+  Metrics.reset ctx;
+  Metrics.enable ctx;
+  let _, o = time (fun () -> Metrics.with_ctx ctx solve) in
+  Metrics.disable ctx;
+  let sites =
+    Metrics.total_bumps ctx
+    + Metrics.total_observations ctx
+    + List.length (Metrics.events ctx)
+    + Metrics.dropped ctx
+  in
+  let projected_pct =
+    float_of_int sites *. gate_ns /. (disabled_seconds *. 1e9) *. 100.0
+  in
+  let exec =
+    match Metrics.find_histogram "hist.exec_cycles" with
+    | Some h -> Metrics.hist_summary ctx h
+    | None -> failwith "PROFILE: hist.exec_cycles is not registered"
+  in
+  let top =
+    match Stats.hotspots params ctx with
+    | [] -> failwith "PROFILE: no cycles attributed to any unit"
+    | h :: _ -> h
+  in
+  row "repeated-sweep Jacobi, n=9, tol 1e-6 (%d sweeps), context \"bench-profile\":\n"
+    o.Jacobi.sweeps;
+  row "  exec latency               : p50 %d / p99 %d cycles over %d instruction(s)\n"
+    exec.Metrics.p50 exec.Metrics.p99 exec.Metrics.hcount;
+  row "  top hotspot                : %s %s — %d cycles, %.1f MFLOPS (%.1f%% of peak)\n"
+    top.Stats.hs_instr top.Stats.hs_unit top.Stats.hs_share_cycles
+    top.Stats.hs_mflops top.Stats.hs_peak_pct;
+  row "  global instrument          : untouched (%d bumps in the default context)\n"
+    (Metrics.total_bumps Metrics.default);
+  row "  instrumentation sites      : %8d crossed while enabled\n" sites;
+  row "  projected disabled overhead: %8.4f %% of the disabled solve\n" projected_pct;
+  if projected_pct >= 2.0 then
+    failwith
+      (Printf.sprintf
+         "PROFILE: disabled-path projection %.3f%% breaches the 2%% budget"
+         projected_pct);
+  if exec.Metrics.hcount = 0 then failwith "PROFILE: no exec-latency samples";
+  profile_perf_result :=
+    Some
+      {
+        prof_sweeps = o.Jacobi.sweeps;
+        prof_exec_samples = exec.Metrics.hcount;
+        prof_p50_exec = exec.Metrics.p50;
+        prof_p99_exec = exec.Metrics.p99;
+        prof_hotspot = top;
+        prof_gate_ns = gate_ns;
+        prof_sites = sites;
+        prof_projected_pct = projected_pct;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* FAULT: seeded fault injection, recovery and the zero-fault budget   *)
@@ -1276,6 +1403,7 @@ let () =
   perf_engine ();
   perf_throughput ();
   trace_overhead ();
+  profile_hotspots ();
   fault_injection ();
   toolchain_benchmarks ();
   write_bench_json "BENCH_sim.json";

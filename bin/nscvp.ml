@@ -11,6 +11,7 @@
      compile       compile textual pipeline-language source to a program
      debug         run with tracing and print annotated diagram frames
      stats         run under the trace instrument and print its counters
+     profile       run under a fresh metric context; print the hotspot profile
      inject        run clean and under a seeded fault model; print the report *)
 
 open Nsc_arch
@@ -620,7 +621,13 @@ let stats_cmd =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Also write the Chrome trace-event JSON to $(docv).")
   in
-  let run subset path loads out =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the run's metric snapshot as JSON instead of the \
+                 plain-text summary (machine-readable; schema in \
+                 docs/OBSERVABILITY.md).")
+  in
+  let run subset path loads out json =
     guarded @@ fun () ->
     let kb = kb_of_subset subset in
     let p = Knowledge.params kb in
@@ -634,19 +641,25 @@ let stats_cmd =
             prerr_endline ("bad --load: " ^ s);
             exit 2)
       loads;
-    Nsc_trace.Trace.reset ();
-    Nsc_trace.Trace.enable ();
-    (match Nsc_sim.Sequencer.run node c with
+    (* the run gets its own metric context, isolated from everything else
+       in the process — the new-world form of reset/enable/disable *)
+    let module Metrics = Nsc_metrics.Metrics in
+    let ctx = Metrics.create ~label:"stats" () in
+    Metrics.enable ctx;
+    (match Nsc_sim.Sequencer.run node ~metrics:ctx c with
     | Error e ->
         prerr_endline ("run error: " ^ e);
         exit 1
     | Ok _ -> ());
-    Nsc_trace.Trace.disable ();
-    print_string (Nsc_sim.Stats.trace_summary ());
+    Metrics.disable ctx;
+    if json then
+      print_endline
+        (Nsc_metrics.Json.to_string (Metrics.snapshot_to_json (Metrics.snapshot ctx)))
+    else print_string (Metrics.summary ctx);
     match out with
     | Some file ->
         let oc = open_out file in
-        output_string oc (Nsc_sim.Stats.trace_to_chrome ());
+        output_string oc (Metrics.to_chrome ctx);
         close_out oc;
         Printf.printf "wrote %s\n" file
     | None -> ()
@@ -654,7 +667,102 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run a program under the trace instrument and print its counters.")
-    Term.(const run $ subset_flag $ program_arg $ loads $ out)
+    Term.(const run $ subset_flag $ program_arg $ loads $ out $ json)
+
+(* -- profile ---------------------------------------------------------------- *)
+
+let profile_cmd =
+  let module Metrics = Nsc_metrics.Metrics in
+  let program_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM"
+           ~doc:"Saved visual program to profile (omit with $(b,--jacobi)).")
+  in
+  let jacobi =
+    Arg.(value & opt (some int) None & info [ "jacobi" ] ~docv:"N"
+           ~doc:"Profile the built-in 3-D Jacobi/Poisson solve on an N-point \
+                 grid edge (the paper's programming example; the manufactured \
+                 problem, tol 1e-6, at most 4000 sweeps) instead of a saved \
+                 program.")
+  in
+  let loads =
+    Arg.(value & opt_all string [] & info [ "load" ] ~docv:"PLANE:BASE:FILE"
+           ~doc:"Load floats (one per line) into a memory plane before the run.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable profile document to $(docv) \
+                 (schema in docs/OBSERVABILITY.md).")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"Write folded-stacks output ($(b,instruction;unit cycles) \
+                 lines) to $(docv) — flamegraph.pl input.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N"
+           ~doc:"Rows to keep in the printed hotspot table (default 10).")
+  in
+  let run subset program jacobi loads json_out folded_out top engine =
+    guarded @@ fun () ->
+    let kb = kb_of_subset subset in
+    let p = Knowledge.params kb in
+    (* a fresh context per profiled run: nothing from this process's past
+       (or a concurrent run) bleeds into the report *)
+    let ctx = Metrics.create ~label:"profile" () in
+    Metrics.enable ctx;
+    (match (program, jacobi) with
+    | Some path, _ ->
+        let c = compile_or_die kb (load_program kb path) in
+        let node = Nsc_sim.Node.create p in
+        List.iter
+          (fun s ->
+            match parse_load s with
+            | Some (plane, base, file) ->
+                Nsc_sim.Node.load_array node ~plane ~base (read_floats file)
+            | None ->
+                prerr_endline ("bad --load: " ^ s);
+                exit 2)
+          loads;
+        (match Nsc_sim.Sequencer.run node ~engine ~metrics:ctx c with
+        | Error e ->
+            prerr_endline ("run error: " ^ e);
+            exit 1
+        | Ok _ -> ())
+    | None, Some n ->
+        let prob = Nsc_apps.Poisson.manufactured n in
+        Metrics.with_ctx ctx (fun () ->
+            match Nsc_apps.Jacobi.solve kb ~engine prob ~tol:1e-6 ~max_iters:4000 with
+            | Error e ->
+                prerr_endline ("run error: " ^ e);
+                exit 1
+            | Ok o ->
+                Printf.printf "jacobi n=%d: %d sweep(s), final change %.3g\n" n
+                  o.Nsc_apps.Jacobi.sweeps o.Nsc_apps.Jacobi.final_change)
+    | None, None ->
+        prerr_endline "error: give a PROGRAM or --jacobi N";
+        exit 2);
+    Metrics.disable ctx;
+    print_string (Nsc_sim.Stats.profile_report ~top p ctx);
+    let write file s =
+      let oc = open_out file in
+      output_string oc s;
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+    in
+    Option.iter
+      (fun file ->
+        write file (Nsc_metrics.Json.to_string (Nsc_sim.Stats.profile_json p ctx)))
+      json_out;
+    Option.iter (fun file -> write file (Nsc_sim.Stats.profile_folded ctx)) folded_out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Execute under a fresh metric context and print the hotspot \
+             profile: latency percentiles, per-unit cycle/FLOP attribution \
+             with sustained MFLOPS against the paper's per-node peak, and \
+             optional JSON / folded-stacks output.")
+    Term.(const run $ subset_flag $ program_opt $ jacobi $ loads $ json_out
+          $ folded_out $ top $ engine_arg)
 
 (* -- inject ----------------------------------------------------------------- *)
 
@@ -742,5 +850,5 @@ let () =
        (Cmd.group (Cmd.info "nscvp" ~doc)
           [
             info_cmd; check_cmd; codegen_cmd; disasm_cmd; run_cmd; render_cmd; replay_cmd;
-            compile_cmd; debug_cmd; stats_cmd; inject_cmd;
+            compile_cmd; debug_cmd; stats_cmd; profile_cmd; inject_cmd;
           ]))

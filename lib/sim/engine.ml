@@ -65,17 +65,64 @@ let c_traps =
   Trace.counter ~name:"sim.traps" ~units:"events"
     ~desc:"arithmetic exceptions trapped during execution"
 
-(* Record one executed instruction as a span on the node timeline (tid 0)
-   and fold its totals into the [sim.*] counters.  The clock advances by
-   the instruction's cycle estimate, so consecutive instructions lie
-   end-to-end in the exported trace. *)
-let note_run ~kind ~index (r : result) =
+module Metrics = Nsc_metrics.Metrics
+
+let h_exec_cycles =
+  Metrics.histogram ~name:"hist.exec_cycles" ~units:"cycles"
+    ~desc:"per-instruction pipeline execution latency"
+
+let h_batch_step =
+  Metrics.histogram ~name:"hist.batch_step_cycles" ~units:"cycles"
+    ~desc:"per-replica instruction latency inside batched kernel runs"
+
+(* Apportion the instruction's cycles across its engaged units for the
+   hotspot table: FLOP units weigh in at one flop per streamed element,
+   move/merge units at zero (an all-moves instruction splits evenly).
+   Shares sum exactly to [r.cycles] — the remainder goes to the last
+   unit — so the hotspot table partitions [sim.cycles].  Busy cycles are
+   the full instruction duration per unit: in a systolic pipeline every
+   engaged unit runs for the whole instruction, which is the honest
+   denominator for a unit's sustained rate. *)
+let note_attribution ctx (sem : Semantic.t) (r : result) =
+  match sem.Semantic.units with
+  | [] -> ()
+  | units ->
+      let vlen = sem.Semantic.vector_length in
+      let weight (u : Semantic.unit_program) =
+        if Opcode.is_flop u.Semantic.op then vlen else 0
+      in
+      let wsum = List.fold_left (fun acc u -> acc + weight u) 0 units in
+      let n = List.length units in
+      let instr = Printf.sprintf "i%d" sem.Semantic.index in
+      let remaining = ref r.cycles in
+      List.iteri
+        (fun i (u : Semantic.unit_program) ->
+          let share =
+            if i = n - 1 then !remaining
+            else if wsum = 0 then r.cycles / n
+            else r.cycles * weight u / wsum
+          in
+          remaining := !remaining - share;
+          Metrics.attribute ctx ~instr
+            ~unit_label:
+              (Resource.fu_to_string u.Semantic.fu ^ ":"
+              ^ Opcode.mnemonic u.Semantic.op)
+            ~share_cycles:share ~busy_cycles:r.cycles ~flops:(weight u))
+        units
+
+(* Record one executed instruction as a span on the node timeline (tid 0),
+   fold its totals into the [sim.*] counters, observe its latency on the
+   exec histogram, and attribute its cycles to the engaged units.  The
+   clock advances by the instruction's cycle estimate, so consecutive
+   instructions lie end-to-end in the exported trace. *)
+let note_run ~kind (sem : Semantic.t) (r : result) =
   if Trace.enabled () then begin
+    let ctx = Metrics.current () in
     let traps = Interrupt.trapped_exceptions r.events in
     let ts = Trace.now () in
     Trace.advance r.cycles;
     Trace.span ~cat:"engine"
-      ~name:(Printf.sprintf "exec:i%d" index)
+      ~name:(Printf.sprintf "exec:i%d" sem.Semantic.index)
       ~ts ~dur:r.cycles
       ~args:
         [ ("kind", Trace.Str kind);
@@ -87,7 +134,10 @@ let note_run ~kind ~index (r : result) =
     Trace.add c_cycles r.cycles;
     Trace.add c_flops r.flops;
     Trace.add c_elements r.elements;
-    if traps > 0 then Trace.add c_traps traps
+    if traps > 0 then Trace.add c_traps traps;
+    Metrics.observe ctx h_exec_cycles r.cycles;
+    if String.equal kind "batch" then Metrics.observe ctx h_batch_step r.cycles;
+    note_attribution ctx sem r
   end
 
 (* Note the instruction's declared read-stream descriptors on the DMA
@@ -339,7 +389,7 @@ let run_general (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
       trace = (if record_trace then Some { unit_values = memo; vlen } else None);
     }
   in
-  note_run ~kind:"general" ~index:sem.Semantic.index r;
+  note_run ~kind:"general" sem r;
   r
 
 (* --- the fast path ---------------------------------------------------- *)
@@ -560,7 +610,7 @@ let run_fast (node : Node.t) ~record_trace (sem : Semantic.t) : result =
       trace;
     }
   in
-  note_run ~kind:"fast" ~index:sem.Semantic.index r;
+  note_run ~kind:"fast" sem r;
   r
 
 (* Does the fast path apply?  All operand streams aligned (or timing not
@@ -763,7 +813,7 @@ let run_plan (node : Node.t) ?(record_trace = false) (pl : Plan.t) : result =
           trace;
         }
       in
-      note_run ~kind:"plan" ~index:sem.Semantic.index r;
+      note_run ~kind:"plan" sem r;
       r
 
 (* --- the kernel executor ------------------------------------------------ *)
@@ -1094,7 +1144,7 @@ let run_kernel_v2 (node : Node.t) ?(record_trace = false) (kn : Kernel.t) : resu
           trace;
         }
       in
-      note_run ~kind:"kernel" ~index:sem.Semantic.index r;
+      note_run ~kind:"kernel" sem r;
       r
 
 (* --- kernel v3: specialised steps over pooled Bigarray buffers ---------- *)
@@ -1353,7 +1403,7 @@ let exec_body_replica (node : Node.t) ~record_trace ~kind (pl : Plan.t)
       trace;
     }
   in
-  note_run ~kind ~index:sem.Semantic.index r;
+  note_run ~kind sem r;
   r
 
 (** Execute a compiled {!Kernel.t}: buffers drawn from the domain-local
@@ -1500,3 +1550,38 @@ let run (node : Node.t) ?(record_trace = false) ?(honor_timing = true)
   else
     run_kernel node ~record_trace
       (Kernel.compile (Plan.compile node.Node.params ~honor_timing sem))
+
+(* --- explicit metric contexts ------------------------------------------- *)
+
+(* Each public entry point takes an optional [?metrics] context; when
+   given, the whole execution (instrumentation, clock, histograms,
+   attribution) lands in that context instead of the ambient one.  The
+   internal call graph stays context-free — the facade reads the ambient
+   context at each site — so threading costs one [Domain.DLS] swap per
+   entry, not an argument on every helper. *)
+let in_ctx metrics f =
+  match metrics with None -> f () | Some m -> Metrics.with_ctx m f
+
+let run_general node ?record_trace ?honor_timing ?analysis ?metrics sem =
+  in_ctx metrics (fun () ->
+      run_general node ?record_trace ?honor_timing ?analysis sem)
+
+let run_legacy node ?record_trace ?honor_timing ?force_general ?metrics sem =
+  in_ctx metrics (fun () ->
+      run_legacy node ?record_trace ?honor_timing ?force_general sem)
+
+let run_plan node ?record_trace ?metrics pl =
+  in_ctx metrics (fun () -> run_plan node ?record_trace pl)
+
+let run_kernel node ?record_trace ?metrics kn =
+  in_ctx metrics (fun () -> run_kernel node ?record_trace kn)
+
+let run_kernel_v2 node ?record_trace ?metrics kn =
+  in_ctx metrics (fun () -> run_kernel_v2 node ?record_trace kn)
+
+let run_batched nodes ?record_trace ?domains ?metrics kn =
+  in_ctx metrics (fun () -> run_batched nodes ?record_trace ?domains kn)
+
+let run node ?record_trace ?honor_timing ?force_general ?metrics sem =
+  in_ctx metrics (fun () ->
+      run node ?record_trace ?honor_timing ?force_general sem)

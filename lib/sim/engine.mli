@@ -10,7 +10,13 @@
     paired exactly as the synchronous hardware would pair them — element
     [e] of the late stream meets element [e + skew] of the early one — so a
     diagram with a missing delay queue computes visibly wrong results, which
-    is what the paper's proposed visual debugger is for. *)
+    is what the paper's proposed visual debugger is for.
+
+    Every entry point takes an optional [?metrics] context; when given,
+    all instrumentation (counters, spans, the clock, latency histograms
+    and per-unit cycle attribution) lands in that
+    {!Nsc_metrics.Metrics.ctx} instead of the calling domain's ambient
+    context. *)
 
 (** Recorded values of every engaged unit at every element, kept for the
     visual debugger's annotated diagrams (only when [record_trace] was
@@ -49,7 +55,8 @@ val run_general :
   Node.t ->
   ?record_trace:bool ->
   ?honor_timing:bool ->
-  ?analysis:Nsc_checker.Timing.t -> Nsc_diagram.Semantic.t -> result
+  ?analysis:Nsc_checker.Timing.t ->
+  ?metrics:Nsc_metrics.Metrics.ctx -> Nsc_diagram.Semantic.t -> result
 
 (** The seed dispatch, preserved for benchmarking against the plan-based
     path: re-analyses timing on every call and rebuilds every lookup
@@ -58,13 +65,16 @@ val run_legacy :
   Node.t ->
   ?record_trace:bool ->
   ?honor_timing:bool ->
-  ?force_general:bool -> Nsc_diagram.Semantic.t -> result
+  ?force_general:bool ->
+  ?metrics:Nsc_metrics.Metrics.ctx -> Nsc_diagram.Semantic.t -> result
 
 (** Execute a compiled {!Plan.t}: bulk-prefetched read streams, a pure
     array-indexing inner loop, no timing re-analysis.  Plans without a
     dense body fall back to the general evaluator with the plan's cached
     analysis. *)
-val run_plan : Node.t -> ?record_trace:bool -> Plan.t -> result
+val run_plan :
+  Node.t ->
+  ?record_trace:bool -> ?metrics:Nsc_metrics.Metrics.ctx -> Plan.t -> result
 
 (** Execute a fused {!Kernel.t} (the v3 backend): buffers drawn from the
     domain-local {!Kernel.acquire} pool, read streams gathered with
@@ -75,7 +85,9 @@ val run_plan : Node.t -> ?record_trace:bool -> Plan.t -> result
     a fused body fall back to the general evaluator.  Results — values,
     cycles, interrupt events and their order — are bit-identical to
     {!run_plan} (property-tested). *)
-val run_kernel : Node.t -> ?record_trace:bool -> Kernel.t -> result
+val run_kernel :
+  Node.t ->
+  ?record_trace:bool -> ?metrics:Nsc_metrics.Metrics.ctx -> Kernel.t -> result
 
 (** The retained v2 kernel backend: fresh [float array] buffers per
     execution, one opcode dispatch per unit per 256-element block, a
@@ -83,7 +95,9 @@ val run_kernel : Node.t -> ?record_trace:bool -> Kernel.t -> result
     measured baseline for the bench regression gate ({!run_kernel} must
     hold ≥2x over this path on the n=9 Jacobi solve).  Bit-identical to
     {!run_kernel}. *)
-val run_kernel_v2 : Node.t -> ?record_trace:bool -> Kernel.t -> result
+val run_kernel_v2 :
+  Node.t ->
+  ?record_trace:bool -> ?metrics:Nsc_metrics.Metrics.ctx -> Kernel.t -> result
 
 (** Run K independent replicas of one compiled kernel, replica [r] on
     [nodes.(r)], over interleaved pooled buffer slabs (replica [r]'s
@@ -96,7 +110,9 @@ val run_kernel_v2 : Node.t -> ?record_trace:bool -> Kernel.t -> result
     K, and under faults for K = 1.  Kernels without a fused body fall
     back to the general evaluator per replica. *)
 val run_batched :
-  Node.t array -> ?record_trace:bool -> ?domains:int -> Kernel.t -> result array
+  Node.t array ->
+  ?record_trace:bool ->
+  ?domains:int -> ?metrics:Nsc_metrics.Metrics.ctx -> Kernel.t -> result array
 
 (** {2 Batch counters} — atomic, shared across domains; mirrored on the
     [kernel.batch_*] trace counters when tracing is enabled. *)
@@ -122,5 +138,6 @@ val run :
   Node.t ->
   ?record_trace:bool ->
   ?honor_timing:bool ->
-  ?force_general:bool -> Nsc_diagram.Semantic.t -> result
+  ?force_general:bool ->
+  ?metrics:Nsc_metrics.Metrics.ctx -> Nsc_diagram.Semantic.t -> result
 

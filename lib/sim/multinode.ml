@@ -13,9 +13,14 @@ open Nsc_arch
 (* Observability: machine-level phases appear on trace timeline tid 1,
    leaving tid 0 to the per-node engine/sequencer spans. *)
 module Trace = Nsc_trace.Trace
+module Metrics = Nsc_metrics.Metrics
 module Fault = Nsc_fault.Fault
 
 let machine_tid = 1
+
+let h_exchange_cycles =
+  Metrics.histogram ~name:"hist.exchange_cycles" ~units:"cycles"
+    ~desc:"per-phase hypercube exchange latency"
 
 let c_steps =
   Trace.counter ~name:"machine.steps" ~units:"steps"
@@ -107,6 +112,12 @@ let pool_create size =
    the first worker failure) are re-raised after the fan-in so the pool
    stays consistent. *)
 let pool_run (p : pool) (job : int -> unit) =
+  (* Worker domains park between jobs, so their domain-local ambient
+     metric context is whatever the last job left; re-point them at the
+     caller's context for this job, so an instrumented parallel step
+     lands its counters where a sequential one would. *)
+  let ctx = Metrics.current () in
+  let job w = Metrics.with_ctx ctx (fun () -> job w) in
   Mutex.protect p.mu (fun () ->
       p.job <- Some job;
       p.error <- None;
@@ -259,7 +270,11 @@ let parallel_for ?(domains = 1) ~n (f : int -> unit) =
     advances by the slowest node's cycles.  [domains] fans the per-node
     work across OCaml domains; counters are accumulated in node order
     after the fan-in, so results are identical to a sequential step. *)
-let compute_step ?domains t (f : int -> Node.t -> int * int) =
+let compute_step ?domains ?metrics t (f : int -> Node.t -> int * int) =
+  let in_ctx f =
+    match metrics with None -> f () | Some m -> Metrics.with_ctx m f
+  in
+  in_ctx @@ fun () ->
   let ts = if Trace.enabled () then Trace.now () else 0 in
   let per_node = parallel_iter ?domains t f in
   let worst = ref 0 in
@@ -270,6 +285,10 @@ let compute_step ?domains t (f : int -> Node.t -> int * int) =
     per_node;
   t.cycles <- t.cycles + !worst;
   if Trace.enabled () then begin
+    let ctx = Metrics.current () in
+    Array.iteri
+      (fun node (cycles, flops) -> Metrics.attribute_node ctx ~node ~cycles ~flops)
+      per_node;
     Trace.add c_steps 1;
     Trace.span ~tid:machine_tid ~cat:"machine" ~name:"compute_step" ~ts
       ~dur:!worst
@@ -369,7 +388,11 @@ let exchange_cycles t (msgs : message list) =
     and advance machine time.  Messages whose recovery ladder fails (the
     surviving links disconnect src from dst) are not delivered; they are
     booked on the fault ledger as unrecovered. *)
-let exchange t (msgs : (message * (float array * int * int)) list) =
+let exchange ?metrics t (msgs : (message * (float array * int * int)) list) =
+  let in_ctx f =
+    match metrics with None -> f () | Some m -> Metrics.with_ctx m f
+  in
+  in_ctx @@ fun () ->
   (* each message carries (payload, dst_plane, dst_base) *)
   let costed = List.map (fun (m, payload) -> (m, payload, message_cost t m)) msgs in
   let cycles = serialized_cost (List.map (fun (m, _, (c, _)) -> (m, c)) costed) in
@@ -388,6 +411,7 @@ let exchange t (msgs : (message * (float array * int * int)) list) =
     let ts = Trace.now () in
     Trace.advance cycles;
     Trace.add c_exchanges 1;
+    Metrics.observe (Metrics.current ()) h_exchange_cycles cycles;
     Trace.span ~tid:machine_tid ~cat:"machine" ~name:"exchange" ~ts ~dur:cycles
       ~args:
         [ ("messages", Trace.Int (List.length msgs));

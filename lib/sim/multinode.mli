@@ -71,7 +71,10 @@ val shutdown : t -> unit
 (** One synchronous compute step: [f] yields per-node (cycles, flops);
     the machine advances by the slowest node.  [domains] fans per-node
     work across OCaml domains with bit-identical results. *)
-val compute_step : ?domains:int -> t -> (int -> Node.t -> int * int) -> unit
+val compute_step :
+  ?domains:int ->
+  ?metrics:Nsc_metrics.Metrics.ctx ->
+  t -> (int -> Node.t -> int * int) -> unit
 
 (** One message of a communication phase. *)
 type message = {
@@ -101,7 +104,9 @@ val exchange_cycles : t -> message list -> int
     nodes' planes and machine time advances by {!exchange_cycles}.
     Messages whose recovery ladder fails are not delivered (booked as
     unrecovered on the fault ledger). *)
-val exchange : t -> (message * (float array * int * int)) list -> unit
+val exchange :
+  ?metrics:Nsc_metrics.Metrics.ctx ->
+  t -> (message * (float array * int * int)) list -> unit
 
 (** Aggregate sustained GFLOPS of the machine so far. *)
 val gflops : t -> float

@@ -34,10 +34,15 @@ let max_recorded_events = 2000
    reconfiguration charge, so it notes those cycles (and the switch
    reprogramming) on the trace; the engine notes execution itself. *)
 module Trace = Nsc_trace.Trace
+module Metrics = Nsc_metrics.Metrics
 
 let c_reconfig_cycles =
   Trace.counter ~name:"sim.reconfig_cycles" ~units:"cycles"
     ~desc:"cycles charged to switch reconfiguration between instructions"
+
+let h_reconfig_cycles =
+  Metrics.histogram ~name:"hist.reconfig_cycles" ~units:"cycles"
+    ~desc:"per-instruction switch reconfiguration latency"
 
 (** Execute a compiled program on [node].
 
@@ -107,6 +112,8 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
                 ~args:[ ("instruction", Trace.Int n) ]
                 ();
               Trace.add c_reconfig_cycles p.reconfig_cycles;
+              Metrics.observe (Metrics.current ()) h_reconfig_cycles
+                p.reconfig_cycles;
               Switch.note_reconfig ~routes:(List.length sem.Semantic.routes)
             end;
             let r =
@@ -280,6 +287,8 @@ let run_batch (nodes : Node.t array) ?(from_microcode = true)
                       ("replicas", Trace.Int (List.length active)) ]
                   ();
                 Trace.add c_reconfig_cycles p.reconfig_cycles;
+                Metrics.observe (Metrics.current ()) h_reconfig_cycles
+                  p.reconfig_cycles;
                 Switch.note_reconfig ~routes:(List.length sem.Semantic.routes)
               end;
               let kn = Kernel.cached kernel_cache plan_cache p sem in
@@ -391,3 +400,20 @@ let run_batch (nodes : Node.t array) ?(from_microcode = true)
                        |> List.sort compare;
                    })))
   end
+
+(* --- explicit metric contexts ------------------------------------------- *)
+
+let in_ctx metrics f =
+  match metrics with None -> f () | Some m -> Metrics.with_ctx m f
+
+let run node ?from_microcode ?record_trace ?engine ?plan_cache ?kernel_cache
+    ?on_instruction ?metrics c =
+  in_ctx metrics (fun () ->
+      run node ?from_microcode ?record_trace ?engine ?plan_cache ?kernel_cache
+        ?on_instruction c)
+
+let run_batch nodes ?from_microcode ?record_trace ?domains ?plan_cache
+    ?kernel_cache ?metrics c =
+  in_ctx metrics (fun () ->
+      run_batch nodes ?from_microcode ?record_trace ?domains ?plan_cache
+        ?kernel_cache c)

@@ -53,6 +53,7 @@ val run :
   ?plan_cache:Plan.cache ->
   ?kernel_cache:Kernel.cache ->
   ?on_instruction:(Nsc_diagram.Semantic.t -> Engine.result -> unit) ->
+  ?metrics:Nsc_metrics.Metrics.ctx ->
   Nsc_microcode.Codegen.compiled -> (outcome, string) result
 
 (** Execute one compiled program on K replica nodes in lock-step: each
@@ -73,4 +74,5 @@ val run_batch :
   ?domains:int ->
   ?plan_cache:Plan.cache ->
   ?kernel_cache:Kernel.cache ->
+  ?metrics:Nsc_metrics.Metrics.ctx ->
   Nsc_microcode.Codegen.compiled -> (outcome array, string) result

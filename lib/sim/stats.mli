@@ -95,3 +95,49 @@ val fault_outstanding : unit -> int
 
 (** Book any outstanding faults as unrecovered; returns the number. *)
 val fault_reconcile : unit -> int
+
+(** {2 The profile layer}
+
+    The hotspot view over a metric context: where a run's cycles went,
+    unit by unit, against the paper's per-node peak.  Populated by the
+    engine's cycle attribution while tracing is enabled; surfaced by the
+    [nscvp profile] subcommand.  Schema in [docs/OBSERVABILITY.md]. *)
+
+(** One row of the hotspot table: a (instruction, functional unit) pair
+    with its apportioned cycles and sustained rate. *)
+type hotspot = {
+  hs_instr : string;  (** instruction label, ["i<N>"] *)
+  hs_unit : string;   (** functional unit and opcode, ["als0.u1:fadd"] *)
+  hs_share_cycles : int;
+      (** the instruction's cycles apportioned to this unit; rows sum to
+          the run's [sim.cycles] *)
+  hs_busy_cycles : int;  (** full engaged duration of the unit *)
+  hs_flops : int;
+  hs_mflops : float;   (** sustained over the unit's busy cycles *)
+  hs_peak_pct : float; (** sustained as %% of per-node peak *)
+  hs_cycle_pct : float;  (** share of all attributed cycles *)
+}
+
+(** The hotspot table of a context, ranked by apportioned cycles. *)
+val hotspots : Nsc_arch.Params.t -> Nsc_metrics.Metrics.ctx -> hotspot list
+
+(** Every non-empty latency histogram of a context with its summary. *)
+val latency_histograms :
+  Nsc_metrics.Metrics.ctx ->
+  (Nsc_metrics.Metrics.histogram * Nsc_metrics.Metrics.hist_summary) list
+
+(** The human-readable profile report: latency percentiles, the hotspot
+    table (truncated to [top] rows, default 10), per-instruction totals
+    and — for multi-node runs — the per-node utilization breakdown. *)
+val profile_report :
+  ?top:int -> Nsc_arch.Params.t -> Nsc_metrics.Metrics.ctx -> string
+
+(** The machine-readable profile document.  Top-level members: [label],
+    [clock_cycles], [peak_mflops_per_node], [latency], [hotspots],
+    [instructions], [nodes], [counters]. *)
+val profile_json :
+  Nsc_arch.Params.t -> Nsc_metrics.Metrics.ctx -> Nsc_metrics.Json.t
+
+(** Brendan Gregg folded-stacks output, one ["instr;unit cycles"] line
+    per attribution row — flamegraph.pl input. *)
+val profile_folded : Nsc_metrics.Metrics.ctx -> string

@@ -1,13 +1,8 @@
-(** A minimal JSON value type with an emitter and a parser.
+(** Alias of [Nsc_metrics.Json] — the JSON value type moved into the
+    metrics library; this re-export keeps [Nsc_trace.Json] call sites
+    working. *)
 
-    Exists so the trace layer can emit Chrome trace-event documents — and
-    the test suite can parse them back — without adding a JSON dependency
-    beneath [nsc_arch].  See {!Trace.to_chrome} for the document this
-    module is mainly used to produce. *)
-
-(** A JSON document.  Numbers are [float], as in JavaScript; object
-    members preserve insertion order. *)
-type t =
+type t = Nsc_metrics.Json.t =
   | Null
   | Bool of bool
   | Num of float
@@ -15,23 +10,9 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
-(** [to_string v] renders [v] as compact JSON.  Strings are escaped per
-    RFC 8259; non-finite numbers render as [null] (Chrome's trace viewer
-    treats them as absent). *)
 val to_string : t -> string
-
-(** [parse s] parses one JSON document, rejecting trailing input.
-    [\u] escapes decode to UTF-8 (basic multilingual plane only). *)
 val parse : string -> (t, string) result
-
-(** [member key v] is the value of field [key] when [v] is an object. *)
 val member : string -> t -> t option
-
-(** The list payload of an array, if [v] is one. *)
 val to_list : t -> t list option
-
-(** The numeric payload, if [v] is a number. *)
 val to_num : t -> float option
-
-(** The string payload, if [v] is a string. *)
 val to_str : t -> string option

@@ -1,280 +1,54 @@
-(** Structured tracing and monotonic counters for the simulated machine.
+(* The trace facade: the process-global instrument of PR 2, now a thin
+   veneer over [Nsc_metrics] scoped contexts.  Every operation targets
+   the AMBIENT context ([Metrics.current ()]) — the process default
+   until a caller wraps a run in [Metrics.with_ctx] — so all existing
+   instrumentation sites keep working unchanged while runs under
+   explicit contexts stay isolated from each other. *)
 
-    The paper's environment is usable because the checker and debugger make
-    the NSC's opaque microcode visible; this module does the same for the
-    simulator's *performance*: where cycles, DMA words, cache traffic and
-    router hops actually go.  Two instruments, one global registry:
+module M = Nsc_metrics.Metrics
 
-    - {e counters} — named, unit-carrying, monotonically non-decreasing
-      totals ([cache.hits], [dma.read_words], ...), registered by the
-      module that owns the resource and documented in
-      [docs/OBSERVABILITY.md];
-    - {e spans} — timed events on the simulated-cycle clock, kept in a
-      bounded ring buffer (newest win once full).
+(* Disabled fast path: one process-global atomic read.  Only when some
+   context is enabled somewhere do the hot operations pay the DLS lookup
+   for the ambient context — a disabled gate costs a load and a branch,
+   which is what the bench's <2% projection budget measures. *)
+let enabled () = M.any_enabled () && M.enabled (M.current ())
+let enable () = M.enable (M.current ())
+let disable () = M.disable (M.current ())
+let reset () = M.reset (M.current ())
+let now () = M.now (M.current ())
+let advance cycles = M.advance (M.current ()) cycles
 
-    Everything is a no-op until {!enable} is called: every instrumentation
-    site is gated on a single flag read, so the disabled path costs one
-    predictable branch (measured in [bench/main.ml]; the budget is <2% on
-    the n=9 Jacobi solve).  Counters and the ring are domain-safe —
-    counters are atomics, the ring appends under a mutex — so
-    [Multinode.compute_step ~domains] can run instrumented.
+type counter = M.counter
 
-    Export targets: {!to_chrome} writes Chrome trace-event JSON (loadable
-    in Perfetto or [chrome://tracing]); {!summary} renders the plain-text
-    per-phase digest the [nscvp stats] subcommand prints. *)
+let counter = M.counter
+let add c n = if M.any_enabled () then M.add (M.current ()) c n
+let value c = M.value (M.current ()) c
+let name = M.counter_name
+let units = M.counter_units
+let desc = M.counter_desc
 
-(* --- the global switch -------------------------------------------------- *)
+type arg = M.arg = Int of int | Float of float | Str of string
 
-let enabled_flag = Atomic.make false
-let enabled () = Atomic.get enabled_flag
-let enable () = Atomic.set enabled_flag true
-let disable () = Atomic.set enabled_flag false
-
-(* --- the simulated-cycle clock ------------------------------------------ *)
-
-(* Spans are stamped on a single machine timeline: the engine advances the
-   clock by each instruction's cycles, the sequencer by reconfiguration
-   time.  One simulated cycle maps to one Chrome-trace microsecond. *)
-let clock = Atomic.make 0
-let now () = Atomic.get clock
-let advance cycles = if cycles > 0 then ignore (Atomic.fetch_and_add clock cycles)
-
-(* --- counters ----------------------------------------------------------- *)
-
-type counter = {
-  name : string;
-  units : string;
-  desc : string;
-  value : int Atomic.t;
-  bumps : int Atomic.t;  (** how many times [add] fired — the number of
-                             instrumentation sites crossed, used by the
-                             disabled-overhead projection in the bench *)
-}
-
-let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
-let registry_mutex = Mutex.create ()
-
-let counter ~name ~units ~desc =
-  Mutex.lock registry_mutex;
-  let c =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { name; units; desc; value = Atomic.make 0; bumps = Atomic.make 0 } in
-        Hashtbl.add registry name c;
-        c
-  in
-  Mutex.unlock registry_mutex;
-  c
-
-let add c n =
-  if n > 0 && Atomic.get enabled_flag then begin
-    ignore (Atomic.fetch_and_add c.value n);
-    ignore (Atomic.fetch_and_add c.bumps 1)
-  end
-
-let value c = Atomic.get c.value
-let name c = c.name
-let units c = c.units
-let desc c = c.desc
-
-let counters () =
-  Mutex.lock registry_mutex;
-  let all = Hashtbl.fold (fun _ c acc -> c :: acc) registry [] in
-  Mutex.unlock registry_mutex;
-  List.sort (fun a b -> compare a.name b.name) all
-
-let total_bumps () =
-  List.fold_left (fun acc c -> acc + Atomic.get c.bumps) 0 (counters ())
-
-(* --- spans -------------------------------------------------------------- *)
-
-type arg = Int of int | Float of float | Str of string
-
-type event = {
+type event = M.event = {
   ev_name : string;
   cat : string;
-  phase : char;  (** 'X' complete span, 'i' instant, 'C' counter sample *)
-  ts : int;      (** simulated cycles *)
-  dur : int;     (** simulated cycles; 0 for instants *)
-  tid : int;     (** 0 = node engine/sequencer, 1 = multi-node machine *)
+  phase : char;
+  ts : int;
+  dur : int;
+  tid : int;
   args : (string * arg) list;
 }
 
-let default_capacity = 65_536
+let span ?tid ?args ~cat ~name ~ts ~dur () =
+  if M.any_enabled () then M.span (M.current ()) ?tid ?args ~cat ~name ~ts ~dur ()
 
-(* A bounded ring: [total] events ever recorded, the last [capacity] of
-   them resident.  Appends and reads lock [ring_mutex]; the disabled path
-   never reaches either. *)
-let ring_mutex = Mutex.create ()
-let capacity = ref default_capacity
-let ring : event option array ref = ref (Array.make default_capacity None)
-let total = ref 0
+let instant ?tid ?args ~cat ~name ~ts () =
+  if M.any_enabled () then M.instant (M.current ()) ?tid ?args ~cat ~name ~ts ()
 
-let set_capacity n =
-  if n < 1 then invalid_arg "Trace.set_capacity";
-  Mutex.lock ring_mutex;
-  capacity := n;
-  ring := Array.make n None;
-  total := 0;
-  Mutex.unlock ring_mutex
-
-let record ev =
-  Mutex.lock ring_mutex;
-  !ring.(!total mod !capacity) <- Some ev;
-  incr total;
-  Mutex.unlock ring_mutex
-
-let span ?(tid = 0) ?(args = []) ~cat ~name ~ts ~dur () =
-  if Atomic.get enabled_flag then
-    record { ev_name = name; cat; phase = 'X'; ts; dur = max dur 0; tid; args }
-
-let instant ?(tid = 0) ?(args = []) ~cat ~name ~ts () =
-  if Atomic.get enabled_flag then
-    record { ev_name = name; cat; phase = 'i'; ts; dur = 0; tid; args }
-
-let events () =
-  Mutex.lock ring_mutex;
-  let cap = !capacity and t = !total in
-  let n = min t cap in
-  let out =
-    List.init n (fun i ->
-        match !ring.((t - n + i) mod cap) with
-        | Some ev -> ev
-        | None -> assert false)
-  in
-  Mutex.unlock ring_mutex;
-  out
-
-let dropped () =
-  Mutex.lock ring_mutex;
-  let d = max 0 (!total - !capacity) in
-  Mutex.unlock ring_mutex;
-  d
-
-(* --- reset -------------------------------------------------------------- *)
-
-let reset () =
-  List.iter
-    (fun c ->
-      Atomic.set c.value 0;
-      Atomic.set c.bumps 0)
-    (counters ());
-  Mutex.lock ring_mutex;
-  Array.fill !ring 0 (Array.length !ring) None;
-  total := 0;
-  Mutex.unlock ring_mutex;
-  Atomic.set clock 0
-
-(* --- Chrome trace-event export ------------------------------------------ *)
-
-let arg_to_json = function
-  | Int i -> Json.Num (float_of_int i)
-  | Float f -> Json.Num f
-  | Str s -> Json.Str s
-
-let event_to_json ev =
-  let base =
-    [
-      ("name", Json.Str ev.ev_name);
-      ("cat", Json.Str ev.cat);
-      ("ph", Json.Str (String.make 1 ev.phase));
-      ("ts", Json.Num (float_of_int ev.ts));
-      ("pid", Json.Num 0.0);
-      ("tid", Json.Num (float_of_int ev.tid));
-    ]
-  in
-  let dur = if ev.phase = 'X' then [ ("dur", Json.Num (float_of_int ev.dur)) ] else [] in
-  let args =
-    if ev.args = [] then []
-    else [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) ev.args)) ]
-  in
-  Json.Obj (base @ dur @ args)
-
-(* One final 'C' sample per non-zero counter, stamped at the clock's end,
-   so counter totals are visible inside the trace viewer itself. *)
-let counter_samples_json ts =
-  List.filter_map
-    (fun c ->
-      if value c = 0 then None
-      else
-        Some
-          (Json.Obj
-             [
-               ("name", Json.Str c.name);
-               ("cat", Json.Str "counter");
-               ("ph", Json.Str "C");
-               ("ts", Json.Num (float_of_int ts));
-               ("pid", Json.Num 0.0);
-               ("args", Json.Obj [ ("value", Json.Num (float_of_int (value c))) ]);
-             ]))
-    (counters ())
-
-let to_chrome () =
-  let evs = events () in
-  let ts_end = now () in
-  let doc =
-    Json.Obj
-      [
-        ( "traceEvents",
-          Json.List (List.map event_to_json evs @ counter_samples_json ts_end) );
-        ("displayTimeUnit", Json.Str "ms");
-        ( "otherData",
-          Json.Obj
-            [
-              ("clock", Json.Str "simulated-cycles (1 us = 1 cycle)");
-              ("dropped_events", Json.Num (float_of_int (dropped ())));
-            ] );
-        ( "counters",
-          Json.Obj
-            (List.filter_map
-               (fun c ->
-                 if value c = 0 then None
-                 else Some (c.name, Json.Num (float_of_int (value c))))
-               (counters ())) );
-      ]
-  in
-  Json.to_string doc
-
-(* --- the plain-text per-phase summary ----------------------------------- *)
-
-let summary () =
-  let buf = Buffer.create 1024 in
-  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  let evs = events () in
-  out "trace summary: %d simulated cycles; %d event(s) recorded, %d dropped\n"
-    (now ()) (List.length evs) (dropped ());
-  (* spans aggregated per (category, name): the per-phase view *)
-  let agg : (string * string, int ref * int ref) Hashtbl.t = Hashtbl.create 32 in
-  let order = ref [] in
-  List.iter
-    (fun ev ->
-      if ev.phase = 'X' then begin
-        let key = (ev.cat, ev.ev_name) in
-        match Hashtbl.find_opt agg key with
-        | Some (count, cycles) ->
-            incr count;
-            cycles := !cycles + ev.dur
-        | None ->
-            Hashtbl.add agg key (ref 1, ref ev.dur);
-            order := key :: !order
-      end)
-    evs;
-  if !order <> [] then begin
-    out "spans (aggregated by phase):\n";
-    out "  %-32s %10s %14s\n" "phase" "count" "cycles";
-    List.iter
-      (fun (cat, name) ->
-        let count, cycles = Hashtbl.find agg (cat, name) in
-        out "  %-32s %10d %14d\n" (cat ^ ":" ^ name) !count !cycles)
-      (List.rev !order)
-  end;
-  let live = List.filter (fun c -> value c > 0) (counters ()) in
-  if live <> [] then begin
-    out "counters:\n";
-    out "  %-28s %14s  %-10s %s\n" "counter" "value" "unit" "meaning";
-    List.iter
-      (fun c -> out "  %-28s %14d  %-10s %s\n" c.name (value c) c.units c.desc)
-      live
-  end;
-  Buffer.contents buf
+let set_capacity n = M.set_capacity (M.current ()) n
+let events () = M.events (M.current ())
+let dropped () = M.dropped (M.current ())
+let to_chrome () = M.to_chrome (M.current ())
+let summary () = M.summary (M.current ())
+let counters () = M.registered_counters ()
+let total_bumps () = M.total_bumps (M.current ())

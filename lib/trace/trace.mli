@@ -1,6 +1,6 @@
 (** Structured tracing and monotonic counters for the simulated machine.
 
-    A single global instrument with two faces: named monotonic
+    A single instrument with two faces: named monotonic
     {e counters} (registered by the module that owns each resource —
     caches, memory planes, DMA, the router, the switch, the engine) and
     timed {e spans} on the simulated-cycle clock, kept in a bounded ring
@@ -8,6 +8,14 @@
     instrumentation site is gated on one flag read, so the disabled path
     costs a single predictable branch (budgeted <2% on the n=9 Jacobi
     solve, asserted by [bench/main.ml]).
+
+    Since the metrics refactor this module is a {e facade} over
+    [Nsc_metrics.Metrics]: every operation targets the calling domain's
+    {e ambient} metric context, which is the process-wide default
+    context unless a caller wrapped the run in [Metrics.with_ctx].
+    Code instrumented against this interface therefore works unchanged
+    in both worlds — globally, as before, and isolated per run when the
+    CLI or the serve daemon scopes it.
 
     The full event schema and counter catalogue are documented in
     [docs/OBSERVABILITY.md]. *)
@@ -50,8 +58,10 @@ val advance : int -> unit
 (** {1 Counters} *)
 
 (** A registered monotonic counter.  Values never decrease; {!reset}
-    rewinds them to zero. *)
-type counter
+    rewinds them to zero.  The descriptor is shared with the metrics
+    layer: a counter registered here can be read in any
+    [Nsc_metrics.Metrics.ctx] and vice versa. *)
+type counter = Nsc_metrics.Metrics.counter
 
 (** [counter ~name ~units ~desc] registers (or retrieves — registration is
     idempotent by name) the counter called [name].  [units] is the unit of
