@@ -124,6 +124,23 @@ type fault_perf = {
 
 let fault_perf_result : fault_perf option ref = ref None
 
+type service_perf = {
+  svc_submitted : int;
+  svc_completed : int;
+  svc_rejected : int;
+  svc_domains : int;
+  svc_queue_bound : int;
+  svc_cache_bound : int;
+  svc_elapsed_seconds : float;
+  svc_jobs_per_sec : float;
+  svc_p50_usec : int;
+  svc_p99_usec : int;
+  svc_cache_evictions : int;
+  svc_residual_match : bool;
+}
+
+let service_perf_result : service_perf option ref = ref None
+
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -241,6 +258,23 @@ let write_bench_json path =
           out "      %S: %d%s\n" name v (if i = List.length nonzero - 1 then "" else ","))
         nonzero;
       out "    }\n";
+      out "  }");
+  (match !service_perf_result with
+  | None -> ()
+  | Some s ->
+      out ",\n  \"service\": {\n";
+      out "    \"jobs_submitted\": %d,\n" s.svc_submitted;
+      out "    \"jobs_completed\": %d,\n" s.svc_completed;
+      out "    \"queue_rejections\": %d,\n" s.svc_rejected;
+      out "    \"domains\": %d,\n" s.svc_domains;
+      out "    \"queue_bound\": %d,\n" s.svc_queue_bound;
+      out "    \"cache_bound\": %d,\n" s.svc_cache_bound;
+      out "    \"elapsed_seconds\": %.4f,\n" s.svc_elapsed_seconds;
+      out "    \"jobs_per_sec\": %.2f,\n" s.svc_jobs_per_sec;
+      out "    \"p50_usec\": %d,\n" s.svc_p50_usec;
+      out "    \"p99_usec\": %d,\n" s.svc_p99_usec;
+      out "    \"cache_evictions\": %d,\n" s.svc_cache_evictions;
+      out "    \"residual_match\": %b\n" s.svc_residual_match;
       out "  }");
   out "\n}\n";
   close_out oc
@@ -1265,6 +1299,124 @@ let fault_injection () =
       }
 
 (* ------------------------------------------------------------------ *)
+(* SERVICE: the serve daemon under a 1000-job burst                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon is driven in-process through [Serve.handle_line] — the same
+   entry point the stdin/socket front-ends use — so the measured path is
+   admission, wave dispatch across the domain pool, per-job metric
+   contexts and the shared bounded caches, without pipe noise.
+
+   The burst never interleaves [drain] requests, so admission control is
+   exercised for real: every 65th submit finds the 64-slot queue full,
+   is rejected, and triggers the dispatch of the queued wave.  The job
+   mix alternates two problem sizes over a cache bound smaller than the
+   mix's plan footprint (2 sizes x 3 plans > 4), so LRU eviction is
+   exercised too.  Every ok response must carry exactly the sweeps and
+   residual of a direct [Jacobi.solve] of the same problem. *)
+let perf_service () =
+  section "SERVICE" "serve daemon: jobs/sec and latency under a 1100-job burst";
+  let module Serve = Nsc_serve.Serve in
+  let module Json = Nsc_metrics.Json in
+  let domains = 4 and queue_bound = 64 and cache_bound = 4 in
+  let total_jobs = 1100 in
+  let tol = 1e-4 and max_iters = 400 in
+  let size i = if i mod 5 = 4 then 7 else 5 in
+  let reference n =
+    match Jacobi.solve kb (Poisson.manufactured n) ~tol ~max_iters with
+    | Error e -> failwith ("SERVICE reference solve: " ^ e)
+    | Ok o -> (o.Jacobi.sweeps, o.Jacobi.final_change)
+  in
+  let ref5 = reference 5 and ref7 = reference 7 in
+  let config =
+    { Serve.domains; queue_bound; cache_bound; engine = `Kernel; subset = false }
+  in
+  let t = Serve.create ~config () in
+  let submit_line i =
+    Printf.sprintf
+      "{\"op\":\"submit\",\"id\":\"job-%04d\",\"workload\":{\"kind\":\"jacobi\",\
+       \"n\":%d,\"tol\":%g,\"max_iters\":%d}}"
+      i (size i) tol max_iters
+  in
+  let responses = ref [] in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to total_jobs - 1 do
+    responses := List.rev_append (Serve.handle_line t (submit_line i)) !responses
+  done;
+  responses := List.rev_append (Serve.drain t) !responses;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let responses = List.rev !responses in
+  (* audit every response against the reference solves *)
+  let ok_count = ref 0 and rejected = ref 0 and mismatches = ref 0 in
+  List.iter
+    (fun line ->
+      let obj = match Json.parse line with Ok o -> o | Error e -> failwith e in
+      let str name = Option.bind (Json.member name obj) Json.to_str in
+      let num name = Option.bind (Json.member name obj) Json.to_num in
+      match str "status" with
+      | Some "ok" ->
+          incr ok_count;
+          let n = int_of_float (Option.get (num "n")) in
+          let sweeps = int_of_float (Option.get (num "sweeps")) in
+          let residual = Option.get (num "residual") in
+          let want = if n = 5 then ref5 else ref7 in
+          if (sweeps, residual) <> want then incr mismatches
+      | Some "rejected" -> incr rejected
+      | Some s -> failwith (Printf.sprintf "SERVICE: unexpected response status %S" s)
+      | None -> ())
+    responses;
+  let summary =
+    let line = Serve.summary_response t in
+    match Json.parse line with
+    | Ok o -> Option.get (Json.member "summary" o)
+    | Error e -> failwith ("SERVICE summary: " ^ e)
+  in
+  let sv name =
+    match Option.bind (Json.member name summary) Json.to_num with
+    | Some x -> int_of_float x
+    | None -> failwith ("SERVICE summary lacks " ^ name)
+  in
+  let completed = sv "completed" and failed = sv "failed" in
+  let p50 = sv "p50_usec" and p99 = sv "p99_usec" in
+  let evictions = sv "cache_evictions" in
+  let jobs_per_sec = float_of_int completed /. elapsed in
+  let residual_match = !mismatches = 0 in
+  row "burst of %d submits (no client-side drains), %d domains:\n" total_jobs domains;
+  row "  queue bound / cache bound   : %8d / %d\n" queue_bound cache_bound;
+  row "  completed / rejected        : %8d / %d (failed %d)\n" completed !rejected failed;
+  row "  elapsed                     : %8.3f s (%.0f jobs/s)\n" elapsed jobs_per_sec;
+  row "  latency p50 / p99           : %8d / %d usec\n" p50 p99;
+  row "  shared-cache LRU evictions  : %8d\n" evictions;
+  row "  responses match direct solve: %8s\n" (if residual_match then "yes" else "NO");
+  if completed < 1000 then
+    failwith (Printf.sprintf "SERVICE: only %d jobs completed (need >= 1000)" completed);
+  if completed <> !ok_count then
+    failwith "SERVICE: summary completed count disagrees with ok responses";
+  if failed > 0 then failwith "SERVICE: jobs failed";
+  if !rejected < 1 || sv "rejected" <> !rejected then
+    failwith "SERVICE: admission control produced no queue-full rejection";
+  if evictions < 1 then
+    failwith "SERVICE: bounded caches never evicted under the mixed job sizes";
+  if not residual_match then
+    failwith "SERVICE: a served response diverged from the direct solve";
+  service_perf_result :=
+    Some
+      {
+        svc_submitted = sv "submitted";
+        svc_completed = completed;
+        svc_rejected = !rejected;
+        svc_domains = domains;
+        svc_queue_bound = queue_bound;
+        svc_cache_bound = cache_bound;
+        svc_elapsed_seconds = elapsed;
+        svc_jobs_per_sec = jobs_per_sec;
+        svc_p50_usec = p50;
+        svc_p99_usec = p99;
+        svc_cache_evictions = evictions;
+        svc_residual_match = residual_match;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Tool-chain microbenchmarks (Bechamel)                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1405,6 +1557,7 @@ let () =
   trace_overhead ();
   profile_hotspots ();
   fault_injection ();
+  perf_service ();
   toolchain_benchmarks ();
   write_bench_json "BENCH_sim.json";
   Printf.printf "\nall experiments completed in %.1f s (BENCH_sim.json written)\n"

@@ -12,7 +12,8 @@
      debug         run with tracing and print annotated diagram frames
      stats         run under the trace instrument and print its counters
      profile       run under a fresh metric context; print the hotspot profile
-     inject        run clean and under a seeded fault model; print the report *)
+     inject        run clean and under a seeded fault model; print the report
+     serve         long-running simulation service over an NDJSON job protocol *)
 
 open Nsc_arch
 open Nsc_diagram
@@ -843,6 +844,63 @@ let inject_cmd =
     Term.(const run $ subset_flag $ program_arg $ loads $ faults_req $ fault_seed_arg
           $ domains_arg)
 
+(* -- serve ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let module Serve = Nsc_serve.Serve in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission-queue capacity (default 64).  A submit that \
+                   finds the queue full is rejected with $(b,queue-full) \
+                   and the queue is drained; clients that interleave \
+                   $(b,drain) requests never see rejections.")
+  in
+  let cache_bound_arg =
+    Arg.(value & opt int 0
+         & info [ "cache-bound" ] ~docv:"N"
+             ~doc:"Cap the shared plan and kernel caches at $(docv) entries \
+                   each, evicting least-recently-used compiled instructions \
+                   (the $(b,cache.evictions) counter).  0 (the default) \
+                   leaves them unbounded.")
+  in
+  let serve_domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Fan each dispatch wave's clean jobs across $(docv) worker \
+                   domains of the persistent pool (default 1: sequential).  \
+                   Jobs carrying a fault spec always run sequentially after \
+                   the clean jobs of their wave.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv) (one client at \
+                   a time; queue, caches and counters are shared across \
+                   connections) instead of serving stdin/stdout.")
+  in
+  let run subset queue cache_bound domains engine socket =
+    guarded @@ fun () ->
+    let config =
+      { Serve.domains; queue_bound = queue; cache_bound; engine; subset }
+    in
+    let t = Serve.create ~config () in
+    Sys.catch_break true;
+    match socket with
+    | None -> Serve.serve_channels t stdin stdout
+    | Some path -> Serve.listen t ~path
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the simulation-as-a-service daemon: accept NDJSON job \
+             submissions (built-in Jacobi solves or inline pipeline-language \
+             source, optionally under a seeded fault model) on stdin or a \
+             Unix socket, schedule them across the persistent domain pool, \
+             and stream per-job results back as NDJSON.  Protocol: \
+             docs/SERVICE.md.")
+    Term.(const run $ subset_flag $ queue_arg $ cache_bound_arg
+          $ serve_domains_arg $ engine_arg $ socket_arg)
+
 let () =
   let doc = "A visual programming environment for the Navier-Stokes Computer." in
   exit
@@ -850,5 +908,5 @@ let () =
        (Cmd.group (Cmd.info "nscvp" ~doc)
           [
             info_cmd; check_cmd; codegen_cmd; disasm_cmd; run_cmd; render_cmd; replay_cmd;
-            compile_cmd; debug_cmd; stats_cmd; profile_cmd; inject_cmd;
+            compile_cmd; debug_cmd; stats_cmd; profile_cmd; inject_cmd; serve_cmd;
           ]))

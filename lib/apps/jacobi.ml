@@ -314,8 +314,9 @@ type outcome = {
     default; [`Kernel_v2] the previous float-array kernel, [`Plan] the
     plan interpreter, [`Legacy] the per-dispatch seed path, all kept for
     benchmarking — the four are bit-identical). *)
-let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) (prob : Poisson.problem)
-    ~tol ~max_iters : (outcome, string) result =
+let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) ?plan_cache
+    ?kernel_cache (prob : Poisson.problem) ~tol ~max_iters :
+    (outcome, string) result =
   let b = build kb ?layout ?strategy prob.Poisson.grid ~tol ~max_iters in
   match Nsc_microcode.Codegen.compile kb b.program with
   | Error ds ->
@@ -324,7 +325,7 @@ let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) (prob : Poiss
   | Ok compiled -> (
       let node = Nsc_sim.Node.create (Knowledge.params kb) in
       load node b prob;
-      match Nsc_sim.Sequencer.run node ~engine compiled with
+      match Nsc_sim.Sequencer.run node ~engine ?plan_cache ?kernel_cache compiled with
       | Error e -> Error e
       | Ok outcome ->
           let stats = outcome.Nsc_sim.Sequencer.stats in

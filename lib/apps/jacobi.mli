@@ -97,8 +97,13 @@ val solve :
   ?layout:layout ->
   ?strategy:[< `Ping_pong | `Refresh > `Refresh ] ->
   ?engine:[ `Kernel | `Kernel_v2 | `Plan | `Legacy ] ->
+  ?plan_cache:Nsc_sim.Plan.cache ->
+  ?kernel_cache:Nsc_sim.Kernel.cache ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (outcome, string) result
+(** [plan_cache]/[kernel_cache] let a long-lived caller (the serve
+    daemon, a bench loop) reuse compiled plans and kernels across
+    solves; fresh per-run caches are used when omitted. *)
 
 (** Compile once, solve K problems on K fresh nodes through the
     lock-step batched sequencer (one shared plan/kernel per instruction;

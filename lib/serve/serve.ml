@@ -1,0 +1,353 @@
+(* The serve daemon: a bounded admission queue in front of the simulator,
+   dispatching job waves across the persistent worker-domain pool.  Wire
+   protocol in protocol.ml / docs/SERVICE.md.
+
+   Isolation contract: every job executes under its own Nsc_metrics
+   context, so counters, histograms and attribution never bleed between
+   concurrent jobs (the interleaved-equals-serial property is pinned in
+   test/suite_serve.ml).  Sharing contract: all jobs of a session go
+   through one plan cache and one kernel cache, bounded with LRU eviction
+   so a long-lived daemon's resident set stays capped no matter how many
+   distinct programs clients submit. *)
+
+open Nsc_arch
+module Json = Nsc_metrics.Json
+module Metrics = Nsc_metrics.Metrics
+module Fault = Nsc_fault.Fault
+
+type config = {
+  domains : int;
+  queue_bound : int;
+  cache_bound : int;
+  engine : Protocol.engine;
+  subset : bool;
+}
+
+let default_config =
+  { domains = 1; queue_bound = 64; cache_bound = 0; engine = `Kernel; subset = false }
+
+(* The server's own observability, catalogued in docs/OBSERVABILITY.md. *)
+let c_submitted =
+  Metrics.counter ~name:"serve.jobs_submitted" ~units:"jobs"
+    ~desc:"jobs admitted to the serve daemon's queue"
+
+let c_completed =
+  Metrics.counter ~name:"serve.jobs_completed" ~units:"jobs"
+    ~desc:"serve jobs finished with status ok"
+
+let c_failed =
+  Metrics.counter ~name:"serve.jobs_failed" ~units:"jobs"
+    ~desc:"serve jobs finished with a run error"
+
+let c_rejected =
+  Metrics.counter ~name:"serve.jobs_rejected" ~units:"jobs"
+    ~desc:"serve submissions refused by admission control (queue full)"
+
+let c_proto_errors =
+  Metrics.counter ~name:"serve.protocol_errors" ~units:"lines"
+    ~desc:"malformed or invalid serve request lines"
+
+let c_waves =
+  Metrics.counter ~name:"serve.waves" ~units:"waves"
+    ~desc:"serve dispatch waves fanned across the domain pool"
+
+let h_latency =
+  Metrics.histogram ~name:"hist.serve_job_usec" ~units:"usec"
+    ~desc:"host-side serve job latency, admission to result"
+
+type pending = { job : Protocol.job; admitted : float }
+
+type t = {
+  cfg : config;
+  kb : Knowledge.t;
+  queue : pending Queue.t;
+  plan_cache : Nsc_sim.Plan.cache;
+  kernel_cache : Nsc_sim.Kernel.cache;
+  sctx : Metrics.ctx;
+  evict_base : int;  (* process-wide eviction count at server creation *)
+  mutable stopping : bool;
+}
+
+let create ?(config = default_config) () =
+  if config.queue_bound < 1 then invalid_arg "Serve.create: queue_bound must be >= 1";
+  if config.domains < 1 then invalid_arg "Serve.create: domains must be >= 1";
+  if config.cache_bound < 0 then invalid_arg "Serve.create: cache_bound must be >= 0";
+  let sctx = Metrics.create ~label:"serve" () in
+  Metrics.enable sctx;
+  let b = config.cache_bound in
+  {
+    cfg = config;
+    kb = (if config.subset then Knowledge.subset else Knowledge.default);
+    queue = Queue.create ();
+    plan_cache =
+      (if b > 0 then Nsc_sim.Plan.make_cache ~bound:b ()
+       else Nsc_sim.Plan.make_cache ());
+    kernel_cache =
+      (if b > 0 then Nsc_sim.Kernel.make_cache ~bound:b ()
+       else Nsc_sim.Kernel.make_cache ());
+    sctx;
+    evict_base = Nsc_sim.Stats.cache_evictions ();
+    stopping = false;
+  }
+
+let stopped t = t.stopping
+let queued t = Queue.length t.queue
+let metrics t = t.sctx
+
+let num i = Json.Num (float_of_int i)
+
+(* --- job execution ------------------------------------------------------ *)
+
+let counters_json jctx =
+  let snap = Metrics.snapshot jctx in
+  Json.Obj (List.map (fun (n, v) -> (n, num v)) snap.Metrics.snap_counters)
+
+let exec_workload t ~engine (job : Protocol.job) :
+    ((string * Json.t) list, string) result =
+  match job.Protocol.workload with
+  | Protocol.Jacobi { n; tol; max_iters } -> (
+      let prob = Nsc_apps.Poisson.manufactured n in
+      match
+        Nsc_apps.Jacobi.solve t.kb ~engine ~plan_cache:t.plan_cache
+          ~kernel_cache:t.kernel_cache prob ~tol ~max_iters
+      with
+      | Error e -> Error e
+      | Ok o ->
+          let st = o.Nsc_apps.Jacobi.stats in
+          Ok
+            [ ("kind", Json.Str "jacobi");
+              ("n", num n);
+              ("sweeps", num o.Nsc_apps.Jacobi.sweeps);
+              ("residual", Json.Num o.Nsc_apps.Jacobi.final_change);
+              ("instructions", num st.Nsc_sim.Sequencer.instructions_executed);
+              ("cycles", num st.Nsc_sim.Sequencer.total_cycles);
+              ("flops", num st.Nsc_sim.Sequencer.total_flops);
+            ])
+  | Protocol.Source { text } -> (
+      match Nsc_lang.Compile.compile t.kb ~name:job.Protocol.id text with
+      | Error e ->
+          let where =
+            match e.Nsc_lang.Compile.at_statement with
+            | Some s -> Printf.sprintf " (statement %d)" s
+            | None -> ""
+          in
+          Error (Printf.sprintf "compile: %s%s" e.Nsc_lang.Compile.message where)
+      | Ok c -> (
+          match Nsc_microcode.Codegen.compile t.kb c.Nsc_lang.Compile.program with
+          | Error ds ->
+              Error
+                (String.concat "; "
+                   (List.map Nsc_checker.Diagnostic.to_string
+                      (Nsc_checker.Diagnostic.errors ds)))
+          | Ok compiled -> (
+              let node = Nsc_sim.Node.create (Knowledge.params t.kb) in
+              match
+                Nsc_sim.Sequencer.run node ~engine ~plan_cache:t.plan_cache
+                  ~kernel_cache:t.kernel_cache compiled
+              with
+              | Error e -> Error e
+              | Ok o ->
+                  let st = o.Nsc_sim.Sequencer.stats in
+                  Ok
+                    [ ("kind", Json.Str "source");
+                      ("halted", Json.Bool o.Nsc_sim.Sequencer.halted);
+                      ("instructions",
+                       num st.Nsc_sim.Sequencer.instructions_executed);
+                      ("cycles", num st.Nsc_sim.Sequencer.total_cycles);
+                      ("flops", num st.Nsc_sim.Sequencer.total_flops);
+                    ])))
+
+(* One job, under its own metric context.  Never raises: any escaped
+   exception becomes a run-failed response.  Faulted jobs are only ever
+   called from the sequential tail of a wave — the fault model and its
+   seeded draw stream are process-global. *)
+let run_job t (p : pending) : string =
+  let job = p.job in
+  let engine = Option.value ~default:t.cfg.engine job.Protocol.engine in
+  let jctx = Metrics.create ~label:job.Protocol.id () in
+  Metrics.enable jctx;
+  let fault_fields = ref [] in
+  let run () =
+    try Metrics.with_ctx jctx (fun () -> exec_workload t ~engine job)
+    with e -> Error (Printexc.to_string e)
+  in
+  let outcome =
+    match job.Protocol.faults with
+    | None -> run ()
+    | Some spec ->
+        let fspec =
+          match Fault.parse spec with Ok s -> s | Error e -> failwith e
+        in
+        Fault.install (Fault.make ~seed:job.Protocol.fault_seed fspec);
+        let r = run () in
+        ignore (Fault.reconcile ());
+        let ledger = List.filter (fun (_, v) -> v <> 0) (Fault.ledger ()) in
+        let unrecovered =
+          Option.value ~default:0 (List.assoc_opt "fault.unrecovered" ledger)
+        in
+        Fault.clear ();
+        fault_fields :=
+          [ ("faults",
+             Json.Obj
+               (("spec", Json.Str spec)
+               :: ("seed", num job.Protocol.fault_seed)
+               :: ("unrecovered", num unrecovered)
+               :: List.map (fun (k, v) -> (k, num v)) ledger));
+          ];
+        r
+  in
+  Metrics.disable jctx;
+  let latency_usec = (Unix.gettimeofday () -. p.admitted) *. 1e6 in
+  Metrics.observe t.sctx h_latency (int_of_float latency_usec);
+  match outcome with
+  | Error e ->
+      Metrics.add t.sctx c_failed 1;
+      Json.to_string
+        (Json.Obj
+           [ ("id", Json.Str job.Protocol.id);
+             ("status", Json.Str "error");
+             ("code", Json.Str "run-failed");
+             ("detail", Json.Str e);
+             ("latency_usec", Json.Num latency_usec);
+           ])
+  | Ok fields ->
+      Metrics.add t.sctx c_completed 1;
+      Json.to_string
+        (Json.Obj
+           ((("id", Json.Str job.Protocol.id) :: ("status", Json.Str "ok") :: fields)
+           @ !fault_fields
+           @ [ ("latency_usec", Json.Num latency_usec);
+               ("counters", counters_json jctx);
+             ]))
+
+(* --- wave dispatch ------------------------------------------------------ *)
+
+let drain t =
+  let pending = Array.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  let n = Array.length pending in
+  if n = 0 then []
+  else begin
+    Metrics.add t.sctx c_waves 1;
+    let results = Array.make n "" in
+    let clean = ref [] and faulted = ref [] in
+    Array.iteri
+      (fun i p ->
+        if p.job.Protocol.faults = None then clean := i :: !clean
+        else faulted := i :: !faulted)
+      pending;
+    let clean = Array.of_list (List.rev !clean) in
+    let exec i = results.(i) <- run_job t pending.(i) in
+    let nc = Array.length clean in
+    if t.cfg.domains > 1 && nc > 1 then
+      Nsc_sim.Multinode.parallel_for ~domains:t.cfg.domains ~n:nc (fun k ->
+          exec clean.(k))
+    else Array.iter exec clean;
+    (* faulted jobs last, sequentially: the seeded schedule is global *)
+    List.iter exec (List.rev !faulted);
+    Array.to_list results
+  end
+
+let summary_response t =
+  let v c = Metrics.value t.sctx c in
+  let h = Metrics.hist_summary t.sctx h_latency in
+  Json.to_string
+    (Json.Obj
+       [ ("op", Json.Str "shutdown");
+         ("status", Json.Str "ok");
+         ("summary",
+          Json.Obj
+            [ ("submitted", num (v c_submitted));
+              ("completed", num (v c_completed));
+              ("failed", num (v c_failed));
+              ("rejected", num (v c_rejected));
+              ("protocol_errors", num (v c_proto_errors));
+              ("waves", num (v c_waves));
+              ("p50_usec", num h.Metrics.p50);
+              ("p99_usec", num h.Metrics.p99);
+              ("cache_evictions",
+               num (Nsc_sim.Stats.cache_evictions () - t.evict_base));
+            ]);
+       ])
+
+let handle_line t line =
+  if String.trim line = "" then []
+  else
+    match Protocol.parse_request line with
+    | Error rej ->
+        Metrics.add t.sctx c_proto_errors 1;
+        [ Protocol.error_response rej ]
+    | Ok Protocol.Ping -> [ Protocol.pong_response ~queued:(queued t) ]
+    | Ok Protocol.Drain ->
+        let rs = drain t in
+        rs
+        @ [ Json.to_string
+              (Json.Obj
+                 [ ("op", Json.Str "drained"); ("jobs", num (List.length rs)) ]);
+          ]
+    | Ok Protocol.Shutdown ->
+        let rs = drain t in
+        t.stopping <- true;
+        rs @ [ summary_response t ]
+    | Ok (Protocol.Submit job) ->
+        if Queue.length t.queue >= t.cfg.queue_bound then begin
+          (* explicit backpressure: refuse the overflow submit, then let
+             the queue catch up so the next one is admitted *)
+          Metrics.add t.sctx c_rejected 1;
+          let rej =
+            Protocol.rejected_response ~id:job.Protocol.id
+              ~queued:(Queue.length t.queue)
+          in
+          rej :: drain t
+        end
+        else begin
+          Metrics.add t.sctx c_submitted 1;
+          Queue.add { job; admitted = Unix.gettimeofday () } t.queue;
+          []
+        end
+
+(* --- transports --------------------------------------------------------- *)
+
+let serve_channels t ic oc =
+  let emit lines =
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc
+  in
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match input_line ic with
+      | line ->
+          emit (handle_line t line);
+          loop ()
+      | exception End_of_file -> emit (drain t)
+  in
+  try loop ()
+  with Sys.Break ->
+    (* graceful drain on SIGINT: finish admitted work, report, stop *)
+    emit (drain t);
+    t.stopping <- true;
+    emit [ summary_response t ]
+
+let listen t ~path =
+  (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+      try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      while not t.stopping do
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try serve_channels t ic oc with _ -> ());
+        (try flush oc with _ -> ());
+        try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+      done)

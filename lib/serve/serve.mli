@@ -1,0 +1,71 @@
+(** The simulation-as-a-service daemon behind [nscvp serve].
+
+    Jobs arrive as NDJSON request lines ({!Protocol}), pass a bounded
+    FIFO admission queue, and execute in waves fanned across the
+    persistent worker-domain pool.  Each job runs under its own
+    [Nsc_metrics] context — nothing bleeds between concurrent jobs — and
+    every job in the session shares one bounded plan cache and one
+    bounded kernel cache, so repeated workloads skip compilation while
+    the resident set stays capped (LRU eviction, [cache.evictions]).
+
+    The protocol document is [docs/SERVICE.md].  Overview of the
+    scheduling contract:
+
+    - a [submit] is admitted silently; its result is streamed back at
+      the next dispatch (an explicit [drain], a full queue, [shutdown],
+      or end of input);
+    - a [submit] that finds the queue full is {e rejected} with
+      [queue-full], and the rejection triggers a drain so the next
+      submit is admitted — clients that interleave [drain] requests (or
+      keep bursts within the queue bound) never see rejections;
+    - jobs carrying a fault spec run sequentially after the clean jobs
+      of their wave (the seeded fault schedule is process-global);
+    - responses of one wave are emitted in submission order. *)
+
+type config = {
+  domains : int;      (** worker domains per wave (default 1: sequential) *)
+  queue_bound : int;  (** admission-queue capacity (default 64) *)
+  cache_bound : int;  (** plan/kernel cache bound; 0 = unbounded (default) *)
+  engine : Protocol.engine;  (** default engine for jobs that name none *)
+  subset : bool;      (** use the restricted machine model *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+(** A fresh server: empty queue, fresh shared caches, a fresh enabled
+    metric context for the [serve.*] counters.  Raises
+    [Invalid_argument] on a non-positive queue bound or domain count. *)
+
+val stopped : t -> bool
+(** A [shutdown] request has been processed. *)
+
+val queued : t -> int
+
+val metrics : t -> Nsc_metrics.Metrics.ctx
+(** The server's own context: [serve.*] counters and the
+    [hist.serve_job_usec] latency histogram. *)
+
+val handle_line : t -> string -> string list
+(** Process one request line; returns the response lines to emit, in
+    order (empty for a silently-admitted submit).  Never raises on bad
+    input — malformed lines produce an error response. *)
+
+val drain : t -> string list
+(** Execute every queued job now; the responses in submission order. *)
+
+val summary_response : t -> string
+(** The session-summary line sent in reply to [shutdown]. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Read request lines until EOF or [shutdown], writing (and flushing)
+    responses as they are produced.  EOF drains the queue; SIGINT (with
+    [Sys.catch_break true]) drains and emits the summary. *)
+
+val listen : t -> path:string -> unit
+(** Serve connections on a Unix-domain socket at [path] (created fresh;
+    an existing socket file is replaced), one client at a time, until a
+    client sends [shutdown].  Queue, caches and counters are shared
+    across connections. *)

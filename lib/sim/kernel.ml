@@ -147,16 +147,19 @@ let compiles = Atomic.make 0
 let cache_hits = Atomic.make 0
 let pool_hits = Atomic.make 0
 let pool_misses = Atomic.make 0
+let evictions = Atomic.make 0
 let compile_count () = Atomic.get compiles
 let cache_hit_count () = Atomic.get cache_hits
 let pool_hit_count () = Atomic.get pool_hits
 let pool_miss_count () = Atomic.get pool_misses
+let eviction_count () = Atomic.get evictions
 
 let reset_counters () =
   Atomic.set compiles 0;
   Atomic.set cache_hits 0;
   Atomic.set pool_hits 0;
-  Atomic.set pool_misses 0
+  Atomic.set pool_misses 0;
+  Atomic.set evictions 0
 
 (* --- the domain-local buffer pool --------------------------------------- *)
 
@@ -656,24 +659,74 @@ let compile (pl : Plan.t) : t =
 
 (* --- per-instruction kernel cache --------------------------------------- *)
 
-(** Cache keyed by instruction index, layered over the plan cache: a hit
-    requires the cached kernel to have been compiled from the very plan
-    the plan cache returns for these semantics, so plan invalidation
-    (changed semantics, changed [honor_timing]) invalidates the kernel
-    with it. *)
-type cache = (int, t) Hashtbl.t
+(* Same descriptor the plan cache registers: one [cache.evictions] trace
+   counter covers both compilation stages. *)
+let c_evictions =
+  Trace.counter ~name:"cache.evictions" ~units:"entries"
+    ~desc:"bounded plan/kernel cache entries evicted (least recently used)"
 
-let make_cache () : cache = Hashtbl.create 16
+(** Cache keyed by (instruction index, vector length), layered over the
+    plan cache: a hit requires the cached kernel to have been compiled
+    from the very plan the plan cache returns for these semantics, so
+    plan invalidation — changed semantics, changed [honor_timing], or an
+    LRU eviction in a bounded plan cache — invalidates the kernel with
+    it.  Mutex-guarded and LRU-bounded like {!Plan.cache}. *)
+type centry = { kn : t; mutable tick : int }
+
+type cache = {
+  tbl : ((int * int), centry) Hashtbl.t;
+  bound : int;
+  mutable clock : int;
+  lock : Mutex.t;
+}
+
+let make_cache ?(bound = max_int) () : cache =
+  if bound < 1 then invalid_arg "Kernel.make_cache: bound must be >= 1";
+  { tbl = Hashtbl.create 16; bound; clock = 0; lock = Mutex.create () }
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let evict_oldest c =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, e') when e'.tick <= e.tick -> acc
+        | _ -> Some (k, e))
+      c.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove c.tbl k;
+      Atomic.incr evictions;
+      if Trace.enabled () then Trace.add c_evictions 1
 
 let cached (kc : cache) (pc : Plan.cache) (p : Params.t) ?(honor_timing = true)
     (sem : Semantic.t) : t =
   let pl = Plan.cached pc p ~honor_timing sem in
-  match Hashtbl.find_opt kc sem.Semantic.index with
-  | Some kn when kn.plan == pl ->
-      Atomic.incr cache_hits;
+  let key = (sem.Semantic.index, sem.Semantic.vector_length) in
+  let hit =
+    locked kc (fun () ->
+        match Hashtbl.find_opt kc.tbl key with
+        | Some e when e.kn.plan == pl ->
+            kc.clock <- kc.clock + 1;
+            e.tick <- kc.clock;
+            Atomic.incr cache_hits;
+            Some e.kn
+        | _ -> None)
+  in
+  match hit with
+  | Some kn ->
       if Trace.enabled () then Trace.add c_cache_hits 1;
       kn
-  | _ ->
+  | None ->
       let kn = compile pl in
-      Hashtbl.replace kc sem.Semantic.index kn;
+      locked kc (fun () ->
+          if (not (Hashtbl.mem kc.tbl key)) && Hashtbl.length kc.tbl >= kc.bound
+          then evict_oldest kc;
+          kc.clock <- kc.clock + 1;
+          Hashtbl.replace kc.tbl key { kn; tick = kc.clock });
       kn

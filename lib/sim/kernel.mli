@@ -116,18 +116,29 @@ val cache_hit_count : unit -> int
 val pool_hit_count : unit -> int
 
 val pool_miss_count : unit -> int
+
+val eviction_count : unit -> int
+(** Entries removed by LRU eviction from bounded kernel caches (the
+    [cache.evictions] trace counter mirrors this per context). *)
+
 val reset_counters : unit -> unit
 
 (** {2 Per-instruction kernel cache}
 
-    Keyed by instruction index and layered over the plan cache: a hit
-    requires the cached kernel to descend from the exact plan
-    {!Plan.cached} returns for the incoming semantics, so plan
-    invalidation carries the kernel with it. *)
+    Keyed by (instruction index, vector length) and layered over the
+    plan cache: a hit requires the cached kernel to descend from the
+    exact plan {!Plan.cached} returns for the incoming semantics, so
+    plan invalidation — including an LRU eviction in a bounded plan
+    cache — carries the kernel with it.  Mutex-guarded, so one cache may
+    serve several worker domains at once. *)
 
 type cache
 
-val make_cache : unit -> cache
+val make_cache : ?bound:int -> unit -> cache
+(** [bound] caps resident entries with least-recently-used eviction
+    (counted by {!eviction_count} and the [cache.evictions] trace
+    counter).  Default: unbounded.  Raises [Invalid_argument] when
+    [bound < 1]. *)
 
 val cached :
   cache ->

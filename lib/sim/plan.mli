@@ -65,15 +65,28 @@ val compile : Params.t -> ?honor_timing:bool -> Semantic.t -> t
 
 val compile_count : unit -> int
 val cache_hit_count : unit -> int
+
+val eviction_count : unit -> int
+(** Entries removed by LRU eviction from bounded caches (the
+    [cache.evictions] trace counter mirrors this per context). *)
+
 val reset_counters : unit -> unit
 
 (** {2 Per-instruction plan cache}
 
-    Keyed by instruction index; a hit is validated against the incoming
-    semantics (and [honor_timing]) so the cache stays safe across runs
-    that re-decode the same microcode. *)
+    Keyed by (instruction index, vector length); a hit is validated
+    against the incoming semantics (and [honor_timing]) so the cache
+    stays safe across runs that re-decode the same microcode — and
+    across {e different} programs sharing one cache, as the serve daemon
+    does.  Lookups are mutex-guarded, so one cache may serve several
+    worker domains at once. *)
 
 type cache
 
-val make_cache : unit -> cache
+val make_cache : ?bound:int -> unit -> cache
+(** [bound] caps resident entries; the least recently used entry is
+    evicted to admit a new one (counted by {!eviction_count} and the
+    [cache.evictions] trace counter).  Default: unbounded.  Raises
+    [Invalid_argument] when [bound < 1]. *)
+
 val cached : cache -> Params.t -> ?honor_timing:bool -> Semantic.t -> t

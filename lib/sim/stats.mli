@@ -55,6 +55,11 @@ val kernel_pool_hits : unit -> int
 val kernel_pool_misses : unit -> int
 val reset_kernel_counters : unit -> unit
 
+val cache_evictions : unit -> int
+(** LRU evictions across both bounded compilation caches
+    ({!Plan.eviction_count} + {!Kernel.eviction_count}); reset by
+    {!reset_plan_counters} and {!reset_kernel_counters} respectively. *)
+
 (** Batched-execution accounting (re-exported from {!Engine}): batches
     started, replica instructions executed through them, and replicas
     that fell back to the general evaluator. *)
