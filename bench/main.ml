@@ -141,6 +141,19 @@ type service_perf = {
 
 let service_perf_result : service_perf option ref = ref None
 
+type resilience_perf = {
+  res_gate_ns : float;  (** one disabled Budget.check_opt None *)
+  res_sites : int;  (** armed boundary checks of the reference solve *)
+  res_clean_seconds : float;
+  res_projected_pct : float;
+  res_deadline_spent : int;  (** cycles charged when the mid-run kill fired *)
+  res_chaos_jobs : int;
+  res_chaos_lost : int;  (** acked jobs missing after kill + recover *)
+  res_chaos_match : bool;  (** recovery responses bit-equal to uninterrupted *)
+}
+
+let resilience_perf_result : resilience_perf option ref = ref None
+
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -275,6 +288,19 @@ let write_bench_json path =
       out "    \"p99_usec\": %d,\n" s.svc_p99_usec;
       out "    \"cache_evictions\": %d,\n" s.svc_cache_evictions;
       out "    \"residual_match\": %b\n" s.svc_residual_match;
+      out "  }");
+  (match !resilience_perf_result with
+  | None -> ()
+  | Some r ->
+      out ",\n  \"resilience\": {\n";
+      out "    \"disabled_gate_ns\": %.3f,\n" r.res_gate_ns;
+      out "    \"guard_sites\": %d,\n" r.res_sites;
+      out "    \"clean_seconds\": %.4f,\n" r.res_clean_seconds;
+      out "    \"projected_disabled_overhead_pct\": %.4f,\n" r.res_projected_pct;
+      out "    \"deadline_spent_cycles\": %d,\n" r.res_deadline_spent;
+      out "    \"chaos_jobs\": %d,\n" r.res_chaos_jobs;
+      out "    \"chaos_lost\": %d,\n" r.res_chaos_lost;
+      out "    \"chaos_match\": %b\n" r.res_chaos_match;
       out "  }");
   out "\n}\n";
   close_out oc
@@ -1329,7 +1355,7 @@ let perf_service () =
   in
   let ref5 = reference 5 and ref7 = reference 7 in
   let config =
-    { Serve.domains; queue_bound; cache_bound; engine = `Kernel; subset = false }
+    { Serve.default_config with domains; queue_bound; cache_bound }
   in
   let t = Serve.create ~config () in
   let submit_line i =
@@ -1414,6 +1440,160 @@ let perf_service () =
         svc_p99_usec = p99;
         svc_cache_evictions = evictions;
         svc_residual_match = residual_match;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* RESILIENCE: the guard layer's disabled cost and the chaos scenario  *)
+(* ------------------------------------------------------------------ *)
+
+(* The supervision layer (lib/guard, docs/RESILIENCE.md) must be free
+   when unused: its boundary checks compile to one branch on a [None]
+   budget.  This section measures that gate the way the trace and fault
+   gates are measured, counts the armed boundary checks of the reference
+   n=9 solve, and holds the projection under the same 2% bar.  It then
+   re-runs the chaos harness's kill-mid-wave scenario in-process: a
+   journalled burst abandoned after acknowledgement must recover with
+   zero acked-job loss and responses bit-identical to an uninterrupted
+   run (host-only fields aside: wall-clock latency and the
+   process-global buffer-pool warmth split). *)
+let perf_resilience () =
+  section "RESILIENCE" "guard layer: disabled-path cost, deadline kill, chaos recovery";
+  let module Guard = Nsc_guard.Guard in
+  let module Serve = Nsc_serve.Serve in
+  let module Json = Nsc_metrics.Json in
+  let prob = Poisson.manufactured 9 in
+  let tol = 1e-6 and max_iters = 4000 in
+  let solve ?budget () =
+    match Jacobi.solve kb ?budget prob ~tol ~max_iters with
+    | Error e -> failwith ("RESILIENCE: " ^ e)
+    | Ok o -> o
+  in
+  (* cost of one disabled boundary check: the branch on [None] *)
+  let gate_ns =
+    let n = 20_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      Guard.Budget.check_opt (Sys.opaque_identity None)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let t0 = Unix.gettimeofday () in
+  let clean = solve () in
+  let clean_seconds = Unix.gettimeofday () -. t0 in
+  let clean_cycles = clean.Jacobi.stats.Sequencer.total_cycles in
+  (* armed-site count: every boundary check of the same solve under a
+     budget too generous to fire *)
+  let counter = Guard.Budget.create ~deadline_cycles:max_int () in
+  let armed = solve ~budget:counter () in
+  if armed.Jacobi.sweeps <> clean.Jacobi.sweeps then
+    failwith "RESILIENCE: arming a generous budget changed the solve";
+  let sites = Guard.Budget.polls counter in
+  let projected_pct =
+    float_of_int sites *. gate_ns /. (clean_seconds *. 1e9) *. 100.0
+  in
+  (* a mid-run deadline must kill cooperatively and leave the node pool
+     serviceable: the next unbudgeted solve reproduces the clean run *)
+  let killer = Guard.Budget.create ~deadline_cycles:(clean_cycles / 2) () in
+  let deadline_spent =
+    match Jacobi.solve kb ~budget:killer prob ~tol ~max_iters with
+    | exception Guard.Budget.Deadline_exceeded { spent_cycles; _ } -> spent_cycles
+    | Ok _ | Error _ -> failwith "RESILIENCE: mid-run deadline never fired"
+  in
+  let after = solve () in
+  if
+    after.Jacobi.sweeps <> clean.Jacobi.sweeps
+    || after.Jacobi.final_change <> clean.Jacobi.final_change
+  then failwith "RESILIENCE: a deadline kill perturbed the following solve";
+  (* chaos scenario 1, in-process: kill a journalled daemon mid-wave,
+     recover, and diff against an uninterrupted twin.  Host-only fields
+     are stripped before the comparison: wall-clock latency, and the
+     buffer-pool warmth counters (the pool is process-global state, so
+     its hit/miss split legitimately differs across daemon instances). *)
+  let strip line =
+    match Json.parse line with
+    | Ok (Json.Obj fields) ->
+        Json.to_string
+          (Json.Obj
+             (List.filter_map
+                (fun (k, v) ->
+                  match (k, v) with
+                  | "latency_usec", _ -> None
+                  | "counters", Json.Obj cs ->
+                      Some
+                        ( k,
+                          Json.Obj
+                            (List.filter
+                               (fun (ck, _) ->
+                                 ck <> "kernel.pool_hits"
+                                 && ck <> "kernel.pool_misses")
+                               cs) )
+                  | _ -> Some (k, v))
+                fields))
+    | Ok _ | Error _ -> line
+  in
+  let chaos_jobs = 6 in
+  let lines =
+    List.init chaos_jobs (fun i ->
+        Printf.sprintf
+          "{\"op\":\"submit\",\"id\":\"chaos-%02d\",\"workload\":{\"kind\":\
+           \"jacobi\",\"n\":%d,\"tol\":1e-4,\"max_iters\":400}}"
+          i (if i mod 2 = 0 then 5 else 7))
+  in
+  let journal = Filename.temp_file "bench-chaos" ".journal" in
+  Sys.remove journal;
+  let jconfig = { Serve.default_config with journal = Some journal } in
+  (* the doomed daemon: acks every submit, then is abandoned mid-wave *)
+  let doomed = Serve.create ~config:jconfig () in
+  List.iter (fun l -> ignore (Serve.handle_line doomed l)) lines;
+  (* the recovered daemon replays the journal's unfinished suffix *)
+  let recovered = Serve.create ~config:jconfig () in
+  ignore (Serve.recover recovered);
+  let replayed = List.map strip (Serve.drain recovered) in
+  (* the uninterrupted twin *)
+  let twin = Serve.create ~config:Serve.default_config () in
+  List.iter (fun l -> ignore (Serve.handle_line twin l)) lines;
+  let straight = List.map strip (Serve.drain twin) in
+  let chaos_lost = chaos_jobs - List.length replayed in
+  let chaos_match =
+    List.length replayed = List.length straight
+    && List.for_all2 String.equal replayed straight
+  in
+  let pending_after = List.length (Guard.Journal.load ~path:journal) in
+  Sys.remove journal;
+  row "disabled-path projection (n=9 Jacobi, tol 1e-6, %d sweeps):\n"
+    clean.Jacobi.sweeps;
+  row "  disabled gate cost          : %8.2f ns/site\n" gate_ns;
+  row "  armed boundary checks       : %8d\n" sites;
+  row "  projected disabled cost     : %8.4f %% of the clean solve\n" projected_pct;
+  row "  mid-run deadline kill       : %8d of %d cycles spent, pool live\n"
+    deadline_spent clean_cycles;
+  row "chaos: kill mid-wave + recover (%d journalled jobs):\n" chaos_jobs;
+  row "  acked jobs lost             : %8d\n" chaos_lost;
+  row "  replay vs uninterrupted     : %8s\n"
+    (if chaos_match then "bit-identical" else "DIVERGED");
+  row "  journal pending after wave  : %8d\n" pending_after;
+  if projected_pct >= 2.0 then
+    failwith
+      (Printf.sprintf
+         "RESILIENCE: disabled-path projection %.3f%% breaches the 2%% budget"
+         projected_pct);
+  if chaos_lost <> 0 then
+    failwith (Printf.sprintf "RESILIENCE: %d acked jobs lost" chaos_lost);
+  if not chaos_match then
+    failwith "RESILIENCE: recovery responses diverged from the uninterrupted run";
+  if pending_after <> 0 then
+    failwith "RESILIENCE: the journal ledger did not balance after recovery";
+  resilience_perf_result :=
+    Some
+      {
+        res_gate_ns = gate_ns;
+        res_sites = sites;
+        res_clean_seconds = clean_seconds;
+        res_projected_pct = projected_pct;
+        res_deadline_spent = deadline_spent;
+        res_chaos_jobs = chaos_jobs;
+        res_chaos_lost = chaos_lost;
+        res_chaos_match = chaos_match;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -1558,6 +1738,7 @@ let () =
   profile_hotspots ();
   fault_injection ();
   perf_service ();
+  perf_resilience ();
   toolchain_benchmarks ();
   write_bench_json "BENCH_sim.json";
   Printf.printf "\nall experiments completed in %.1f s (BENCH_sim.json written)\n"

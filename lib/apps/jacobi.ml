@@ -315,7 +315,7 @@ type outcome = {
     plan interpreter, [`Legacy] the per-dispatch seed path, all kept for
     benchmarking — the four are bit-identical). *)
 let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) ?plan_cache
-    ?kernel_cache (prob : Poisson.problem) ~tol ~max_iters :
+    ?kernel_cache ?budget (prob : Poisson.problem) ~tol ~max_iters :
     (outcome, string) result =
   let b = build kb ?layout ?strategy prob.Poisson.grid ~tol ~max_iters in
   match Nsc_microcode.Codegen.compile kb b.program with
@@ -325,7 +325,10 @@ let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) ?plan_cache
   | Ok compiled -> (
       let node = Nsc_sim.Node.create (Knowledge.params kb) in
       load node b prob;
-      match Nsc_sim.Sequencer.run node ~engine ?plan_cache ?kernel_cache compiled with
+      match
+        Nsc_sim.Sequencer.run node ~engine ?plan_cache ?kernel_cache ?budget
+          compiled
+      with
       | Error e -> Error e
       | Ok outcome ->
           let stats = outcome.Nsc_sim.Sequencer.stats in
@@ -366,7 +369,7 @@ let solve (kb : Knowledge.t) ?layout ?strategy ?(engine = `Kernel) ?plan_cache
     problems must share one grid shape (the program is built from
     [probs.(0)]'s grid); [outcomes.(r)] is bit-identical to [solve] of
     [probs.(r)] with the default engine. *)
-let solve_batch (kb : Knowledge.t) ?layout ?(domains = 1)
+let solve_batch (kb : Knowledge.t) ?layout ?(domains = 1) ?budget
     (probs : Poisson.problem array) ~tol ~max_iters :
     (outcome array, string) result =
   if Array.length probs = 0 then Ok [||]
@@ -390,7 +393,7 @@ let solve_batch (kb : Knowledge.t) ?layout ?(domains = 1)
                 node)
               probs
           in
-          match Nsc_sim.Sequencer.run_batch nodes ~domains compiled with
+          match Nsc_sim.Sequencer.run_batch nodes ~domains ?budget compiled with
           | Error e -> Error e
           | Ok outs ->
               Ok
@@ -443,7 +446,7 @@ type ft_outcome = {
     sweep overwrites with fresh data before the scrub is booked as
     recovered by the rewrite — a parity model detects on access, not on
     the flip itself. *)
-let solve_ft (kb : Knowledge.t) ?layout ?(max_attempts = 8)
+let solve_ft (kb : Knowledge.t) ?layout ?(max_attempts = 8) ?budget
     (prob : Poisson.problem) ~tol ~max_iters : (ft_outcome, string) result =
   let b = build kb ?layout ~strategy:`Refresh prob.Poisson.grid ~tol ~max_iters in
   match Nsc_microcode.Codegen.compile kb b.program with
@@ -477,8 +480,13 @@ let solve_ft (kb : Knowledge.t) ?layout ?(max_attempts = 8)
         writes := !writes + s.Nsc_sim.Sequencer.total_writes;
         all_events := List.rev_append s.Nsc_sim.Sequencer.events !all_events
       in
+      (* one budget token across setup and every sweep: it accumulates
+         charged cycles itself, so a cycle ceiling spans the whole solve *)
       let run_step c =
-        match Nsc_sim.Sequencer.run node ~engine:`Kernel ~plan_cache ~kernel_cache c with
+        match
+          Nsc_sim.Sequencer.run node ~engine:`Kernel ~plan_cache ~kernel_cache
+            ?budget c
+        with
         | Error e -> Error e
         | Ok o ->
             accumulate o.Nsc_sim.Sequencer.stats;

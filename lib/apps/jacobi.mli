@@ -99,11 +99,14 @@ val solve :
   ?engine:[ `Kernel | `Kernel_v2 | `Plan | `Legacy ] ->
   ?plan_cache:Nsc_sim.Plan.cache ->
   ?kernel_cache:Nsc_sim.Kernel.cache ->
+  ?budget:Nsc_guard.Guard.Budget.t ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (outcome, string) result
 (** [plan_cache]/[kernel_cache] let a long-lived caller (the serve
     daemon, a bench loop) reuse compiled plans and kernels across
-    solves; fresh per-run caches are used when omitted. *)
+    solves; fresh per-run caches are used when omitted.  [budget] arms a
+    deadline/cancellation token checked at every sweep boundary, which
+    unwinds with [Nsc_guard.Guard.Budget.Deadline_exceeded]. *)
 
 (** Compile once, solve K problems on K fresh nodes through the
     lock-step batched sequencer (one shared plan/kernel per instruction;
@@ -114,6 +117,7 @@ val solve_batch :
   Nsc_arch.Knowledge.t ->
   ?layout:layout ->
   ?domains:int ->
+  ?budget:Nsc_guard.Guard.Budget.t ->
   Poisson.problem array ->
   tol:float -> max_iters:int -> (outcome array, string) result
 
@@ -133,5 +137,6 @@ val solve_ft :
   Nsc_arch.Knowledge.t ->
   ?layout:layout ->
   ?max_attempts:int ->
+  ?budget:Nsc_guard.Guard.Budget.t ->
   Poisson.problem ->
   tol:float -> max_iters:int -> (ft_outcome, string) result

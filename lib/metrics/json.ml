@@ -75,6 +75,10 @@ let to_string v =
 
 exception Parse_error of string
 
+(* nesting ceiling for the recursive-descent parser; far beyond any
+   protocol message, far below the OS stack limit *)
+let max_depth = 512
+
 let parse (s : string) : (t, string) result =
   let n = String.length s in
   let pos = ref 0 in
@@ -175,7 +179,11 @@ let parse (s : string) : (t, string) result =
     | Some f -> Num f
     | None -> fail "bad number"
   in
-  let rec parse_value () =
+  (* recursive descent recurses per nesting level, so hostile input like
+     10^6 open brackets would blow the stack ([Stack_overflow] is not a
+     [Parse_error] and would escape {!parse}); cap the depth instead *)
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -192,7 +200,7 @@ let parse (s : string) : (t, string) result =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -214,7 +222,7 @@ let parse (s : string) : (t, string) result =
         end
         else begin
           let rec elements acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -234,7 +242,7 @@ let parse (s : string) : (t, string) result =
     | Some _ -> parse_number ()
   in
   try
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then Error (Printf.sprintf "trailing input at offset %d" !pos)
     else Ok v

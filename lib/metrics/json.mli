@@ -20,8 +20,13 @@ type t =
 val to_string : t -> string
 
 (** [parse s] parses one JSON document, rejecting trailing input.
-    [\u] escapes decode to UTF-8 (basic multilingual plane only). *)
+    [\u] escapes decode to UTF-8 (basic multilingual plane only).
+    Nesting beyond {!max_depth} is an error, never [Stack_overflow] —
+    the daemon feeds this untrusted socket bytes. *)
 val parse : string -> (t, string) result
+
+(** Nesting ceiling enforced by {!parse} (512). *)
+val max_depth : int
 
 (** [member key v] is the value of field [key] when [v] is an object. *)
 val member : string -> t -> t option

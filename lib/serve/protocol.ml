@@ -24,12 +24,28 @@ type workload =
   | Jacobi of { n : int; tol : float; max_iters : int }
   | Source of { text : string }
 
+type priority = High | Normal | Low
+
+let priority_of_string = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
+let priority_to_string = function
+  | High -> "high"
+  | Normal -> "normal"
+  | Low -> "low"
+
 type job = {
   id : string;
   workload : workload;
   engine : engine option;
   faults : string option;
   fault_seed : int;
+  deadline_ms : float option;
+  deadline_cycles : int option;
+  priority : priority;
 }
 
 type request = Submit of job | Drain | Ping | Shutdown
@@ -129,7 +145,40 @@ let parse_submit obj =
         | Error e -> bad ~rid "bad-request" ("bad faults spec: " ^ e))
   in
   let fault_seed = Option.value ~default:1 (int_field ~rid obj "fault_seed") in
-  Submit { id = rid; workload; engine; faults; fault_seed }
+  let deadline_ms =
+    match num_field ~rid obj "deadline_ms" with
+    | Some ms when not (ms > 0.0) ->
+        bad ~rid "bad-request" "deadline_ms must be > 0"
+    | d -> d
+  in
+  let deadline_cycles =
+    (* 0 is admitted: a zero-cycle budget fires before the first
+       instruction, which the deadline edge-case tests rely on *)
+    match int_field ~rid obj "deadline_cycles" with
+    | Some c when c < 0 -> bad ~rid "bad-request" "deadline_cycles must be >= 0"
+    | d -> d
+  in
+  let priority =
+    match str_field ~rid obj "priority" with
+    | None -> Normal
+    | Some s -> (
+        match priority_of_string s with
+        | Some p -> p
+        | None ->
+            bad ~rid "bad-request"
+              (Printf.sprintf "priority must be high|normal|low, not %S" s))
+  in
+  Submit
+    {
+      id = rid;
+      workload;
+      engine;
+      faults;
+      fault_seed;
+      deadline_ms;
+      deadline_cycles;
+      priority;
+    }
 
 let parse_request line =
   try
@@ -166,6 +215,15 @@ let rejected_response ~id ~queued =
        [ ("id", Json.Str id);
          ("status", Json.Str "rejected");
          ("code", Json.Str "queue-full");
+         ("queued", Json.Num (float_of_int queued));
+       ])
+
+let shed_response ~id ~queued =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Str id);
+         ("status", Json.Str "rejected");
+         ("code", Json.Str "shed");
          ("queued", Json.Num (float_of_int queued));
        ])
 

@@ -25,6 +25,15 @@ type workload =
       (** Inline pipeline-language source, compiled through [Nsc_lang]
           and executed once.  At most 65536 bytes. *)
 
+(** Admission priority of a submission.  While the overload breaker is
+    open, [Low] submissions are shed instead of queued. *)
+type priority = High | Normal | Low
+
+val priority_of_string : string -> priority option
+(** ["high"], ["normal"] or ["low"]. *)
+
+val priority_to_string : priority -> string
+
 (** One validated job submission. *)
 type job = {
   id : string;                (** client-supplied, echoed on the response *)
@@ -32,6 +41,12 @@ type job = {
   engine : engine option;     (** [None]: the server's default engine *)
   faults : string option;     (** fault spec ([docs/FAULTS.md] grammar) *)
   fault_seed : int;           (** seed of the deterministic schedule *)
+  deadline_ms : float option;
+      (** wall-clock ceiling per attempt, from dispatch ([> 0]) *)
+  deadline_cycles : int option;
+      (** simulated-cycle ceiling per attempt ([>= 0]; 0 fires before
+          the first instruction) *)
+  priority : priority;        (** defaults to [Normal] *)
 }
 
 type request =
@@ -40,9 +55,10 @@ type request =
   | Ping
   | Shutdown  (** drain, answer with the session summary, stop *)
 
-(** A request that could not be accepted: [code] is one of [bad-json],
-    [bad-request] or [queue-full]; [rid] is the job id when one was
-    recovered from the line. *)
+(** A request that could not be accepted, or a job that failed: [code]
+    is one of [bad-json], [bad-request], [queue-full], [shed],
+    [deadline], [permanent-failure] or [run-failed]; [rid] is the job
+    id when one was recovered from the line. *)
 type reject = { rid : string option; code : string; detail : string }
 
 val parse_request : string -> (request, reject) result
@@ -55,5 +71,10 @@ val error_response : reject -> string
 
 val rejected_response : id:string -> queued:int -> string
 (** [{"id":…,"status":"rejected","code":"queue-full","queued":…}]. *)
+
+val shed_response : id:string -> queued:int -> string
+(** [{"id":…,"status":"rejected","code":"shed","queued":…}] — a
+    low-priority submission refused while the overload breaker is
+    open. *)
 
 val pong_response : queued:int -> string

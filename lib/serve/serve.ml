@@ -14,6 +14,7 @@ open Nsc_arch
 module Json = Nsc_metrics.Json
 module Metrics = Nsc_metrics.Metrics
 module Fault = Nsc_fault.Fault
+module Guard = Nsc_guard.Guard
 
 type config = {
   domains : int;
@@ -21,10 +22,30 @@ type config = {
   cache_bound : int;
   engine : Protocol.engine;
   subset : bool;
+  retries : int;
+  backoff_ms : float;
+  degraded : bool;
+  journal : string option;
+  shed_open : int;
+  shed_close : int;
+  shed_p99_usec : int;
 }
 
 let default_config =
-  { domains = 1; queue_bound = 64; cache_bound = 0; engine = `Kernel; subset = false }
+  {
+    domains = 1;
+    queue_bound = 64;
+    cache_bound = 0;
+    engine = `Kernel;
+    subset = false;
+    retries = 0;
+    backoff_ms = 0.0;
+    degraded = false;
+    journal = None;
+    shed_open = 0;
+    shed_close = 0;
+    shed_p99_usec = 0;
+  }
 
 (* The server's own observability, catalogued in docs/OBSERVABILITY.md. *)
 let c_submitted =
@@ -55,7 +76,7 @@ let h_latency =
   Metrics.histogram ~name:"hist.serve_job_usec" ~units:"usec"
     ~desc:"host-side serve job latency, admission to result"
 
-type pending = { job : Protocol.job; admitted : float }
+type pending = { job : Protocol.job; line : string; admitted : float }
 
 type t = {
   cfg : config;
@@ -65,6 +86,10 @@ type t = {
   kernel_cache : Nsc_sim.Kernel.cache;
   sctx : Metrics.ctx;
   evict_base : int;  (* process-wide eviction count at server creation *)
+  journal : Guard.Journal.t option;
+  breaker : Guard.Breaker.t;
+  mutable b_opens : int;   (* breaker transitions already mirrored *)
+  mutable b_closes : int;
   mutable stopping : bool;
 }
 
@@ -72,6 +97,7 @@ let create ?(config = default_config) () =
   if config.queue_bound < 1 then invalid_arg "Serve.create: queue_bound must be >= 1";
   if config.domains < 1 then invalid_arg "Serve.create: domains must be >= 1";
   if config.cache_bound < 0 then invalid_arg "Serve.create: cache_bound must be >= 0";
+  if config.retries < 0 then invalid_arg "Serve.create: retries must be >= 0";
   let sctx = Metrics.create ~label:"serve" () in
   Metrics.enable sctx;
   let b = config.cache_bound in
@@ -87,6 +113,13 @@ let create ?(config = default_config) () =
        else Nsc_sim.Kernel.make_cache ());
     sctx;
     evict_base = Nsc_sim.Stats.cache_evictions ();
+    journal = Option.map (fun path -> Guard.Journal.open_ ~path) config.journal;
+    breaker =
+      Guard.Breaker.create ~open_at:config.shed_open
+        ?close_at:(if config.shed_close > 0 then Some config.shed_close else None)
+        ~p99_usec:config.shed_p99_usec ();
+    b_opens = 0;
+    b_closes = 0;
     stopping = false;
   }
 
@@ -102,14 +135,18 @@ let counters_json jctx =
   let snap = Metrics.snapshot jctx in
   Json.Obj (List.map (fun (n, v) -> (n, num v)) snap.Metrics.snap_counters)
 
-let exec_workload t ~engine (job : Protocol.job) :
+let exec_workload t ~engine ~degraded ?budget (job : Protocol.job) :
     ((string * Json.t) list, string) result =
   match job.Protocol.workload with
   | Protocol.Jacobi { n; tol; max_iters } -> (
       let prob = Nsc_apps.Poisson.manufactured n in
+      (* degraded escalation for an iterative solve: a quartered sweep
+         budget, so a job that kept blowing its deadline can still
+         return a partial (higher-residual) answer *)
+      let max_iters = if degraded then max 1 (max_iters / 4) else max_iters in
       match
         Nsc_apps.Jacobi.solve t.kb ~engine ~plan_cache:t.plan_cache
-          ~kernel_cache:t.kernel_cache prob ~tol ~max_iters
+          ~kernel_cache:t.kernel_cache ?budget prob ~tol ~max_iters
       with
       | Error e -> Error e
       | Ok o ->
@@ -124,6 +161,9 @@ let exec_workload t ~engine (job : Protocol.job) :
               ("flops", num st.Nsc_sim.Sequencer.total_flops);
             ])
   | Protocol.Source { text } -> (
+      (* degraded escalation for source jobs: the v2 kernel backend —
+         bit-identical results on a slower, simpler path *)
+      let engine = if degraded then `Kernel_v2 else engine in
       match Nsc_lang.Compile.compile t.kb ~name:job.Protocol.id text with
       | Error e ->
           let where =
@@ -143,7 +183,7 @@ let exec_workload t ~engine (job : Protocol.job) :
               let node = Nsc_sim.Node.create (Knowledge.params t.kb) in
               match
                 Nsc_sim.Sequencer.run node ~engine ~plan_cache:t.plan_cache
-                  ~kernel_cache:t.kernel_cache compiled
+                  ~kernel_cache:t.kernel_cache ?budget compiled
               with
               | Error e -> Error e
               | Ok o ->
@@ -157,21 +197,50 @@ let exec_workload t ~engine (job : Protocol.job) :
                       ("flops", num st.Nsc_sim.Sequencer.total_flops);
                     ])))
 
-(* One job, under its own metric context.  Never raises: any escaped
-   exception becomes a run-failed response.  Faulted jobs are only ever
-   called from the sequential tail of a wave — the fault model and its
-   seeded draw stream are process-global. *)
+(* One attempt of one job: ok fields, a run failure, or a deadline kill.
+   Never raises: a budget that fires unwinds to here, any other escaped
+   exception becomes a failure. *)
+type attempt_result =
+  | A_ok of (string * Json.t) list
+  | A_failed of string
+  | A_deadline of { spent : int; reason : string }
+
+(* One job, under its own metric context, through the retry ladder: up
+   to [retries] identical re-runs with seed-deterministic backoff, then
+   (with [degraded] set) one degraded-mode attempt, then a typed
+   permanent failure.  The default config runs exactly one attempt and
+   keeps the seed daemon's behaviour: failures answer [run-failed],
+   deadline kills answer [deadline].  Faulted jobs are only ever called
+   from the sequential tail of a wave — the fault model and its seeded
+   draw stream are process-global. *)
 let run_job t (p : pending) : string =
   let job = p.job in
   let engine = Option.value ~default:t.cfg.engine job.Protocol.engine in
   let jctx = Metrics.create ~label:job.Protocol.id () in
   Metrics.enable jctx;
   let fault_fields = ref [] in
-  let run () =
-    try Metrics.with_ctx jctx (fun () -> exec_workload t ~engine job)
-    with e -> Error (Printexc.to_string e)
+  (* each attempt gets a fresh budget: the deadline bounds one run, not
+     the ladder (the ladder's own pacing is the backoff) *)
+  let budget_of () =
+    match (job.Protocol.deadline_cycles, job.Protocol.deadline_ms) with
+    | None, None -> None
+    | dc, dm -> Some (Guard.Budget.create ?deadline_cycles:dc ?deadline_ms:dm ())
   in
-  let outcome =
+  let run_attempt ~degraded () : attempt_result =
+    let budget = budget_of () in
+    let run () =
+      try
+        match
+          Metrics.with_ctx jctx (fun () ->
+              exec_workload t ~engine ~degraded ?budget job)
+        with
+        | Ok fields -> A_ok fields
+        | Error e -> A_failed e
+      with
+      | Guard.Budget.Deadline_exceeded { spent_cycles; reason } ->
+          A_deadline { spent = spent_cycles; reason }
+      | e -> A_failed (Printexc.to_string e)
+    in
     match job.Protocol.faults with
     | None -> run ()
     | Some spec ->
@@ -196,26 +265,89 @@ let run_job t (p : pending) : string =
           ];
         r
   in
+  let policy =
+    {
+      Guard.Retry.max_retries = t.cfg.retries;
+      base_backoff_ms = t.cfg.backoff_ms;
+      jitter = 0.1;
+      degraded = t.cfg.degraded;
+    }
+  in
+  let total_attempts = 1 + t.cfg.retries + if t.cfg.degraded then 1 else 0 in
+  let prng =
+    lazy
+      (Nsc_fault.Prng.create
+         ~seed:(job.Protocol.fault_seed lxor Hashtbl.hash job.Protocol.id))
+  in
+  let rec ladder attempt =
+    let degraded = t.cfg.degraded && attempt = total_attempts in
+    if degraded then Metrics.add t.sctx Guard.c_degraded_runs 1;
+    let r = run_attempt ~degraded () in
+    (match r with
+    | A_deadline _ -> Metrics.add t.sctx Guard.c_deadline_kills 1
+    | _ -> ());
+    match r with
+    | A_ok fields -> (A_ok fields, attempt, degraded)
+    | (A_failed _ | A_deadline _) when attempt < total_attempts ->
+        Metrics.add t.sctx Guard.c_retries 1;
+        let ms = Guard.Retry.backoff_ms policy ~prng:(Lazy.force prng) ~attempt in
+        if ms > 0.0 then begin
+          Metrics.observe t.sctx Guard.h_backoff_usec (int_of_float (ms *. 1e3));
+          Unix.sleepf (ms /. 1e3)
+        end;
+        ladder (attempt + 1)
+    | final -> (final, attempt, degraded)
+  in
+  let outcome, attempts, degraded = ladder 1 in
   Metrics.disable jctx;
   let latency_usec = (Unix.gettimeofday () -. p.admitted) *. 1e6 in
   Metrics.observe t.sctx h_latency (int_of_float latency_usec);
+  (* ladder provenance, only once the ladder actually did something —
+     the single-attempt response stays byte-compatible with the seed *)
+  let ladder_fields =
+    (if attempts > 1 then [ ("attempts", num attempts) ] else [])
+    @ if degraded then [ ("degraded", Json.Bool true) ] else []
+  in
   match outcome with
-  | Error e ->
+  | A_deadline { spent; reason } ->
       Metrics.add t.sctx c_failed 1;
       Json.to_string
         (Json.Obj
-           [ ("id", Json.Str job.Protocol.id);
-             ("status", Json.Str "error");
-             ("code", Json.Str "run-failed");
-             ("detail", Json.Str e);
-             ("latency_usec", Json.Num latency_usec);
-           ])
-  | Ok fields ->
+           ([ ("id", Json.Str job.Protocol.id);
+              ("status", Json.Str "error");
+              ("code", Json.Str "deadline");
+              ("detail",
+               Json.Str
+                 (Printf.sprintf "%s after %d simulated cycles" reason spent));
+              ("reason", Json.Str reason);
+              ("spent_cycles", num spent);
+            ]
+           @ ladder_fields
+           @ [ ("latency_usec", Json.Num latency_usec) ]))
+  | A_failed e ->
+      Metrics.add t.sctx c_failed 1;
+      let code =
+        if total_attempts > 1 then begin
+          Metrics.add t.sctx Guard.c_permanent_failures 1;
+          "permanent-failure"
+        end
+        else "run-failed"
+      in
+      Json.to_string
+        (Json.Obj
+           ([ ("id", Json.Str job.Protocol.id);
+              ("status", Json.Str "error");
+              ("code", Json.Str code);
+              ("detail", Json.Str e);
+            ]
+           @ ladder_fields
+           @ [ ("latency_usec", Json.Num latency_usec) ]))
+  | A_ok fields ->
       Metrics.add t.sctx c_completed 1;
       Json.to_string
         (Json.Obj
            ((("id", Json.Str job.Protocol.id) :: ("status", Json.Str "ok") :: fields)
-           @ !fault_fields
+           @ !fault_fields @ ladder_fields
            @ [ ("latency_usec", Json.Num latency_usec);
                ("counters", counters_json jctx);
              ]))
@@ -245,6 +377,17 @@ let drain t =
     else Array.iter exec clean;
     (* faulted jobs last, sequentially: the seeded schedule is global *)
     List.iter exec (List.rev !faulted);
+    (* completions are journalled after the wave, on this domain: the
+       out-channel is not shared with workers, and a crash inside the
+       wave must leave every in-flight job marked pending for replay *)
+    (match t.journal with
+    | None -> ()
+    | Some j ->
+        Array.iter
+          (fun p ->
+            Guard.Journal.append_done j ~id:p.job.Protocol.id;
+            Metrics.add t.sctx Guard.c_journal_appends 1)
+          pending);
     Array.to_list results
   end
 
@@ -290,7 +433,25 @@ let handle_line t line =
         t.stopping <- true;
         rs @ [ summary_response t ]
     | Ok (Protocol.Submit job) ->
-        if Queue.length t.queue >= t.cfg.queue_bound then begin
+        (* overload protection first: feed the breaker, then shed
+           low-priority work while it is open *)
+        let p99 = (Metrics.hist_summary t.sctx h_latency).Metrics.p99 in
+        Guard.Breaker.observe t.breaker ~depth:(Queue.length t.queue)
+          ~p99_usec:p99;
+        let opens = Guard.Breaker.opens t.breaker in
+        let closes = Guard.Breaker.closes t.breaker in
+        Metrics.add t.sctx Guard.c_breaker_opens (opens - t.b_opens);
+        Metrics.add t.sctx Guard.c_breaker_closes (closes - t.b_closes);
+        t.b_opens <- opens;
+        t.b_closes <- closes;
+        if Guard.Breaker.is_open t.breaker && job.Protocol.priority = Protocol.Low
+        then begin
+          Metrics.add t.sctx c_rejected 1;
+          Metrics.add t.sctx Guard.c_shed_jobs 1;
+          [ Protocol.shed_response ~id:job.Protocol.id
+              ~queued:(Queue.length t.queue) ]
+        end
+        else if Queue.length t.queue >= t.cfg.queue_bound then begin
           (* explicit backpressure: refuse the overflow submit, then let
              the queue catch up so the next one is admitted *)
           Metrics.add t.sctx c_rejected 1;
@@ -301,10 +462,31 @@ let handle_line t line =
           rej :: drain t
         end
         else begin
+          (* the write-ahead record goes down (and is flushed) before
+             the silent admission acknowledges anything *)
+          (match t.journal with
+          | None -> ()
+          | Some j ->
+              Guard.Journal.append_accept j ~id:job.Protocol.id ~line;
+              Metrics.add t.sctx Guard.c_journal_appends 1);
           Metrics.add t.sctx c_submitted 1;
-          Queue.add { job; admitted = Unix.gettimeofday () } t.queue;
+          Queue.add { job; line; admitted = Unix.gettimeofday () } t.queue;
           []
         end
+
+(* Crash recovery: replay every accepted-but-unfinished request line of
+   the configured journal, in admission order, through the ordinary
+   admission path — so a replayed job is re-journalled, re-queued and
+   executed exactly as an uninterrupted run would have.  Call it on a
+   fresh server, before serving traffic. *)
+let recover t =
+  match t.cfg.journal with
+  | None -> []
+  | Some path ->
+      Guard.Journal.load ~path
+      |> List.concat_map (fun (_id, line) ->
+             Metrics.add t.sctx Guard.c_journal_replays 1;
+             handle_line t line)
 
 (* --- transports --------------------------------------------------------- *)
 
@@ -333,8 +515,38 @@ let serve_channels t ic oc =
     t.stopping <- true;
     emit [ summary_response t ]
 
+(* Classify the filesystem object at a prospective socket path by
+   test-connecting to it: a connection that opens is a live daemon; a
+   refused or dangling one is a stale socket left by a crash.  Anything
+   that is not a socket at all reports [`Live] — the daemon must refuse
+   to clobber a file it does not own. *)
+let socket_status path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Absent
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close s with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          match Unix.connect s (Unix.ADDR_UNIX path) with
+          | () -> `Live
+          | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+            ->
+              `Stale
+          | exception Unix.Unix_error (_, _, _) -> `Live))
+  | _ -> `Live
+
 let listen t ~path =
-  (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+  (match socket_status path with
+  | `Absent -> ()
+  | `Stale -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | `Live ->
+      failwith
+        (Printf.sprintf
+           "socket %s is in use (a live daemon answered) — pick another path \
+            or stop the other daemon"
+           path));
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->

@@ -28,6 +28,27 @@ type config = {
   cache_bound : int;  (** plan/kernel cache bound; 0 = unbounded (default) *)
   engine : Protocol.engine;  (** default engine for jobs that name none *)
   subset : bool;      (** use the restricted machine model *)
+  retries : int;
+      (** identical re-runs of a failed/deadline-killed job (default 0:
+          ladder off, failures answer [run-failed]/[deadline] directly) *)
+  backoff_ms : float;
+      (** first retry backoff, doubling per retry with
+          seed-deterministic jitter (default 0: no sleep) *)
+  degraded : bool;
+      (** escalate an exhausted ladder to one degraded-mode attempt —
+          quartered Jacobi sweep budget, or the [kernel-v2] engine for
+          source jobs — before failing permanently (default false) *)
+  journal : string option;
+      (** write-ahead journal path; every admission is journalled (and
+          flushed) before it is acknowledged, so {!recover} can replay
+          accepted-but-unfinished jobs after a crash (default [None]) *)
+  shed_open : int;
+      (** queue depth at which the overload breaker opens (default 0:
+          breaker off) *)
+  shed_close : int;
+      (** depth at which it closes again; [0] means [shed_open / 2] *)
+  shed_p99_usec : int;
+      (** p99 job latency that also opens the breaker (default 0: off) *)
 }
 
 val default_config : config
@@ -56,6 +77,14 @@ val handle_line : t -> string -> string list
 val drain : t -> string list
 (** Execute every queued job now; the responses in submission order. *)
 
+val recover : t -> string list
+(** Replay every accepted-but-unfinished request line of the configured
+    journal through the ordinary admission path (in admission order) and
+    return any immediate responses.  Call on a fresh server before
+    serving traffic; [[]] when no journal is configured.  Replayed jobs
+    execute at the next dispatch exactly as an uninterrupted run would
+    have. *)
+
 val summary_response : t -> string
 (** The session-summary line sent in reply to [shutdown]. *)
 
@@ -64,8 +93,17 @@ val serve_channels : t -> in_channel -> out_channel -> unit
     responses as they are produced.  EOF drains the queue; SIGINT (with
     [Sys.catch_break true]) drains and emits the summary. *)
 
+val socket_status : string -> [ `Absent | `Live | `Stale ]
+(** Classify the object at a prospective socket path by
+    test-connecting: [`Live] means a daemon answered (or the path is
+    not a socket at all — never clobber a file the daemon does not
+    own); [`Stale] is a socket nothing listens on (a crash leftover,
+    safe to unlink); [`Absent] means no such file. *)
+
 val listen : t -> path:string -> unit
-(** Serve connections on a Unix-domain socket at [path] (created fresh;
-    an existing socket file is replaced), one client at a time, until a
-    client sends [shutdown].  Queue, caches and counters are shared
-    across connections. *)
+(** Serve connections on a Unix-domain socket at [path], one client at
+    a time, until a client sends [shutdown].  Queue, caches and
+    counters are shared across connections.  A stale socket file at
+    [path] (per {!socket_status}) is replaced; a live one — or a
+    non-socket file — raises [Failure] instead of clobbering it.  The
+    socket file is unlinked on the way out, error paths included. *)

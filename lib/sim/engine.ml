@@ -1215,7 +1215,7 @@ let write_bulk_arr node (t : Dma.transfer) ~from (vals : float array) =
    batched paths cannot diverge.  Touches only node state and the
    replica's own buffer slice, which is what lets clean batched replicas
    run on worker domains. *)
-let exec_body_replica (node : Node.t) ~record_trace ~kind (pl : Plan.t)
+let exec_body_replica (node : Node.t) ~record_trace ~kind ?budget (pl : Plan.t)
     (b : Kernel.body) (bufs : Kernel.buf array) ~pos0 : result =
   let sem = pl.Plan.sem in
   let vlen = b.Kernel.vlen in
@@ -1259,6 +1259,9 @@ let exec_body_replica (node : Node.t) ~record_trace ~kind (pl : Plan.t)
   let any_nonfinite = ref false in
   let e0 = ref 0 in
   while !e0 < vlen do
+    (* kernel block boundary: a wall deadline or cancellation can cut a
+       long fused body short without waiting for the whole instruction *)
+    Nsc_guard.Guard.Budget.poll_opt budget;
     let e1 = min vlen (!e0 + kernel_block) in
     for k = 0 to n_units - 1 do
       if (Array.unsafe_get steps k) bufs base !e0 e1 <> 0.0 then
@@ -1417,7 +1420,8 @@ let exec_body_replica (node : Node.t) ~record_trace ~kind (pl : Plan.t)
     plan's cached analysis.  Results — values, cycle estimates,
     interrupt events and their order — are bit-identical to
     {!run_kernel_v2}, {!run_plan} and {!run_legacy}. *)
-let run_kernel (node : Node.t) ?(record_trace = false) (kn : Kernel.t) : result =
+let run_kernel (node : Node.t) ?(record_trace = false) ?budget (kn : Kernel.t) :
+    result =
   let pl = kn.Kernel.plan in
   match kn.Kernel.body with
   | None ->
@@ -1428,9 +1432,14 @@ let run_kernel (node : Node.t) ?(record_trace = false) (kn : Kernel.t) : result 
       let bufs = Array.make n_slots b.Kernel.static.(0) in
       Array.blit b.Kernel.static 0 bufs 0 (Array.length b.Kernel.static);
       Kernel.acquire_into b.Kernel.blen bufs ~from:b.Kernel.stream_base;
-      let r = exec_body_replica node ~record_trace ~kind:"kernel" pl b bufs ~pos0:0 in
-      Kernel.release_from bufs ~from:b.Kernel.stream_base b.Kernel.blen;
-      r
+      (* a budget poll may unwind mid-body; the pooled buffers must go
+         back either way or a deadline-killed job would leak the pool *)
+      Fun.protect
+        ~finally:(fun () ->
+          Kernel.release_from bufs ~from:b.Kernel.stream_base b.Kernel.blen)
+        (fun () ->
+          exec_body_replica node ~record_trace ~kind:"kernel" ?budget pl b bufs
+            ~pos0:0)
 
 (* --- batched execution --------------------------------------------------- *)
 
@@ -1573,8 +1582,8 @@ let run_legacy node ?record_trace ?honor_timing ?force_general ?metrics sem =
 let run_plan node ?record_trace ?metrics pl =
   in_ctx metrics (fun () -> run_plan node ?record_trace pl)
 
-let run_kernel node ?record_trace ?metrics kn =
-  in_ctx metrics (fun () -> run_kernel node ?record_trace kn)
+let run_kernel node ?record_trace ?budget ?metrics kn =
+  in_ctx metrics (fun () -> run_kernel node ?record_trace ?budget kn)
 
 let run_kernel_v2 node ?record_trace ?metrics kn =
   in_ctx metrics (fun () -> run_kernel_v2 node ?record_trace kn)

@@ -84,10 +84,17 @@ val run_plan :
     compute pass, and one bulk transfer per write sink.  Kernels without
     a fused body fall back to the general evaluator.  Results — values,
     cycles, interrupt events and their order — are bit-identical to
-    {!run_plan} (property-tested). *)
+    {!run_plan} (property-tested).  [budget] is polled at every kernel
+    block boundary, so a wall deadline or a cancellation unwinds with
+    [Nsc_guard.Guard.Budget.Deadline_exceeded] mid-instruction (pooled
+    buffers are released on the way out). *)
 val run_kernel :
   Node.t ->
-  ?record_trace:bool -> ?metrics:Nsc_metrics.Metrics.ctx -> Kernel.t -> result
+  ?record_trace:bool ->
+  ?budget:Nsc_guard.Guard.Budget.t ->
+  ?metrics:Nsc_metrics.Metrics.ctx ->
+  Kernel.t ->
+  result
 
 (** The retained v2 kernel backend: fresh [float array] buffers per
     execution, one opcode dispatch per unit per 256-element block, a

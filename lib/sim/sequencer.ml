@@ -35,6 +35,7 @@ let max_recorded_events = 2000
    reprogramming) on the trace; the engine notes execution itself. *)
 module Trace = Nsc_trace.Trace
 module Metrics = Nsc_metrics.Metrics
+module Budget = Nsc_guard.Guard.Budget
 
 let c_reconfig_cycles =
   Trace.counter ~name:"sim.reconfig_cycles" ~units:"cycles"
@@ -63,7 +64,7 @@ let h_reconfig_cycles =
     wherever the fused body applies). *)
 let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
     ?(engine = `Kernel) ?(plan_cache = Plan.make_cache ())
-    ?(kernel_cache = Kernel.make_cache ())
+    ?(kernel_cache = Kernel.make_cache ()) ?budget
     ?(on_instruction = fun (_ : Semantic.t) (_ : Engine.result) -> ())
     (c : Codegen.compiled) : (outcome, string) result =
   let p = node.Node.params in
@@ -104,6 +105,10 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
               exec_error := Some (Printf.sprintf "control references missing pipeline %d" n);
             raise Halted
         | Some sem ->
+            (* instruction boundary: the budget check that makes every
+               deadline fire deterministically between dispatches (a
+               sweep boundary is an instruction boundary) *)
+            Budget.check_opt budget;
             if Trace.enabled () then begin
               let ts = Trace.now () in
               Trace.advance p.reconfig_cycles;
@@ -119,7 +124,7 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
             let r =
               match engine with
               | `Kernel ->
-                  Engine.run_kernel node ~record_trace
+                  Engine.run_kernel node ~record_trace ?budget
                     (Kernel.cached kernel_cache plan_cache p sem)
               | `Kernel_v2 ->
                   Engine.run_kernel_v2 node ~record_trace
@@ -130,6 +135,7 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
             in
             incr executed;
             cycles := !cycles + r.Engine.cycles + p.reconfig_cycles;
+            Budget.charge_opt budget (r.Engine.cycles + p.reconfig_cycles);
             flops := !flops + r.Engine.flops;
             writes := !writes + r.Engine.writes;
             List.iter record r.Engine.events;
@@ -226,7 +232,7 @@ let run (node : Node.t) ?(from_microcode = true) ?(record_trace = false)
     across the persistent domain pool. *)
 let run_batch (nodes : Node.t array) ?(from_microcode = true)
     ?(record_trace = false) ?(domains = 1) ?(plan_cache = Plan.make_cache ())
-    ?(kernel_cache = Kernel.make_cache ()) (c : Codegen.compiled) :
+    ?(kernel_cache = Kernel.make_cache ()) ?budget (c : Codegen.compiled) :
     (outcome array, string) result =
   let krep = Array.length nodes in
   if krep = 0 then Ok [||]
@@ -277,6 +283,10 @@ let run_batch (nodes : Node.t array) ?(from_microcode = true)
                   Some (Printf.sprintf "control references missing pipeline %d" n);
               raise Halted
           | Some sem ->
+              (* lock-step boundary: a deadline never interrupts an
+                 in-flight batched dispatch, so when it fires every
+                 replica has completed the same instruction prefix *)
+              Budget.check_opt budget;
               if Trace.enabled () then begin
                 let ts = Trace.now () in
                 Trace.advance p.reconfig_cycles;
@@ -309,7 +319,14 @@ let run_batch (nodes : Node.t array) ?(from_microcode = true)
                   List.iter
                     (fun (fu, v) -> Hashtbl.replace captured.(rep) fu v)
                     r.Engine.last_values)
-                results
+                results;
+              (* charge the machine wall of the lock-step dispatch: the
+                 slowest replica's execution plus the reconfiguration *)
+              Budget.charge_opt budget
+                (Array.fold_left
+                   (fun m (r : Engine.result) -> max m r.Engine.cycles)
+                   0 results
+                + p.reconfig_cycles)
         in
         let eval_condition rep instruction (cond : Interrupt.condition) =
           let value =
@@ -407,13 +424,13 @@ let in_ctx metrics f =
   match metrics with None -> f () | Some m -> Metrics.with_ctx m f
 
 let run node ?from_microcode ?record_trace ?engine ?plan_cache ?kernel_cache
-    ?on_instruction ?metrics c =
+    ?budget ?on_instruction ?metrics c =
   in_ctx metrics (fun () ->
       run node ?from_microcode ?record_trace ?engine ?plan_cache ?kernel_cache
-        ?on_instruction c)
+        ?budget ?on_instruction c)
 
 let run_batch nodes ?from_microcode ?record_trace ?domains ?plan_cache
-    ?kernel_cache ?metrics c =
+    ?kernel_cache ?budget ?metrics c =
   in_ctx metrics (fun () ->
       run_batch nodes ?from_microcode ?record_trace ?domains ?plan_cache
-        ?kernel_cache c)
+        ?kernel_cache ?budget c)

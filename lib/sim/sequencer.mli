@@ -44,7 +44,12 @@ val max_recorded_events : int
     kernel from [kernel_cache] (pass persistent caches to also reuse
     them across runs).  [~engine:`Plan] stops at the plan interpreter;
     [~engine:`Legacy] restores the seed per-dispatch path.  All three
-    are bit-identical wherever the fused body applies. *)
+    are bit-identical wherever the fused body applies.
+
+    [budget] arms cooperative supervision: each dispatch's cycles (plus
+    reconfiguration) are charged to it and it is checked at every
+    instruction boundary, so a run whose budget expires unwinds with
+    [Nsc_guard.Guard.Budget.Deadline_exceeded] instead of running on. *)
 val run :
   Node.t ->
   ?from_microcode:bool ->
@@ -52,6 +57,7 @@ val run :
   ?engine:[ `Kernel | `Kernel_v2 | `Plan | `Legacy ] ->
   ?plan_cache:Plan.cache ->
   ?kernel_cache:Kernel.cache ->
+  ?budget:Nsc_guard.Guard.Budget.t ->
   ?on_instruction:(Nsc_diagram.Semantic.t -> Engine.result -> unit) ->
   ?metrics:Nsc_metrics.Metrics.ctx ->
   Nsc_microcode.Codegen.compiled -> (outcome, string) result
@@ -74,5 +80,6 @@ val run_batch :
   ?domains:int ->
   ?plan_cache:Plan.cache ->
   ?kernel_cache:Kernel.cache ->
+  ?budget:Nsc_guard.Guard.Budget.t ->
   ?metrics:Nsc_metrics.Metrics.ctx ->
   Nsc_microcode.Codegen.compiled -> (outcome array, string) result

@@ -57,12 +57,15 @@ let documented_counters path =
    the build directory exactly like the example programs do. *)
 let observability_md = "../docs/OBSERVABILITY.md"
 let faults_md = "../docs/FAULTS.md"
+let resilience_md = "../docs/RESILIENCE.md"
 
 let drift_tests =
   [
     case "every registered counter is documented and vice versa" (fun () ->
         let documented =
-          documented_counters observability_md @ documented_counters faults_md
+          documented_counters observability_md
+          @ documented_counters faults_md
+          @ documented_counters resilience_md
           |> List.sort_uniq compare
           (* hist.* rows belong to the histogram table, checked below *)
           |> List.filter (fun n -> not (String.starts_with ~prefix:"hist." n))
@@ -90,6 +93,8 @@ let drift_tests =
     case "every registered histogram is documented" (fun () ->
         let documented =
           documented_counters observability_md
+          @ documented_counters resilience_md
+          |> List.sort_uniq compare
           |> List.filter (String.starts_with ~prefix:"hist.")
         in
         let registered =

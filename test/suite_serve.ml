@@ -13,8 +13,7 @@ module Poisson = Nsc_apps.Poisson
 
 let server ?(domains = 1) ?(queue_bound = 64) ?(cache_bound = 0) () =
   Serve.create
-    ~config:
-      { Serve.domains; queue_bound; cache_bound; engine = `Kernel; subset = false }
+    ~config:{ Serve.default_config with domains; queue_bound; cache_bound }
     ()
 
 let parse line =
