@@ -154,6 +154,32 @@ type resilience_perf = {
 
 let resilience_perf_result : resilience_perf option ref = ref None
 
+type scaling_curve_point = {
+  sc_dim : int;
+  sc_nodes : int;
+  sc_gflops : float;
+  sc_efficiency : float;
+  sc_comm_fraction : float;
+  sc_overlap_ratio : float;
+  sc_contention_per_iter : float;
+  sc_cycles_per_iter : float;
+}
+
+type scaling_perf = {
+  sc_n : int;  (** per-node slab side *)
+  sc_iters : int;
+  sc_points : scaling_curve_point list;  (** asynchronous campaign *)
+  sc_sync_cycles_per_iter : float;  (** dim-6 synchronous baseline *)
+  sc_async_cycles_per_iter : float;
+  sc_exchange_visible_sync : float;  (** visible exchange cycles / iter *)
+  sc_exchange_visible_async : float;
+  sc_exchange_reduction_pct : float;
+  sc_residual_match : bool;  (** async field bit-equal to sync, clean *)
+  sc_faulted_residual_match : bool;  (** same under a seeded fault model *)
+}
+
+let scaling_perf_result : scaling_perf option ref = ref None
+
 let write_bench_json path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -301,6 +327,32 @@ let write_bench_json path =
       out "    \"chaos_jobs\": %d,\n" r.res_chaos_jobs;
       out "    \"chaos_lost\": %d,\n" r.res_chaos_lost;
       out "    \"chaos_match\": %b\n" r.res_chaos_match;
+      out "  }");
+  (match !scaling_perf_result with
+  | None -> ()
+  | Some s ->
+      out ",\n  \"scaling\": {\n";
+      out "    \"n\": %d,\n" s.sc_n;
+      out "    \"iters\": %d,\n" s.sc_iters;
+      out "    \"sync_dim6_cycles_per_iter\": %.1f,\n" s.sc_sync_cycles_per_iter;
+      out "    \"async_dim6_cycles_per_iter\": %.1f,\n" s.sc_async_cycles_per_iter;
+      out "    \"exchange_visible_sync\": %.1f,\n" s.sc_exchange_visible_sync;
+      out "    \"exchange_visible_async\": %.1f,\n" s.sc_exchange_visible_async;
+      out "    \"exchange_visible_reduction_pct\": %.1f,\n" s.sc_exchange_reduction_pct;
+      out "    \"residual_match\": %b,\n" s.sc_residual_match;
+      out "    \"faulted_residual_match\": %b,\n" s.sc_faulted_residual_match;
+      out "    \"points\": [\n";
+      List.iteri
+        (fun i p ->
+          out
+            "      {\"dim\": %d, \"nodes\": %d, \"gflops\": %.3f, \"efficiency\": \
+             %.4f, \"comm_fraction\": %.4f, \"overlap_ratio\": %.4f, \
+             \"contention_per_iter\": %.1f, \"cycles_per_iter\": %.1f}%s\n"
+            p.sc_dim p.sc_nodes p.sc_gflops p.sc_efficiency p.sc_comm_fraction
+            p.sc_overlap_ratio p.sc_contention_per_iter p.sc_cycles_per_iter
+            (if i = List.length s.sc_points - 1 then "" else ","))
+        s.sc_points;
+      out "    ]\n";
       out "  }");
   out "\n}\n";
   close_out oc
@@ -465,6 +517,196 @@ let c4_scaling ~domains () =
   row "shape: near-linear weak scaling; the communication share flattens\n";
   row "(nearest-neighbour Gray-embedded exchange) and shrinks with slab size\n";
   row "(surface-to-volume)\n"
+
+(* ------------------------------------------------------------------ *)
+(* SCALING: asynchronous halo exchange, weak scaling to 1024 nodes     *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled line chart: efficiency, visible communication share and
+   overlap ratio against the node count, GFLOPS annotated per point. *)
+let write_scaling_svg path (points : scaling_curve_point list) =
+  let w = 680 and h = 420 in
+  let left = 64 and right = 24 and top = 48 and bottom = 56 in
+  let plot_w = w - left - right and plot_h = h - top - bottom in
+  let np = List.length points in
+  let x i =
+    left
+    + if np <= 1 then plot_w / 2 else i * plot_w / (np - 1)
+  in
+  let y pct = top + int_of_float (float_of_int plot_h *. (1.0 -. pct)) in
+  let b = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  out "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+       viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    w h w h;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" w h;
+  out
+    "<text x=\"%d\" y=\"22\" text-anchor=\"middle\" font-size=\"14\">Weak \
+     scaling with asynchronous halo exchange (slab Jacobi)</text>\n"
+    (w / 2);
+  (* horizontal gridlines every 25% *)
+  List.iter
+    (fun pct ->
+      let yy = y (float_of_int pct /. 100.0) in
+      out
+        "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>\n\
+         <text x=\"%d\" y=\"%d\" text-anchor=\"end\">%d%%</text>\n"
+        left yy (w - right) yy (left - 8) (yy + 4) pct)
+    [ 0; 25; 50; 75; 100 ];
+  (* x tick labels: node counts *)
+  List.iteri
+    (fun i p ->
+      out "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%d</text>\n" (x i)
+        (h - bottom + 18) p.sc_nodes)
+    points;
+  out "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">nodes</text>\n" (w / 2)
+    (h - 14);
+  let series color value =
+    let pts =
+      String.concat " "
+        (List.mapi (fun i p -> Printf.sprintf "%d,%d" (x i) (y (value p))) points)
+    in
+    out "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n"
+      pts color;
+    List.iteri
+      (fun i p ->
+        out "<circle cx=\"%d\" cy=\"%d\" r=\"3\" fill=\"%s\"/>\n" (x i)
+          (y (value p)) color)
+      points
+  in
+  series "#2563eb" (fun p -> p.sc_efficiency);
+  series "#dc2626" (fun p -> p.sc_comm_fraction);
+  series "#16a34a" (fun p -> p.sc_overlap_ratio);
+  (* sustained GFLOPS annotated above the efficiency curve *)
+  List.iteri
+    (fun i p ->
+      out
+        "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\" font-size=\"10\" \
+         fill=\"#2563eb\">%.1f</text>\n"
+        (x i)
+        (y p.sc_efficiency - 8)
+        p.sc_gflops)
+    points;
+  let legend yy color label =
+    out
+      "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+       stroke-width=\"2\"/>\n\
+       <text x=\"%d\" y=\"%d\">%s</text>\n"
+      (left + 10) yy (left + 34) yy color (left + 40) (yy + 4) label
+  in
+  legend (top + 14) "#2563eb" "parallel efficiency (GFLOPS annotated)";
+  legend (top + 32) "#dc2626" "visible communication share";
+  legend (top + 50) "#16a34a" "overlap ratio (exchange cycles hidden)";
+  out "</svg>\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let scaling_campaign ~domains () =
+  section "SCALING" "asynchronous halo exchange: overlap and the 1024-node campaign";
+  let module F = Nsc_fault.Fault in
+  let n = 5 and iters = 2 in
+  let run ?(overlap = false) dim =
+    match Parallel.run params ~domains ~overlap ~n ~iters ~dim with
+    | Error e -> failwith ("SCALING: " ^ e)
+    | Ok pt -> pt
+  in
+  let field ?(overlap = false) dim =
+    match Parallel.run_field params ~domains ~overlap ~n ~iters ~dim with
+    | Error e -> failwith ("SCALING: " ^ e)
+    | Ok f -> f
+  in
+  (* dim-6 head-to-head: the overlapped schedule must hide enough of the
+     exchange to cut its visible cycles, without perturbing a single bit *)
+  let sync6 = run 6 and async6 = run ~overlap:true 6 in
+  let visible (pt : Parallel.point) =
+    pt.Parallel.comm_fraction *. pt.Parallel.cycles_per_iter
+  in
+  let vis_sync = visible sync6 and vis_async = visible async6 in
+  let reduction_pct = 100.0 *. (vis_sync -. vis_async) /. vis_sync in
+  let residual_match = field 6 = field ~overlap:true 6 in
+  let faulted_field overlap =
+    let spec =
+      match F.parse "transient-link:p=0.2:retries=2" with
+      | Ok s -> s
+      | Error e -> failwith ("SCALING: " ^ e)
+    in
+    F.install (F.make ~seed:7 spec);
+    Fun.protect ~finally:F.clear (fun () -> field ~overlap 6)
+  in
+  let faulted_match = faulted_field false = faulted_field true in
+  row "dim 6 (64 nodes), per-node slab %dx%dx%d, %d iterations:\n" n n n iters;
+  row "  synchronous:  %7.0f cycles/iter, %5.1f%% in exchange\n"
+    sync6.Parallel.cycles_per_iter
+    (100.0 *. sync6.Parallel.comm_fraction);
+  row "  asynchronous: %7.0f cycles/iter, %5.1f%% visible, %5.1f%% hidden\n"
+    async6.Parallel.cycles_per_iter
+    (100.0 *. async6.Parallel.comm_fraction)
+    (100.0 *. async6.Parallel.overlap_ratio);
+  row "  exchange-visible cycles: %.0f -> %.0f (-%.1f%%)\n" vis_sync vis_async
+    reduction_pct;
+  row "  residuals bit-identical: clean %b, faulted %b\n" residual_match
+    faulted_match;
+  if reduction_pct < 20.0 then
+    failwith "SCALING: overlap hides less than 20% of exchange-visible cycles";
+  if not (residual_match && faulted_match) then
+    failwith "SCALING: overlapped schedule diverged from the synchronous one";
+  (* the campaign: weak scaling with overlap, 64 -> 1024 nodes *)
+  let dims = [ 0; 6; 7; 8; 9; 10 ] in
+  row "\ncampaign (asynchronous exchange):\n";
+  row "%6s  %8s  %11s  %8s  %9s  %11s\n" "nodes" "GFLOPS" "efficiency" "comm %"
+    "overlap %" "cycles/iter";
+  let campaign =
+    match Parallel.scaling params ~domains ~overlap:true ~n ~iters ~dims with
+    | Error e -> failwith ("SCALING: " ^ e)
+    | Ok pts -> pts
+  in
+  let points =
+    List.map2
+      (fun dim (pt : Parallel.point) ->
+        row "%6d  %8.3f  %10.1f%%  %7.1f%%  %8.1f%%  %11.0f\n" pt.Parallel.nodes
+          pt.Parallel.gflops
+          (100.0 *. pt.Parallel.efficiency)
+          (100.0 *. pt.Parallel.comm_fraction)
+          (100.0 *. pt.Parallel.overlap_ratio)
+          pt.Parallel.cycles_per_iter;
+        {
+          sc_dim = dim;
+          sc_nodes = pt.Parallel.nodes;
+          sc_gflops = pt.Parallel.gflops;
+          sc_efficiency = pt.Parallel.efficiency;
+          sc_comm_fraction = pt.Parallel.comm_fraction;
+          sc_overlap_ratio = pt.Parallel.overlap_ratio;
+          sc_contention_per_iter = pt.Parallel.contention_per_iter;
+          sc_cycles_per_iter = pt.Parallel.cycles_per_iter;
+        })
+      dims campaign
+  in
+  let last = List.nth points (List.length points - 1) in
+  row
+    "at %d nodes the machine sustains %.1f GFLOPS at %.1f%% efficiency with \
+     %.1f%% of exchange cycles hidden\n"
+    last.sc_nodes last.sc_gflops
+    (100.0 *. last.sc_efficiency)
+    (100.0 *. last.sc_overlap_ratio);
+  (try
+     write_scaling_svg "figures/fig12-scaling.svg" points;
+     row "figure written: figures/fig12-scaling.svg\n"
+   with Sys_error e -> row "figure skipped (%s)\n" e);
+  scaling_perf_result :=
+    Some
+      {
+        sc_n = n;
+        sc_iters = iters;
+        sc_points = points;
+        sc_sync_cycles_per_iter = sync6.Parallel.cycles_per_iter;
+        sc_async_cycles_per_iter = async6.Parallel.cycles_per_iter;
+        sc_exchange_visible_sync = vis_sync;
+        sc_exchange_visible_async = vis_async;
+        sc_exchange_reduction_pct = reduction_pct;
+        sc_residual_match = residual_match;
+        sc_faulted_residual_match = faulted_match;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* C5: microcode scale                                                 *)
@@ -1724,6 +1966,7 @@ let () =
   c2_contention ();
   c3_node_rate ();
   c4_scaling ~domains ();
+  scaling_campaign ~domains ();
   c5_microcode ();
   c6_authoring ();
   c7_checker ();

@@ -1135,6 +1135,115 @@ let chaos_cmd =
              iff no acked job was lost and every scenario held.")
     Term.(const run $ seed_arg)
 
+let scale_cmd =
+  let module Parallel = Nsc_apps.Parallel in
+  let dim_arg =
+    Arg.(value & opt int 6
+         & info [ "dim" ] ~docv:"D"
+             ~doc:"Hypercube dimension: the machine has 2^D nodes, 0-10 \
+                   (default 6, the paper's 64-node machine).")
+  in
+  let n_arg =
+    Arg.(value & opt int 5
+         & info [ "n" ] ~docv:"N" ~doc:"Per-node slab side (default 5).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 2
+         & info [ "iters" ] ~docv:"K" ~doc:"Jacobi iterations (default 2).")
+  in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Also verify sync/async equivalence under this fault model \
+                   (e.g. transient-link:p=0.2:retries=2).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Seed of the fault model installed by --faults (default 7).")
+  in
+  let domains_arg =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Fan per-node simulation across N OCaml domains \
+                   (bit-identical results; default 1).")
+  in
+  let run dim n iters faults seed domains =
+    guarded @@ fun () ->
+    let p = Knowledge.params Knowledge.default in
+    let point overlap =
+      match Parallel.run p ~domains ~overlap ~n ~iters ~dim with
+      | Ok pt -> pt
+      | Error e -> failwith e
+    in
+    let rec field ?model overlap =
+      match model with
+      | None -> (
+          match Parallel.run_field p ~domains ~overlap ~n ~iters ~dim with
+          | Ok f -> f
+          | Error e -> failwith e)
+      | Some spec ->
+          Fault.install (Fault.make ~seed spec);
+          Fun.protect ~finally:Fault.clear (fun () -> field ?model:None overlap)
+    in
+    let sync = point false and async = point true in
+    (* efficiency relative to a one-node machine on the same slab *)
+    let base =
+      match Parallel.run p ~domains ~n ~iters ~dim:0 with
+      | Ok pt -> pt.Parallel.gflops
+      | Error e -> failwith e
+    in
+    Printf.printf
+      "%d nodes, per-node slab %dx%dx%d, %d iteration(s)\n\n" (1 lsl dim) n n n
+      iters;
+    let show label (pt : Parallel.point) =
+      let eff =
+        if base <= 0.0 then 0.0
+        else pt.Parallel.gflops /. (base *. float_of_int pt.Parallel.nodes)
+      in
+      Printf.printf
+        "%-13s %8.3f GFLOPS  %5.1f%% efficiency  %5.1f%% comm visible  \
+         %5.1f%% hidden  %8.0f cycles/iter\n"
+        label pt.Parallel.gflops (100.0 *. eff)
+        (100.0 *. pt.Parallel.comm_fraction)
+        (100.0 *. pt.Parallel.overlap_ratio)
+        pt.Parallel.cycles_per_iter
+    in
+    show "synchronous" sync;
+    show "asynchronous" async;
+    let failures = ref 0 in
+    let check name ok =
+      Printf.printf "%-52s %s\n" name (if ok then "ok" else "FAIL");
+      if not ok then incr failures
+    in
+    Printf.printf "\n";
+    if dim > 0 then
+      check "overlapped schedule hides exchange cycles"
+        (async.Parallel.overlap_ratio > 0.0);
+    check "async residuals bit-identical to sync (clean)"
+      (field false = field true);
+    (match faults with
+    | None -> ()
+    | Some str ->
+        let spec =
+          match Fault.parse str with Ok s -> s | Error e -> failwith e
+        in
+        check
+          (Printf.sprintf "async matches sync under %s" str)
+          (field ~model:spec false = field ~model:spec true));
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:"Run the weak-scaling Jacobi experiment on a 2^D-node hypercube \
+             with both the synchronous and the asynchronous overlapped halo \
+             exchange, and verify the overlapped schedule hides exchange \
+             cycles while staying bit-identical to the synchronous one \
+             (optionally also under a seeded fault model).  Exits 0 iff \
+             every check holds.")
+    Term.(const run $ dim_arg $ n_arg $ iters_arg $ faults_arg $ seed_arg
+          $ domains_arg)
+
 let () =
   let doc = "A visual programming environment for the Navier-Stokes Computer." in
   exit
@@ -1143,5 +1252,5 @@ let () =
           [
             info_cmd; check_cmd; codegen_cmd; disasm_cmd; run_cmd; render_cmd; replay_cmd;
             compile_cmd; debug_cmd; stats_cmd; profile_cmd; inject_cmd; serve_cmd;
-            chaos_cmd;
+            chaos_cmd; scale_cmd;
           ]))

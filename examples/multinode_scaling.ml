@@ -6,7 +6,7 @@
    report sustained GFLOPS, parallel efficiency, and the communication
    share of machine time.
 
-   Usage: multinode_scaling [n-per-side] [iterations] [max-dim]  *)
+   Usage: multinode_scaling [n-per-side] [iterations] [max-dim] [sync|overlap]  *)
 
 open Nsc_arch
 open Nsc_apps
@@ -14,17 +14,19 @@ open Nsc_apps
 let () =
   let arg i d = try int_of_string Sys.argv.(i) with _ -> d in
   let n = arg 1 9 and iters = arg 2 3 and max_dim = arg 3 6 in
+  let overlap = Array.length Sys.argv > 4 && Sys.argv.(4) = "overlap" in
   let p = Params.default in
   Printf.printf "machine: %.0f MFLOPS peak per node; %d-node peak %.1f GFLOPS\n"
     (Params.peak_mflops p)
     (1 lsl max_dim)
     (Params.peak_mflops p *. float_of_int (1 lsl max_dim) /. 1000.0);
-  Printf.printf "workload: per-node slab of %dx%dx%d, %d Jacobi iteration(s)\n\n" n n n
-    iters;
-  Printf.printf "%6s  %10s  %11s  %10s  %13s\n" "nodes" "GFLOPS" "efficiency"
-    "comm %" "cycles/iter";
+  Printf.printf "workload: per-node slab of %dx%dx%d, %d Jacobi iteration(s), %s exchange\n\n"
+    n n n iters
+    (if overlap then "asynchronous overlapped" else "synchronous");
+  Printf.printf "%6s  %10s  %11s  %10s  %11s  %13s\n" "nodes" "GFLOPS" "efficiency"
+    "comm %" "overlap %" "cycles/iter";
   match
-    Parallel.scaling p ~n ~iters ~dims:(List.init (max_dim + 1) (fun d -> d))
+    Parallel.scaling p ~overlap ~n ~iters ~dims:(List.init (max_dim + 1) (fun d -> d))
   with
   | Error e ->
       prerr_endline ("error: " ^ e);
@@ -32,10 +34,11 @@ let () =
   | Ok points ->
       List.iter
         (fun (pt : Parallel.point) ->
-          Printf.printf "%6d  %10.3f  %10.1f%%  %9.1f%%  %13.0f\n" pt.Parallel.nodes
-            pt.Parallel.gflops
+          Printf.printf "%6d  %10.3f  %10.1f%%  %9.1f%%  %10.1f%%  %13.0f\n"
+            pt.Parallel.nodes pt.Parallel.gflops
             (100.0 *. pt.Parallel.efficiency)
             (100.0 *. pt.Parallel.comm_fraction)
+            (100.0 *. pt.Parallel.overlap_ratio)
             pt.Parallel.cycles_per_iter)
         points;
       (* a converging run with the hypercube all-reduce residual check *)

@@ -16,6 +16,8 @@ type point = {
   gflops : float;
   efficiency : float;   (** sustained fraction of linear scaling from 1 node *)
   comm_fraction : float;(** share of machine cycles spent in exchanges *)
+  overlap_ratio : float;(** share of exchange cycles hidden behind compute *)
+  contention_per_iter : float;  (** serialisation surplus cycles per iteration *)
   cycles_per_iter : float;
 }
 
@@ -46,13 +48,75 @@ let read_face node ~plane ~grid ~k =
 (* Base address of layer k within the padded field. *)
 let layer_base grid ~k = Grid.index grid ~i:0 ~j:0 ~k
 
+(* The halo messages of one iteration: every rank sends its outermost
+   interior layers to the chain neighbours' halo layers (n² words each
+   way), Gray-embedded so each transfer is a single hop. *)
+let halo_messages machine b grid ~dim ~nodes =
+  let face_words = grid.Grid.nx * grid.Grid.ny in
+  let plane = b.Jacobi.layout.Jacobi.center in
+  List.concat_map
+    (fun rank ->
+      let node_id = Router.chain_to_node ~dim rank in
+      let node = Multinode.node machine node_id in
+      let up =
+        if rank + 1 < nodes then begin
+          let dst = Router.chain_to_node ~dim (rank + 1) in
+          (* my last interior layer becomes their k=0 halo *)
+          let payload = read_face node ~plane ~grid ~k:(grid.Grid.nz - 2) in
+          [ ({ Multinode.src = node_id; dst; words = face_words },
+             (payload, plane, layer_base grid ~k:0)) ]
+        end
+        else []
+      in
+      let down =
+        if rank > 0 then begin
+          let dst = Router.chain_to_node ~dim (rank - 1) in
+          let payload = read_face node ~plane ~grid ~k:1 in
+          [ ({ Multinode.src = node_id; dst; words = face_words },
+             (payload, plane, layer_base grid ~k:(grid.Grid.nz - 1))) ]
+        end
+        else []
+      in
+      up @ down)
+    (List.init nodes (fun r -> r))
+
+(* Replicate the refreshed halo layers into the other u copies locally
+   (an on-node plane-to-plane copy, charged as one face write). *)
+let replicate_halo machine b grid u_planes =
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun k ->
+          let face = read_face node ~plane:b.Jacobi.layout.Jacobi.center ~grid ~k in
+          List.iter
+            (fun plane ->
+              if plane <> b.Jacobi.layout.Jacobi.center then
+                Node.load_array node ~plane ~base:(layer_base grid ~k) face)
+            u_planes)
+        [ 0; grid.Grid.nz - 1 ])
+    machine.Multinode.nodes
+
+(* Interior share of a sweep's cycles: the slab's nz_local layers all
+   sweep, but only the two outermost read a halo layer, so (nz - 2) / nz
+   of the sweep can legally overlap an in-flight exchange.  The overlap
+   credit only reshapes the cycle accounting — payloads are delivered at
+   post time, before any layer reads them, so the numerics are identical
+   to the synchronous schedule either way. *)
+let interior_credit ~nz_local sweep_cycles =
+  if nz_local <= 2 then 0 else sweep_cycles * (nz_local - 2) / nz_local
+
 (** Run [iters] Jacobi iterations of an n x n x (n·P) problem on a
     [dim]-dimensional hypercube (P = 2^dim nodes), returning the scaling
     measurements.  The per-node slab thickness is [n], so this is weak
     scaling: the global problem grows with the machine.  [domains] fans
     the per-node simulation across OCaml domains (results are
-    bit-identical to the sequential run). *)
-let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
+    bit-identical to the sequential run).  [overlap] posts each
+    iteration's halo exchange asynchronously and completes it only after
+    the next sweep, crediting the sweep's interior-layer cycles as
+    overlapped compute — machine time per step becomes
+    [max (compute, comm)] instead of [compute + comm], with residuals
+    and delivered payloads bit-identical to the synchronous schedule. *)
+let run_machine ?(domains = 1) ?(overlap = false) (p : Params.t) ~n ~iters ~dim :
     (point * Multinode.t * Jacobi.build * Grid.t, string) result =
   let machine = Multinode.create ~dim p in
   let nodes = Multinode.n_nodes machine in
@@ -106,64 +170,40 @@ let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
               (o.Sequencer.stats.Sequencer.total_cycles,
                o.Sequencer.stats.Sequencer.total_flops)
           | Error _ -> (0, 0));
-      let compute_cycles_start = machine.Multinode.cycles in
-      ignore compute_cycles_start;
       Multinode.reset_counters machine;
-      (* iterate: sweep + refresh, then halo exchange *)
-      for _ = 1 to iters do
+      (* iterate: sweep + refresh, then halo exchange — posted in flight
+         and completed behind the next sweep when [overlap] is on *)
+      let sweep () =
+        let before = machine.Multinode.cycles in
         Multinode.compute_step ~domains machine (fun i node ->
             match Sequencer.run node ~plan_cache:caches.(i) ~kernel_cache:kcaches.(i) c_iter with
             | Ok o ->
                 (o.Sequencer.stats.Sequencer.total_cycles,
                  o.Sequencer.stats.Sequencer.total_flops)
             | Error _ -> (0, 0));
+        machine.Multinode.cycles - before
+      in
+      let pending = ref None in
+      for _ = 1 to iters do
+        let sweep_cycles = sweep () in
+        (match !pending with
+        | Some h ->
+            Multinode.exchange_finish
+              ~overlapped_cycles:(interior_credit ~nz_local:n sweep_cycles)
+              machine h;
+            pending := None
+        | None -> ());
         if nodes > 1 then begin
-          let face_words = grid.Grid.nx * grid.Grid.ny in
-          let messages =
-            List.concat_map
-              (fun rank ->
-                let node_id = Router.chain_to_node ~dim rank in
-                let node = Multinode.node machine node_id in
-                let plane = b.Jacobi.layout.Jacobi.center in
-                let up =
-                  if rank + 1 < nodes then begin
-                    let dst = Router.chain_to_node ~dim (rank + 1) in
-                    (* my last interior layer becomes their k=0 halo *)
-                    let payload = read_face node ~plane ~grid ~k:(grid.Grid.nz - 2) in
-                    [ ({ Multinode.src = node_id; dst; words = face_words },
-                       (payload, plane, layer_base grid ~k:0)) ]
-                  end
-                  else []
-                in
-                let down =
-                  if rank > 0 then begin
-                    let dst = Router.chain_to_node ~dim (rank - 1) in
-                    let payload = read_face node ~plane ~grid ~k:1 in
-                    [ ({ Multinode.src = node_id; dst; words = face_words },
-                       (payload, plane, layer_base grid ~k:(grid.Grid.nz - 1))) ]
-                  end
-                  else []
-                in
-                up @ down)
-              (List.init nodes (fun r -> r))
-          in
-          Multinode.exchange machine messages;
-          (* replicate the refreshed halo into the other u copies locally
-             (an on-node plane-to-plane copy, charged as one face write) *)
-          Array.iter
-            (fun node ->
-              List.iter
-                (fun k ->
-                  let face = read_face node ~plane:b.Jacobi.layout.Jacobi.center ~grid ~k in
-                  List.iter
-                    (fun plane ->
-                      if plane <> b.Jacobi.layout.Jacobi.center then
-                        Node.load_array node ~plane ~base:(layer_base grid ~k) face)
-                    u_planes)
-                [ 0; grid.Grid.nz - 1 ])
-            machine.Multinode.nodes
+          let messages = halo_messages machine b grid ~dim ~nodes in
+          if overlap then pending := Some (Multinode.exchange_start machine messages)
+          else Multinode.exchange machine messages;
+          replicate_halo machine b grid u_planes
         end
       done;
+      (* the final exchange has no following sweep to hide behind *)
+      (match !pending with
+      | Some h -> Multinode.exchange_finish machine h
+      | None -> ());
       let cycles = machine.Multinode.cycles in
       let gflops = Multinode.gflops machine in
       Ok
@@ -174,21 +214,31 @@ let run_machine ?(domains = 1) (p : Params.t) ~n ~iters ~dim :
             comm_fraction =
               (if cycles = 0 then 0.0
                else float_of_int machine.Multinode.comm_cycles /. float_of_int cycles);
-            cycles_per_iter = float_of_int cycles /. float_of_int iters;
+            overlap_ratio = Multinode.overlap_ratio machine;
+            contention_per_iter =
+              (if iters = 0 then 0.0
+               else
+                 float_of_int machine.Multinode.contention_cycles
+                 /. float_of_int iters);
+            cycles_per_iter =
+              (if iters = 0 then 0.0
+               else float_of_int cycles /. float_of_int iters);
           },
           machine,
           b,
           grid )
 
 (** Run and return just the scaling point. *)
-let run ?domains (p : Params.t) ~n ~iters ~dim : (point, string) result =
-  Result.map (fun (pt, _, _, _) -> pt) (run_machine ?domains p ~n ~iters ~dim)
+let run ?domains ?overlap (p : Params.t) ~n ~iters ~dim : (point, string) result =
+  Result.map (fun (pt, _, _, _) -> pt) (run_machine ?domains ?overlap p ~n ~iters ~dim)
 
 (** Run and assemble the global field (interior z-layers of every node's
     centred u copy, in rank order) — used to verify that the decomposed
-    iteration equals the single-machine iteration. *)
-let run_field ?domains (p : Params.t) ~n ~iters ~dim : (float array, string) result =
-  match run_machine ?domains p ~n ~iters ~dim with
+    iteration equals the single-machine iteration, and that the
+    overlapped schedule is bit-identical to the synchronous one. *)
+let run_field ?domains ?overlap (p : Params.t) ~n ~iters ~dim :
+    (float array, string) result =
+  match run_machine ?domains ?overlap p ~n ~iters ~dim with
   | Error e -> Error e
   | Ok (_, machine, b, grid) ->
       let nodes = Multinode.n_nodes machine in
@@ -205,12 +255,13 @@ let run_field ?domains (p : Params.t) ~n ~iters ~dim : (float array, string) res
       Ok global
 
 (** Weak-scaling sweep over hypercube dimensions, with efficiency relative
-    to the single-node machine. *)
-let scaling ?domains (p : Params.t) ~n ~iters ~dims : (point list, string) result =
+    to the single-node machine.  [overlap] runs every point with the
+    asynchronous interleaved exchange. *)
+let scaling ?domains ?overlap (p : Params.t) ~n ~iters ~dims : (point list, string) result =
   let rec go acc base = function
     | [] -> Ok (List.rev acc)
     | dim :: rest -> (
-        match run ?domains p ~n ~iters ~dim with
+        match run ?domains ?overlap p ~n ~iters ~dim with
         | Error e -> Error e
         | Ok pt ->
             let base = match base with None -> Some pt.gflops | s -> s in
@@ -317,45 +368,8 @@ let solve ?(domains = 1) (p : Params.t) ~n ~tol ~max_iters ~dim :
       Multinode.reset_counters machine;
       let halo_exchange () =
         if nodes > 1 then begin
-          let face_words = grid.Grid.nx * grid.Grid.ny in
-          let messages =
-            List.concat_map
-              (fun rank ->
-                let node_id = Router.chain_to_node ~dim rank in
-                let node = Multinode.node machine node_id in
-                let plane = b.Jacobi.layout.Jacobi.center in
-                let up =
-                  if rank + 1 < nodes then
-                    let dst = Router.chain_to_node ~dim (rank + 1) in
-                    let payload = read_face node ~plane ~grid ~k:(grid.Grid.nz - 2) in
-                    [ ({ Multinode.src = node_id; dst; words = face_words },
-                       (payload, plane, layer_base grid ~k:0)) ]
-                  else []
-                in
-                let down =
-                  if rank > 0 then
-                    let dst = Router.chain_to_node ~dim (rank - 1) in
-                    let payload = read_face node ~plane ~grid ~k:1 in
-                    [ ({ Multinode.src = node_id; dst; words = face_words },
-                       (payload, plane, layer_base grid ~k:(grid.Grid.nz - 1))) ]
-                  else []
-                in
-                up @ down)
-              (List.init nodes (fun r -> r))
-          in
-          Multinode.exchange machine messages;
-          Array.iter
-            (fun node ->
-              List.iter
-                (fun k ->
-                  let face = read_face node ~plane:b.Jacobi.layout.Jacobi.center ~grid ~k in
-                  List.iter
-                    (fun plane ->
-                      if plane <> b.Jacobi.layout.Jacobi.center then
-                        Node.load_array node ~plane ~base:(layer_base grid ~k) face)
-                    u_planes)
-                [ 0; grid.Grid.nz - 1 ])
-            machine.Multinode.nodes
+          Multinode.exchange machine (halo_messages machine b grid ~dim ~nodes);
+          replicate_halo machine b grid u_planes
         end
       in
       let residuals = Array.make nodes 0.0 in
@@ -402,6 +416,10 @@ let solve ?(domains = 1) (p : Params.t) ~n ~tol ~max_iters ~dim :
                 (if cycles = 0 then 0.0
                  else
                    float_of_int machine.Multinode.comm_cycles /. float_of_int cycles);
+              overlap_ratio = Multinode.overlap_ratio machine;
+              contention_per_iter =
+                float_of_int machine.Multinode.contention_cycles
+                /. float_of_int (max 1 !iterations);
               cycles_per_iter =
                 float_of_int cycles /. float_of_int (max 1 !iterations);
             };

@@ -16,6 +16,8 @@ type point = {
   gflops : float;
   efficiency : float;
   comm_fraction : float;
+  overlap_ratio : float;
+  contention_per_iter : float;
   cycles_per_iter : float;
 }
 val local_grid : n:int -> nz_local:int -> Grid.t
@@ -23,10 +25,19 @@ val slab_mask : Grid.t -> first:bool -> last:bool -> float array
 val read_face :
   Nsc_sim.Node.t -> plane:int -> grid:Grid.t -> k:int -> float array
 val layer_base : Grid.t -> k:int -> int
+(** Interior share of a sweep's cycles — the portion that can legally
+    overlap an in-flight halo exchange ((nz - 2) / nz of the slab's
+    layers read no halo). *)
+val interior_credit : nz_local:int -> int -> int
 (** [domains] (on every runner below) fans per-node simulation across
-    OCaml domains; results are bit-identical to the sequential run. *)
+    OCaml domains; results are bit-identical to the sequential run.
+    [overlap] posts each iteration's halo exchange asynchronously and
+    completes it behind the next sweep's interior layers — machine time
+    per step becomes [max (compute, comm)] — with residuals and
+    delivered payloads bit-identical to the synchronous schedule. *)
 val run_machine :
   ?domains:int ->
+  ?overlap:bool ->
   Nsc_arch.Params.t ->
   n:int ->
   iters:int ->
@@ -37,18 +48,22 @@ val run_machine :
 (** Fixed-iteration weak-scaling run; returns the scaling point. *)
 val run :
   ?domains:int ->
+  ?overlap:bool ->
   Nsc_arch.Params.t ->
   n:int -> iters:int -> dim:int -> (point, string) result
 (** Like {!run} but returns the assembled global field, for verifying
-    the decomposition against a single-machine iteration. *)
+    the decomposition against a single-machine iteration (and the
+    overlapped schedule against the synchronous one). *)
 val run_field :
   ?domains:int ->
+  ?overlap:bool ->
   Nsc_arch.Params.t ->
   n:int -> iters:int -> dim:int -> (float array, string) result
 (** Weak-scaling sweep over hypercube dimensions, efficiency relative to
     one node. *)
 val scaling :
   ?domains:int ->
+  ?overlap:bool ->
   Nsc_arch.Params.t ->
   n:int -> iters:int -> dims:int list -> (point list, string) result
 (** Hypercube recursive-doubling all-reduce (maximum) of one scalar per

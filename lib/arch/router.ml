@@ -140,6 +140,32 @@ let c_contention =
   Nsc_trace.Trace.counter ~name:"router.contention_cycles" ~units:"cycles"
     ~desc:"extra cycles from messages serialising on a shared source node"
 
+(** Serialised cost of a communication phase, as [(src, dst, cycles)] per
+    routed transfer.  Transfers between distinct pairs proceed in parallel;
+    transfers leaving one source node queue on its links, so the phase
+    costs the slowest source's serialised total.  Returns
+    [(phase_cycles, contention_cycles)], where contention is the queueing
+    surplus — each source's total minus its longest single transfer,
+    summed over sources.  Self-transfers and zero-cost entries are free.
+    Pure: the caller decides whether to book the contention on
+    {!c_contention}. *)
+let phase_cost (costed : (node_id * node_id * int) list) =
+  let per_source = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, c) ->
+      if src <> dst && c > 0 then begin
+        let sum, longest =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt per_source src)
+        in
+        Hashtbl.replace per_source src (sum + c, max longest c)
+      end)
+    costed;
+  let phase = Hashtbl.fold (fun _ (sum, _) acc -> max sum acc) per_source 0 in
+  let contention =
+    Hashtbl.fold (fun _ (sum, longest) acc -> acc + (sum - longest)) per_source 0
+  in
+  (phase, contention)
+
 (** Cycles to move [words] 64-bit words along a route of [hops] hops:
     per-hop latency plus bandwidth-limited transmission (cut-through — the
     payload streams behind the header, so distance adds latency only).

@@ -39,6 +39,12 @@ val gray : int -> int
 val gray_inverse : int -> int
 val chain_to_node : dim:int -> int -> int
 val node_to_chain : dim:int -> int -> int
+(** Serialised cost of a phase of [(src, dst, cycles)] transfers:
+    distinct pairs proceed in parallel, transfers sharing a source queue
+    on its links.  Returns [(phase_cycles, contention_cycles)]; pure —
+    the caller books the contention on {!c_contention} if it traces. *)
+val phase_cost : (node_id * node_id * int) list -> int * int
+
 val transfer_cycles :
   Params.t -> src:int -> dst:int -> words:int -> int
 

@@ -30,6 +30,14 @@ let c_exchanges =
   Trace.counter ~name:"machine.exchanges" ~units:"phases"
     ~desc:"communication phases executed between compute steps"
 
+let c_overlap =
+  Trace.counter ~name:"comm.overlap_cycles" ~units:"cycles"
+    ~desc:"exchange cycles hidden behind overlapped compute at completion"
+
+let c_coalesced =
+  Trace.counter ~name:"comm.coalesced_messages" ~units:"messages"
+    ~desc:"messages folded into a shared (src, dst) routed transfer"
+
 (* --- the persistent domain pool ----------------------------------------- *)
 
 (* A machine-lifetime pool of worker domains, so a solve that runs
@@ -142,6 +150,8 @@ type t = {
   mutable cycles : int;         (** machine time elapsed, in cycles *)
   mutable flops : int;          (** total useful flops across nodes *)
   mutable comm_cycles : int;    (** portion of [cycles] spent communicating *)
+  mutable overlap_cycles : int; (** exchange cycles hidden behind compute *)
+  mutable contention_cycles : int;  (** serialisation surplus on shared sources *)
   mutable words_moved : int;
   mutable pool : pool option;   (** persistent worker domains, grown on demand *)
 }
@@ -160,6 +170,8 @@ let create ?(dim : int option) (p : Params.t) =
     cycles = 0;
     flops = 0;
     comm_cycles = 0;
+    overlap_cycles = 0;
+    contention_cycles = 0;
     words_moved = 0;
     pool = None;
   }
@@ -301,6 +313,68 @@ let compute_step ?domains ?metrics t (f : int -> Node.t -> int * int) =
 (** One message of a communication phase. *)
 type message = { src : Router.node_id; dst : Router.node_id; words : int }
 
+(* Cost one message now, defer its ledger bookkeeping.  The parts that
+   must stay in deterministic stream order — the seeded retry draw and a
+   retry-exhaustion [kill_link] escalation — run immediately, at post
+   time; the returned thunk carries only the recovery-ledger notes, so an
+   asynchronous exchange can resolve its bookkeeping at completion
+   without perturbing the draw stream. *)
+let message_cost_deferred t (m : message) : int * bool * (unit -> unit) =
+  if m.src = m.dst then (0, true, ignore)
+  else
+    match Fault.active () with
+    | None ->
+        (Router.transfer_cycles t.params ~src:m.src ~dst:m.dst ~words:m.words, true, ignore)
+    | Some f -> (
+        let link_ok a b = not (Fault.link_dead f a b) in
+        match Router.route_fault_aware ~dim:t.dim ~src:m.src ~dst:m.dst ~link_ok with
+        | None ->
+            ( 0,
+              false,
+              fun () ->
+                Fault.note_dead_link_hit ();
+                Fault.note_unrecovered 1 )
+        | Some (path, detoured) -> (
+            let detour_notes =
+              if detoured then (fun () ->
+                Fault.note_dead_link_hit ();
+                Fault.note_rerouted
+                  ~extra_hops:(List.length path - Router.distance m.src m.dst);
+                Fault.note_recovered 1)
+              else ignore
+            in
+            let { Fault.failures; backoff; exhausted } = Fault.draw_link_failures f in
+            if not exhausted then
+              ( backoff
+                + Router.transfer_cycles_hops t.params ~hops:(List.length path)
+                    ~words:m.words,
+                true,
+                fun () ->
+                  detour_notes ();
+                  Fault.note_recovered failures )
+            else begin
+              (* The first hop kept failing through the whole retry budget:
+                 declare that link dead and detour around it. *)
+              Fault.kill_link f m.src (List.hd path);
+              match Router.route_avoiding ~dim:t.dim ~src:m.src ~dst:m.dst ~link_ok with
+              | Some path' ->
+                  ( backoff
+                    + Router.transfer_cycles_hops t.params ~hops:(List.length path')
+                        ~words:m.words,
+                    true,
+                    fun () ->
+                      detour_notes ();
+                      Fault.note_rerouted
+                        ~extra_hops:(List.length path' - Router.distance m.src m.dst);
+                      Fault.note_recovered failures )
+              | None ->
+                  ( backoff,
+                    false,
+                    fun () ->
+                      detour_notes ();
+                      Fault.note_unrecovered failures )
+            end))
+
 (** Cycle cost of one message and whether it is delivered.
 
     Clean machine: the dimension-ordered transfer cost.  Under an
@@ -313,119 +387,182 @@ type message = { src : Router.node_id; dst : Router.node_id; words : int }
     disconnect the pair — booked as unrecovered, never dropped
     silently. *)
 let message_cost t (m : message) : int * bool =
-  if m.src = m.dst then (0, true)
-  else
-    match Fault.active () with
-    | None -> (Router.transfer_cycles t.params ~src:m.src ~dst:m.dst ~words:m.words, true)
-    | Some f -> (
-        let link_ok a b = not (Fault.link_dead f a b) in
-        match Router.route_fault_aware ~dim:t.dim ~src:m.src ~dst:m.dst ~link_ok with
-        | None ->
-            Fault.note_dead_link_hit ();
-            Fault.note_unrecovered 1;
-            (0, false)
-        | Some (path, detoured) -> (
-            if detoured then begin
-              Fault.note_dead_link_hit ();
-              Fault.note_rerouted
-                ~extra_hops:(List.length path - Router.distance m.src m.dst);
-              Fault.note_recovered 1
-            end;
-            let { Fault.failures; backoff; exhausted } = Fault.draw_link_failures f in
-            if not exhausted then begin
-              Fault.note_recovered failures;
-              ( backoff
-                + Router.transfer_cycles_hops t.params ~hops:(List.length path)
-                    ~words:m.words,
-                true )
-            end
-            else begin
-              (* The first hop kept failing through the whole retry budget:
-                 declare that link dead and detour around it. *)
-              Fault.kill_link f m.src (List.hd path);
-              match Router.route_avoiding ~dim:t.dim ~src:m.src ~dst:m.dst ~link_ok with
-              | Some path' ->
-                  Fault.note_rerouted
-                    ~extra_hops:(List.length path' - Router.distance m.src m.dst);
-                  Fault.note_recovered failures;
-                  ( backoff
-                    + Router.transfer_cycles_hops t.params ~hops:(List.length path')
-                        ~words:m.words,
-                    true )
-              | None ->
-                  Fault.note_unrecovered failures;
-                  (backoff, false)
-            end))
+  let cycles, delivered, notes = message_cost_deferred t m in
+  notes ();
+  (cycles, delivered)
 
-(* Phase cost of already-costed messages.  Messages between distinct pairs
-   proceed in parallel; congestion on shared links is approximated by
-   serialising messages that leave the same source node, the queueing
-   delay going to [router.contention_cycles]. *)
-let serialized_cost (costed : (message * int) list) =
-  let per_source = Hashtbl.create 16 in
+(* Coalesce messages per (src, dst) pair, preserving first-appearance
+   order: one routed transfer carries the pair's summed words, amortising
+   the per-message hop latency; each member still remembers where its own
+   payload lands.  Order determines the seeded fault draw consumed per
+   transfer, so it must be (and is) deterministic in the input order. *)
+let coalesce (msgs : (message * 'a) list) : (message * (message * 'a) list) list =
+  let tbl : (int * int, (message * 'a) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
   List.iter
-    (fun ((m : message), c) ->
-      if m.src <> m.dst && c > 0 then begin
-        let sum, longest =
-          Option.value ~default:(0, 0) (Hashtbl.find_opt per_source m.src)
-        in
-        Hashtbl.replace per_source m.src (sum + c, max longest c)
-      end)
-    costed;
-  if Trace.enabled () then
-    Trace.add Router.c_contention
-      (Hashtbl.fold (fun _ (sum, longest) acc -> acc + (sum - longest)) per_source 0);
-  Hashtbl.fold (fun _ (sum, _) acc -> max sum acc) per_source 0
+    (fun ((m : message), payload) ->
+      let key = (m.src, m.dst) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+          Hashtbl.add tbl key (ref [ (m, payload) ]);
+          order := key :: !order
+      | Some members -> members := (m, payload) :: !members)
+    msgs;
+  List.rev_map
+    (fun key ->
+      let members = List.rev !(Hashtbl.find tbl key) in
+      let words = List.fold_left (fun acc ((m : message), _) -> acc + m.words) 0 members in
+      let m0 = fst (List.hd members) in
+      ({ m0 with words }, members))
+    !order
 
-(** Cycle cost of a communication phase: the phase costs the slowest
-    source node's serialised queue.  Note that under an installed fault
-    model this draws from the seeded fault stream, exactly as {!exchange}
-    would. *)
-let exchange_cycles t (msgs : message list) =
-  serialized_cost (List.map (fun m -> (m, fst (message_cost t m))) msgs)
+(** An exchange posted by {!exchange_start} and not yet completed by
+    {!exchange_finish}. *)
+type in_flight = {
+  fl_cycles : int;       (** full serialised phase cost *)
+  fl_contention : int;   (** serialisation surplus on shared sources *)
+  fl_messages : int;     (** messages posted *)
+  fl_transfers : int;    (** coalesced routed transfers *)
+  fl_words : int;        (** payload words delivered *)
+  fl_notes : (unit -> unit) list;  (** deferred recovery-ledger notes *)
+  mutable fl_done : bool;
+}
 
-(** Execute a communication phase: move the payloads between plane stores
-    and advance machine time.  Messages whose recovery ladder fails (the
-    surviving links disconnect src from dst) are not delivered; they are
-    booked on the fault ledger as unrecovered. *)
-let exchange ?metrics t (msgs : (message * (float array * int * int)) list) =
+(** Post a communication phase without blocking machine time: messages are
+    coalesced per (src, dst) pair into single routed transfers, costed
+    through the recovery ladder (the seeded fault draws — and any
+    retry-exhaustion link kill — are consumed here, once per transfer, in
+    message order), and delivered payloads land in the destination planes
+    immediately, double-buffered boundary style: the simulator moves the
+    data eagerly so an overlapped compute step can run, and defers the
+    machine-time charge and the ledger bookkeeping to
+    {!exchange_finish}.  Undeliverable payloads never land. *)
+let exchange_start ?metrics t (msgs : (message * (float array * int * int)) list) :
+    in_flight =
   let in_ctx f =
     match metrics with None -> f () | Some m -> Metrics.with_ctx m f
   in
   in_ctx @@ fun () ->
-  (* each message carries (payload, dst_plane, dst_base) *)
-  let costed = List.map (fun (m, payload) -> (m, payload, message_cost t m)) msgs in
-  let cycles = serialized_cost (List.map (fun (m, _, (c, _)) -> (m, c)) costed) in
+  let groups = coalesce msgs in
+  let costed =
+    List.map
+      (fun ((cm : message), members) ->
+        let cycles, delivered, notes = message_cost_deferred t cm in
+        (cm, members, cycles, delivered, notes))
+      groups
+  in
+  let cycles, contention =
+    Router.phase_cost
+      (List.map (fun ((cm : message), _, c, _, _) -> (cm.src, cm.dst, c)) costed)
+  in
   let words = ref 0 in
   List.iter
-    (fun ((m : message), (payload, dst_plane, dst_base), (_, delivered)) ->
-      if m.src <> m.dst && delivered then begin
-        Node.load_array t.nodes.(m.dst) ~plane:dst_plane ~base:dst_base payload;
-        words := !words + Array.length payload
-      end)
+    (fun ((cm : message), members, _, delivered, _) ->
+      if cm.src <> cm.dst && delivered then
+        List.iter
+          (fun ((m : message), (payload, dst_plane, dst_base)) ->
+            Node.load_array t.nodes.(m.dst) ~plane:dst_plane ~base:dst_base payload;
+            words := !words + Array.length payload)
+          members)
     costed;
   t.words_moved <- t.words_moved + !words;
-  t.cycles <- t.cycles + cycles;
-  t.comm_cycles <- t.comm_cycles + cycles;
+  {
+    fl_cycles = cycles;
+    fl_contention = contention;
+    fl_messages = List.length msgs;
+    fl_transfers = List.length groups;
+    fl_words = !words;
+    fl_notes = List.map (fun (_, _, _, _, notes) -> notes) costed;
+    fl_done = false;
+  }
+
+(** Complete a posted exchange: resolve the deferred recovery-ledger
+    bookkeeping and advance machine time by the phase cost *minus*
+    [overlapped_cycles] of compute the caller ran while the messages were
+    in flight — so a step costs [max (compute, comm)], never
+    [compute + comm].  The hidden portion is booked on
+    [t.overlap_cycles] (and the [comm.overlap_cycles] counter); the
+    serialisation surplus goes to [t.contention_cycles] and
+    [router.contention_cycles] as in the synchronous path.  Completing
+    the same handle twice raises [Invalid_argument]. *)
+let exchange_finish ?metrics ?(overlapped_cycles = 0) t (h : in_flight) =
+  let in_ctx f =
+    match metrics with None -> f () | Some m -> Metrics.with_ctx m f
+  in
+  in_ctx @@ fun () ->
+  if h.fl_done then invalid_arg "Multinode.exchange_finish: handle already completed";
+  h.fl_done <- true;
+  List.iter (fun notes -> notes ()) h.fl_notes;
+  let hidden = min h.fl_cycles (max 0 overlapped_cycles) in
+  let visible = h.fl_cycles - hidden in
+  t.cycles <- t.cycles + visible;
+  t.comm_cycles <- t.comm_cycles + visible;
+  t.overlap_cycles <- t.overlap_cycles + hidden;
+  t.contention_cycles <- t.contention_cycles + h.fl_contention;
   if Trace.enabled () then begin
     let ts = Trace.now () in
-    Trace.advance cycles;
+    Trace.advance visible;
     Trace.add c_exchanges 1;
-    Metrics.observe (Metrics.current ()) h_exchange_cycles cycles;
-    Trace.span ~tid:machine_tid ~cat:"machine" ~name:"exchange" ~ts ~dur:cycles
+    Trace.add Router.c_contention h.fl_contention;
+    if hidden > 0 then Trace.add c_overlap hidden;
+    if h.fl_messages > h.fl_transfers then
+      Trace.add c_coalesced (h.fl_messages - h.fl_transfers);
+    Metrics.observe (Metrics.current ()) h_exchange_cycles h.fl_cycles;
+    Trace.span ~tid:machine_tid ~cat:"machine" ~name:"exchange" ~ts ~dur:visible
       ~args:
-        [ ("messages", Trace.Int (List.length msgs));
-          ("words", Trace.Int !words) ]
+        [ ("messages", Trace.Int h.fl_messages);
+          ("transfers", Trace.Int h.fl_transfers);
+          ("words", Trace.Int h.fl_words);
+          ("overlapped", Trace.Int hidden) ]
       ()
   end
 
-(** Aggregate sustained GFLOPS of the machine so far. *)
+(** Cycle cost of a communication phase: messages coalesce per (src, dst)
+    pair and the phase costs the slowest source node's serialised queue.
+    Note that under an installed fault model this draws from the seeded
+    fault stream, exactly as {!exchange} would. *)
+let exchange_cycles t (msgs : message list) =
+  let groups = coalesce (List.map (fun m -> (m, ())) msgs) in
+  let costed =
+    List.map
+      (fun ((cm : message), _) ->
+        let c, _ = message_cost t cm in
+        (cm.src, cm.dst, c))
+      groups
+  in
+  let cycles, contention = Router.phase_cost costed in
+  if Trace.enabled () then Trace.add Router.c_contention contention;
+  cycles
+
+(** Execute a communication phase synchronously: move the payloads between
+    plane stores and advance machine time by the full phase cost —
+    exactly {!exchange_start} followed by an immediate {!exchange_finish}
+    with no overlap credit, so the synchronous and asynchronous paths
+    coalesce, cost, draw and deliver identically.  Messages whose
+    recovery ladder fails (the surviving links disconnect src from dst)
+    are not delivered; they are booked on the fault ledger as
+    unrecovered. *)
+let exchange ?metrics t (msgs : (message * (float array * int * int)) list) =
+  let h = exchange_start ?metrics t msgs in
+  exchange_finish ?metrics t h
+
+(** Aggregate sustained GFLOPS of the machine so far (0.0 on a machine
+    that has advanced zero cycles — never a division by zero). *)
 let gflops t =
   if t.cycles = 0 then 0.0
   else float_of_int t.flops *. t.params.clock_mhz /. float_of_int t.cycles /. 1000.0
+
+(** Fraction of total exchange cycles hidden behind overlapped compute:
+    [overlap / (comm + overlap)], or 0.0 when the machine has exchanged
+    nothing. *)
+let overlap_ratio t =
+  let total = t.comm_cycles + t.overlap_cycles in
+  if total = 0 then 0.0 else float_of_int t.overlap_cycles /. float_of_int total
 
 let reset_counters t =
   t.cycles <- 0;
   t.flops <- 0;
   t.comm_cycles <- 0;
+  t.overlap_cycles <- 0;
+  t.contention_cycles <- 0;
   t.words_moved <- 0

@@ -23,11 +23,15 @@ type t = {
   mutable cycles : int;         (** machine time elapsed, in cycles *)
   mutable flops : int;          (** total useful flops across nodes *)
   mutable comm_cycles : int;    (** portion of [cycles] spent communicating *)
+  mutable overlap_cycles : int; (** exchange cycles hidden behind compute *)
+  mutable contention_cycles : int;  (** serialisation surplus on shared sources *)
   mutable words_moved : int;    (** payload words exchanged between nodes *)
   mutable pool : pool option;   (** persistent worker domains, on demand *)
 }
 
-(** A hypercube of fresh nodes (default dimension from the parameters). *)
+(** A hypercube of fresh nodes (default dimension from the parameters).
+    Raises [Invalid_argument] on a dimension outside 0..10 (1..1024
+    nodes). *)
 val create : ?dim:int -> Nsc_arch.Params.t -> t
 
 (** Number of nodes in the machine ([2^dim]). *)
@@ -91,26 +95,66 @@ type message = {
     the surviving links disconnect the pair, booked as unrecovered. *)
 val message_cost : t -> message -> int * bool
 
-(** Cycle cost of a communication phase: messages between distinct pairs
-    proceed in parallel, messages leaving one source serialise on its
-    links, and the phase costs the slowest source's total.  The
+(** Cycle cost of a communication phase: messages coalesce per
+    (src, dst) pair into one routed transfer, messages between distinct
+    pairs proceed in parallel, transfers leaving one source serialise on
+    its links, and the phase costs the slowest source's total.  The
     serialisation surplus is charged to the [router.contention_cycles]
     trace counter.  Under an installed fault model this draws from the
     seeded fault stream, exactly as {!exchange} would. *)
 val exchange_cycles : t -> message list -> int
 
-(** Execute a communication phase: each message carries
-    [(payload, dst_plane, dst_base)]; payloads land in the destination
-    nodes' planes and machine time advances by {!exchange_cycles}.
-    Messages whose recovery ladder fails are not delivered (booked as
-    unrecovered on the fault ledger). *)
+(** An exchange posted by {!exchange_start} and awaiting
+    {!exchange_finish}. *)
+type in_flight
+
+(** Post a communication phase asynchronously: messages (each carrying
+    [(payload, dst_plane, dst_base)]) are coalesced per (src, dst) pair
+    into single routed transfers, costed through the recovery ladder —
+    the seeded fault draws, and any retry-exhaustion link kill, are
+    consumed here in deterministic message order — and delivered
+    payloads land in the destination planes immediately (the simulator
+    moves data eagerly so an overlapped compute step can run; only the
+    machine-time charge and the recovery-ledger notes wait for
+    {!exchange_finish}).  Undeliverable payloads never land. *)
+val exchange_start :
+  ?metrics:Nsc_metrics.Metrics.ctx ->
+  t -> (message * (float array * int * int)) list -> in_flight
+
+(** Complete a posted exchange: resolve the deferred recovery-ledger
+    bookkeeping (retries, detours, unrecovered messages) and advance
+    machine time by the phase cost minus [overlapped_cycles] of compute
+    the caller ran while the messages were in flight — a step costs
+    [max (compute, comm)], never [compute + comm].  The hidden portion
+    accumulates on [overlap_cycles] (and the [comm.overlap_cycles]
+    counter); the serialisation surplus on [contention_cycles] and the
+    [router.contention_cycles] counter.  Raises [Invalid_argument] if
+    the handle was already completed. *)
+val exchange_finish :
+  ?metrics:Nsc_metrics.Metrics.ctx ->
+  ?overlapped_cycles:int ->
+  t -> in_flight -> unit
+
+(** Execute a communication phase synchronously — exactly
+    {!exchange_start} followed by an immediate {!exchange_finish} with no
+    overlap credit, so the synchronous and asynchronous paths coalesce,
+    cost, draw and deliver identically.  Messages whose recovery ladder
+    fails are not delivered (booked as unrecovered on the fault
+    ledger). *)
 val exchange :
   ?metrics:Nsc_metrics.Metrics.ctx ->
   t -> (message * (float array * int * int)) list -> unit
 
-(** Aggregate sustained GFLOPS of the machine so far. *)
+(** Aggregate sustained GFLOPS of the machine so far (0.0 at zero
+    cycles — never a division by zero). *)
 val gflops : t -> float
 
-(** Zero the machine-level accumulators (cycles, flops, communication
-    cycles, words moved); node storage is untouched. *)
+(** Fraction of total exchange cycles hidden behind overlapped compute:
+    [overlap_cycles / (comm_cycles + overlap_cycles)], 0.0 when nothing
+    has been exchanged. *)
+val overlap_ratio : t -> float
+
+(** Zero the machine-level accumulators (cycles, flops, communication,
+    overlap and contention cycles, words moved); node storage is
+    untouched. *)
 val reset_counters : t -> unit

@@ -353,3 +353,40 @@ let allreduce_tests =
   ]
 
 let suite = suite @ [ ("apps:allreduce", allreduce_tests) ]
+
+(* appended: the asynchronous overlapped schedule — bit-identity with the
+   synchronous path, zero-iteration guards, and the efficiency win *)
+let overlap_tests =
+  [
+    qcheck ~count:10
+      "overlapped exchange is bit-identical to synchronous, clean"
+      QCheck2.Gen.(pair (int_range 0 4) (int_range 1 3))
+      (fun (dim, iters) ->
+        let go overlap =
+          Result.get_ok (Parallel.run_field ~overlap params ~n:5 ~iters ~dim)
+        in
+        go false = go true);
+    case "a zero-iteration run reports zeros, not NaNs" (fun () ->
+        match Parallel.run params ~n:5 ~iters:0 ~dim:1 with
+        | Error e -> Alcotest.fail e
+        | Ok pt ->
+            check_float "gflops" 0.0 pt.Parallel.gflops;
+            check_float "comm fraction" 0.0 pt.Parallel.comm_fraction;
+            check_float "overlap ratio" 0.0 pt.Parallel.overlap_ratio;
+            check_float "contention/iter" 0.0 pt.Parallel.contention_per_iter;
+            check_float "cycles/iter" 0.0 pt.Parallel.cycles_per_iter);
+    case "overlap hides exchange cycles at dim 3" (fun () ->
+        let go overlap =
+          Result.get_ok (Parallel.run ~overlap params ~n:5 ~iters:4 ~dim:3)
+        in
+        let sync = go false and async = go true in
+        check_float "sync path hides nothing" 0.0 sync.Parallel.overlap_ratio;
+        check_bool "async hides a positive share" true
+          (async.Parallel.overlap_ratio > 0.0);
+        check_bool "visible comm share shrinks" true
+          (async.Parallel.comm_fraction < sync.Parallel.comm_fraction);
+        check_bool "machine time per iteration does not grow" true
+          (async.Parallel.cycles_per_iter <= sync.Parallel.cycles_per_iter));
+  ]
+
+let suite = suite @ [ ("apps:overlap", overlap_tests) ]

@@ -483,6 +483,45 @@ let serializer_tests =
         parses_without_raising (mutate (mutate (Lazy.force base_text) m1) m2));
   ]
 
+(* --- asynchronous exchange under faults ----------------------------- *)
+
+let async_fault_tests =
+  [
+    qcheck ~count:8 "overlapped exchange matches synchronous under transient faults"
+      QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 4))
+      (fun (seed, dim) ->
+        (* the async schedule must consume the seeded draw stream in the
+           same order as the sync one: same fields, same recovery ledger *)
+        let go overlap =
+          with_model ~seed "transient-link:p=0.2:retries=2" (fun _ ->
+              ( Result.get_ok
+                  (Nsc_apps.Parallel.run_field ~overlap params ~n:5 ~iters:2 ~dim),
+                F.ledger () ))
+        in
+        go false = go true);
+    case "exchange_finish resolves a detoured message's bookkeeping" (fun () ->
+        with_model "dead-link:0-1" (fun _ ->
+            let m = Nsc_sim.Multinode.create ~dim:2 params in
+            let h =
+              Nsc_sim.Multinode.exchange_start m
+                [ ({ Nsc_sim.Multinode.src = 0; dst = 1; words = 4 },
+                   ([| 7.0; 7.0; 7.0; 7.0 |], 0, 0)) ]
+            in
+            (* the payload travels at post time, but the recovery ledger is
+               only settled when the exchange completes *)
+            check_bool "payload landed eagerly" true
+              (Nsc_sim.Node.dump_array (Nsc_sim.Multinode.node m 1) ~plane:0 ~base:0
+                 ~len:4
+              = [| 7.0; 7.0; 7.0; 7.0 |]);
+            check_int "not yet booked rerouted" 0 (lv (F.ledger ()) "fault.rerouted");
+            Nsc_sim.Multinode.exchange_finish m h;
+            let l = F.ledger () in
+            check_int "dead link hit" 1 (lv l "fault.dead_link_hits");
+            check_int "rerouted" 1 (lv l "fault.rerouted");
+            check_int "recovered" 1 (lv l "fault.recovered");
+            check_int "outstanding" 0 (F.outstanding ())));
+  ]
+
 let suite =
   [
     ("fault:prng", prng_tests);
@@ -491,6 +530,7 @@ let suite =
     ("fault:routing", router_tests);
     ("fault:storage", memory_tests);
     ("fault:multinode", multinode_tests);
+    ("fault:async-exchange", async_fault_tests);
     ("fault:solvers", solver_tests);
     ("fault:serializer", serializer_tests);
   ]

@@ -587,6 +587,104 @@ let kernel_tests =
 
 let suite = suite @ [ ("sim:kernel", kernel_tests) ]
 
+(* appended: the asynchronous exchange — per-(src, dst) coalescing, the
+   post/complete pair, overlap accounting and the zero-cycle guards *)
+let async_exchange_tests =
+  [
+    case "same-pair messages coalesce into one amortised transfer" (fun () ->
+        let m = Multinode.create ~dim:2 params in
+        Multinode.exchange m
+          [ ({ Multinode.src = 0; dst = 3; words = 16 }, (Array.make 16 1.0, 0, 0));
+            ({ Multinode.src = 0; dst = 3; words = 16 }, (Array.make 16 2.0, 0, 64)) ];
+        (* one routed transfer of the summed words — the second message's
+           hop latency is amortised away, so the pair is cheaper than two
+           serialised transfers and leaves no serialisation surplus *)
+        check_int "coalesced cost"
+          (Router.transfer_cycles params ~src:0 ~dst:3 ~words:32)
+          m.Multinode.comm_cycles;
+        check_int "no contention inside a coalesced transfer" 0
+          m.Multinode.contention_cycles;
+        let n3 = Multinode.node m 3 in
+        check_float "first payload landed" 1.0 (Node.read_plane n3 ~plane:0 ~addr:0);
+        check_float "second payload landed" 2.0 (Node.read_plane n3 ~plane:0 ~addr:64));
+    case "distinct destinations still serialise on their shared source" (fun () ->
+        let m = Multinode.create ~dim:2 params in
+        Multinode.exchange m
+          [ ({ Multinode.src = 0; dst = 1; words = 8 }, (Array.make 8 1.0, 0, 0));
+            ({ Multinode.src = 0; dst = 2; words = 8 }, (Array.make 8 2.0, 0, 0)) ];
+        let c = Router.transfer_cycles params ~src:0 ~dst:1 ~words:8 in
+        check_int "phase serialises" (2 * c) m.Multinode.comm_cycles;
+        check_int "surplus booked on the machine" c m.Multinode.contention_cycles);
+    case "a posted exchange delivers eagerly and charges at completion" (fun () ->
+        let cost_of () =
+          let m = Multinode.create ~dim:2 params in
+          Multinode.exchange m
+            [ ({ Multinode.src = 0; dst = 1; words = 64 }, (Array.make 64 5.0, 0, 0)) ];
+          m.Multinode.comm_cycles
+        in
+        let cost = cost_of () in
+        check_bool "positive cost" true (cost > 0);
+        let m = Multinode.create ~dim:2 params in
+        let h =
+          Multinode.exchange_start m
+            [ ({ Multinode.src = 0; dst = 1; words = 64 }, (Array.make 64 5.0, 0, 0)) ]
+        in
+        check_float "payload landed at post time" 5.0
+          (Node.read_plane (Multinode.node m 1) ~plane:0 ~addr:0);
+        check_int "no machine time charged yet" 0 m.Multinode.cycles;
+        (* enough overlapped compute to hide the whole phase *)
+        Multinode.exchange_finish ~overlapped_cycles:(2 * cost) m h;
+        check_int "fully hidden" 0 m.Multinode.comm_cycles;
+        check_int "hidden cycles booked as overlap" cost m.Multinode.overlap_cycles;
+        check_float "overlap ratio" 1.0 (Multinode.overlap_ratio m);
+        (* a partial credit leaves the remainder visible *)
+        let m2 = Multinode.create ~dim:2 params in
+        let h2 =
+          Multinode.exchange_start m2
+            [ ({ Multinode.src = 0; dst = 1; words = 64 }, (Array.make 64 5.0, 0, 0)) ]
+        in
+        Multinode.exchange_finish ~overlapped_cycles:(cost / 2) m2 h2;
+        check_int "visible remainder" (cost - (cost / 2)) m2.Multinode.comm_cycles;
+        check_int "hidden part" (cost / 2) m2.Multinode.overlap_cycles);
+    case "sync exchange equals an immediate post/complete with no credit" (fun () ->
+        let go start =
+          let m = Multinode.create ~dim:3 params in
+          let msgs =
+            [ ({ Multinode.src = 0; dst = 5; words = 32 }, (Array.make 32 1.5, 0, 0));
+              ({ Multinode.src = 3; dst = 0; words = 16 }, (Array.make 16 2.5, 1, 8));
+              ({ Multinode.src = 0; dst = 5; words = 32 }, (Array.make 32 3.5, 0, 40)) ]
+          in
+          if start then Multinode.exchange_finish m (Multinode.exchange_start m msgs)
+          else Multinode.exchange m msgs;
+          ( m.Multinode.cycles,
+            m.Multinode.comm_cycles,
+            m.Multinode.contention_cycles,
+            m.Multinode.words_moved,
+            Node.dump_array (Multinode.node m 5) ~plane:0 ~base:0 ~len:72 )
+        in
+        check_bool "identical" true (go false = go true));
+    case "a handle cannot be completed twice" (fun () ->
+        let m = Multinode.create ~dim:1 params in
+        let h =
+          Multinode.exchange_start m
+            [ ({ Multinode.src = 0; dst = 1; words = 4 }, (Array.make 4 1.0, 0, 0)) ]
+        in
+        Multinode.exchange_finish m h;
+        Alcotest.check_raises "second completion rejected"
+          (Invalid_argument "Multinode.exchange_finish: handle already completed")
+          (fun () -> Multinode.exchange_finish m h));
+    case "gflops and overlap_ratio guard the zero-cycle machine" (fun () ->
+        let m = Multinode.create ~dim:2 params in
+        check_float "gflops" 0.0 (Multinode.gflops m);
+        check_float "overlap ratio" 0.0 (Multinode.overlap_ratio m);
+        Multinode.compute_step m (fun _ _ -> (10, 100));
+        Multinode.reset_counters m;
+        check_float "gflops after reset" 0.0 (Multinode.gflops m);
+        check_float "overlap after reset" 0.0 (Multinode.overlap_ratio m));
+  ]
+
+let suite = suite @ [ ("sim:async-exchange", async_exchange_tests) ]
+
 (* appended: the v3 kernel backend — agreement with the retained v2
    baseline, the Bigarray buffer pool's edge cases (reuse, zero-length
    buffers, dirty returns feeding the pad-zeroing path), constant
